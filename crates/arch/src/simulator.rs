@@ -1,0 +1,569 @@
+//! Event-driven dataflow simulation of a circuit on a
+//! microarchitecture (§5.2's methodology).
+//!
+//! Gates execute in dataflow order. Each gate waits for its operands,
+//! pays the architecture's movement penalty (teleports, cache misses,
+//! ballistic hops), executes (data latency + QEC interaction), and
+//! consumes encoded ancillae from the architecture's pools.
+//!
+//! ## Ancilla pools are token buckets, not reservoirs
+//!
+//! Encoded ancillae cannot be stockpiled indefinitely: an idle ancilla
+//! must itself be error-corrected, and factory output ports hold only a
+//! few blocks. Pools therefore accumulate at the factory rate up to a
+//! small *buffer* and waste production beyond it. This is the paper's
+//! central argument against dedicated generation (§5.2: "many ancilla
+//! generators are idle much of the time in QLA when they could be used
+//! to feed nearby data need"): a per-qubit QLA site can buffer about
+//! one QEC step's worth, while a shared factory farm's output is
+//! absorbed by whichever qubit needs it next.
+//!
+//! ## Architecture-specific behavior
+//!
+//! * **QLA**: per-qubit pools (simple factories), tiny buffers; every
+//!   two-qubit gate teleports the operands together and back home.
+//! * **CQLA**: gates run inside the compute cache, which inherits the
+//!   QLA movement discipline internally (§5.3: compute regions mix
+//!   data with generators, so data qubits "generally require
+//!   teleportation for movement"). Misses teleport the operand in,
+//!   evictions write back, and all memory<->cache transfers serialize
+//!   on the hierarchy port. Factory area beyond what fits alongside
+//!   the cache (one pipelined factory per slot) produces *remote*
+//!   ancillae that arrive by teleportation: QEC slows by the remote
+//!   share of a teleport and consumes twice the zeros for that share
+//!   (§5.3: QEC-during-teleportation "requires twice as many encoded
+//!   ancillae").
+//! * **Fully-Multiplexed**: one shared pool, ballistic movement.
+//! * **Qalypso**: per-tile shared pools with output ports at the data
+//!   region (no delivery latency), ballistic movement within tiles,
+//!   teleportation between tiles.
+
+use crate::interconnect::Interconnect;
+use crate::machine::Arch;
+use qods_circuit::circuit::Circuit;
+use qods_circuit::dag::Dag;
+use qods_circuit::latency_model::CharacterizationModel;
+use qods_factory::supply::{FactoryFarm, ZeroFactoryKind};
+
+/// Zero-ancilla buffer of a dedicated QLA site (about one QEC step).
+const SITE_ZERO_BUFFER: f64 = 2.0;
+/// pi/8 buffer of a dedicated site.
+const SITE_PI8_BUFFER: f64 = 1.0;
+/// Zero buffer of a shared factory farm's output ports.
+const SHARED_ZERO_BUFFER: f64 = 32.0;
+/// pi/8 buffer of a shared farm.
+const SHARED_PI8_BUFFER: f64 = 8.0;
+
+/// Result of one architectural simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimOutcome {
+    /// Total execution time (us).
+    pub makespan_us: f64,
+    /// Teleport operations performed.
+    pub teleports: u64,
+    /// CQLA cache misses (0 for other architectures).
+    pub cache_misses: u64,
+    /// Total movement latency charged across gates (diagnostics).
+    pub movement_us: f64,
+    /// Total ancilla-supply stall across gates (diagnostics).
+    pub supply_stall_us: f64,
+}
+
+/// A token-bucket ancilla pool.
+#[derive(Debug, Clone, Copy)]
+struct Pool {
+    zero_rate_per_us: f64,
+    pi8_rate_per_us: f64,
+    zero_buffer: f64,
+    pi8_buffer: f64,
+    zero_tokens: f64,
+    pi8_tokens: f64,
+    last_t: f64,
+}
+
+impl Pool {
+    fn new(farm: &FactoryFarm, zero_buffer: f64, pi8_buffer: f64) -> Pool {
+        Pool {
+            zero_rate_per_us: farm.zero_bandwidth / 1000.0,
+            pi8_rate_per_us: farm.pi8_bandwidth / 1000.0,
+            zero_buffer,
+            pi8_buffer,
+            zero_tokens: 0.0,
+            pi8_tokens: 0.0,
+            last_t: 0.0,
+        }
+    }
+
+    /// Draws `zeros` + `pi8` tokens at (or after) time `t`; returns
+    /// when the draw completes. Production accumulates up to the
+    /// buffer; beyond it, output is wasted.
+    fn consume(&mut self, zeros: f64, pi8: f64, t: f64) -> f64 {
+        let t = t.max(self.last_t);
+        let dt = t - self.last_t;
+        self.zero_tokens = (self.zero_tokens + self.zero_rate_per_us * dt).min(self.zero_buffer);
+        self.pi8_tokens = (self.pi8_tokens + self.pi8_rate_per_us * dt).min(self.pi8_buffer);
+
+        let zero_wait = if zeros <= self.zero_tokens {
+            self.zero_tokens -= zeros;
+            0.0
+        } else if self.zero_rate_per_us > 0.0 {
+            let w = (zeros - self.zero_tokens) / self.zero_rate_per_us;
+            self.zero_tokens = 0.0;
+            w
+        } else {
+            f64::INFINITY
+        };
+        let pi8_wait = if pi8 <= self.pi8_tokens {
+            self.pi8_tokens -= pi8;
+            0.0
+        } else if pi8 == 0.0 {
+            0.0
+        } else if self.pi8_rate_per_us > 0.0 {
+            let w = (pi8 - self.pi8_tokens) / self.pi8_rate_per_us;
+            self.pi8_tokens = 0.0;
+            w
+        } else {
+            f64::INFINITY
+        };
+        // The two product streams come from distinct factories and
+        // accumulate independently; the draw completes when the slower
+        // stream catches up.
+        let avail = t + zero_wait.max(pi8_wait);
+        self.last_t = avail;
+        avail
+    }
+}
+
+/// A simple LRU set for the CQLA compute cache.
+#[derive(Debug, Clone)]
+struct LruCache {
+    slots: usize,
+    /// Most recent at the back.
+    order: Vec<usize>,
+}
+
+impl LruCache {
+    fn new(slots: usize, initial: impl Iterator<Item = usize>) -> Self {
+        let mut order: Vec<usize> = initial.take(slots).collect();
+        order.reverse(); // first qubits become least recent
+        LruCache { slots, order }
+    }
+
+    fn contains(&self, q: usize) -> bool {
+        self.order.contains(&q)
+    }
+
+    fn touch(&mut self, q: usize) {
+        self.order.retain(|&x| x != q);
+        self.order.push(q);
+    }
+
+    /// Inserts `q`; returns true when an eviction (writeback) was
+    /// needed. Qubits in `pinned` are not evicted.
+    fn insert(&mut self, q: usize, pinned: &[usize]) -> bool {
+        debug_assert!(!self.contains(q));
+        let mut evicted = false;
+        if self.order.len() >= self.slots {
+            let victim = self
+                .order
+                .iter()
+                .position(|x| !pinned.contains(x))
+                .expect("cache larger than one gate's operand set");
+            self.order.remove(victim);
+            evicted = true;
+        }
+        self.order.push(q);
+        evicted
+    }
+}
+
+/// Simulates `circuit` on `arch` with `factory_area` macroblocks of
+/// total ancilla-generation hardware.
+///
+/// # Panics
+///
+/// Panics if `factory_area <= 0` or the circuit is not lowered.
+pub fn simulate(circuit: &Circuit, arch: Arch, factory_area: f64) -> SimOutcome {
+    assert!(factory_area > 0.0, "factory area must be positive");
+    let model = CharacterizationModel::ion_trap();
+    let link = Interconnect::ion_trap();
+    let n = circuit.n_qubits();
+    let gates = circuit.gates();
+    let dag = Dag::build(circuit);
+
+    // Demand mix: how the factory area splits between QEC-zero and
+    // pi/8 chains (matched to the circuit, as in Table 9).
+    let mut zeros_total = 0.0f64;
+    let mut pi8_total = 0.0f64;
+    for g in gates {
+        zeros_total += 2.0 * g.qubits().len() as f64;
+        if g.needs_pi8_ancilla() {
+            pi8_total += 1.0;
+        }
+    }
+    let ratio = if zeros_total > 0.0 {
+        pi8_total / zeros_total
+    } else {
+        0.0
+    };
+
+    // Build pools per architecture.
+    let mut pools: Vec<Pool>;
+    let pool_of: Box<dyn Fn(usize) -> usize>;
+    // CQLA: local (cache-side) zero generation rate; ancillae beyond
+    // this rate arrive through the hierarchy port.
+    let mut local_zero_rate = 0.0f64;
+    match arch {
+        Arch::Qla => {
+            let per_site = factory_area / n as f64;
+            let farm = FactoryFarm::bandwidth_for_area(per_site, ratio, ZeroFactoryKind::Simple);
+            pools = vec![Pool::new(&farm, SITE_ZERO_BUFFER, SITE_PI8_BUFFER); n];
+            pool_of = Box::new(|q| q);
+        }
+        Arch::Cqla { cache_slots } => {
+            // Compute cells carry one simple factory's worth of local
+            // generation each (Fig 14a cells); everything else lives
+            // memory-side and its products must cross the hierarchy
+            // port to reach the data.
+            let local_area = ((cache_slots as f64) * 90.0).min(factory_area);
+            let local =
+                FactoryFarm::bandwidth_for_area(local_area, ratio, ZeroFactoryKind::Simple);
+            let remote_area = (factory_area - local_area).max(0.0);
+            let remote = FactoryFarm::bandwidth_for_area(
+                remote_area.max(1e-9),
+                ratio,
+                ZeroFactoryKind::Pipelined,
+            );
+            let combined = FactoryFarm::size_for(
+                local.zero_bandwidth + remote.zero_bandwidth,
+                local.pi8_bandwidth + remote.pi8_bandwidth,
+                ZeroFactoryKind::Pipelined,
+            );
+            // Fraction of consumed ancillae that must arrive through
+            // the hierarchy port: whatever local generation cannot
+            // cover at the realized consumption rate. Estimated from
+            // the speed-of-data demand and refined by a second pass
+            // (see the fixed-point loop below).
+            local_zero_rate = local.zero_bandwidth;
+            pools = vec![Pool::new(&combined, SHARED_ZERO_BUFFER, SHARED_PI8_BUFFER)];
+            pool_of = Box::new(|_| 0);
+        }
+        Arch::FullyMultiplexed => {
+            let farm =
+                FactoryFarm::bandwidth_for_area(factory_area, ratio, ZeroFactoryKind::Pipelined);
+            pools = vec![Pool::new(&farm, SHARED_ZERO_BUFFER, SHARED_PI8_BUFFER)];
+            pool_of = Box::new(|_| 0);
+        }
+        Arch::Qalypso { tile_qubits } => {
+            let tiles = n.div_ceil(tile_qubits).max(1);
+            let farm = FactoryFarm::bandwidth_for_area(
+                factory_area / tiles as f64,
+                ratio,
+                ZeroFactoryKind::Pipelined,
+            );
+            pools = vec![Pool::new(&farm, SHARED_ZERO_BUFFER, SHARED_PI8_BUFFER); tiles];
+            pool_of = Box::new(move |q| q / tile_qubits);
+        }
+    }
+
+    let mut cache = match arch {
+        Arch::Cqla { cache_slots } => Some(LruCache::new(cache_slots, 0..n)),
+        _ => None,
+    };
+    // The memory<->cache hierarchy port serializes transfers.
+    let mut hierarchy_port_free = 0.0f64;
+    // CQLA: fraction of consumed ancillae that local (cache-side)
+    // generation cannot cover at the speed-of-data demand rate; the
+    // rest cross the hierarchy port by teleportation ("cache misses
+    // are still incurred to bring ancillae to data", §5.2).
+    let remote_fraction = if matches!(arch, Arch::Cqla { .. }) {
+        let sod = qods_circuit::schedule::Schedule::speed_of_data(circuit, &model).makespan_us;
+        let demand_per_ms = if sod > 0.0 {
+            zeros_total / (sod / 1000.0)
+        } else {
+            0.0
+        };
+        if demand_per_ms > 0.0 {
+            (1.0 - local_zero_rate / demand_per_ms).clamp(0.0, 1.0)
+        } else {
+            0.0
+        }
+    } else {
+        0.0
+    };
+    let _ = local_zero_rate;
+
+    let mut makespan = 0.0f64;
+    let mut teleports = 0u64;
+    let mut cache_misses = 0u64;
+    let mut movement_us = 0.0f64;
+    let mut supply_stall_us = 0.0f64;
+    let mut end = vec![0.0f64; gates.len()];
+
+    // Discrete-event order: process gates by readiness time so pool
+    // draws and port contention happen in causal order (program order
+    // would serialize independent chains through shared resources).
+    let mut indegree = vec![0usize; gates.len()];
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); gates.len()];
+    for i in 0..gates.len() {
+        indegree[i] = dag.preds(i).len();
+        for &p in dag.preds(i) {
+            succs[p].push(i);
+        }
+    }
+    // Min-heap of (ready_time, gate) via Reverse ordering on bits.
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut heap: BinaryHeap<(Reverse<u64>, usize)> = BinaryHeap::new();
+    let key = |t: f64| Reverse(t.to_bits()); // non-negative floats sort by bits
+    let mut ready_time = vec![0.0f64; gates.len()];
+    for i in 0..gates.len() {
+        if indegree[i] == 0 {
+            heap.push((key(0.0), i));
+        }
+    }
+
+    while let Some((_, i)) = heap.pop() {
+        let g = &gates[i];
+        let operands = g.qubits();
+        let ready = ready_time[i];
+
+        // Movement penalty; teleports consume EPR pairs of encoded
+        // blocks (2 zeros each, §5.3).
+        let mut move_us = 0.0;
+        let mut gate_teleports = 0u64;
+        match arch {
+            Arch::Qla => {
+                if operands.len() >= 2 {
+                    // Teleport together, then home for QEC.
+                    move_us += 2.0 * link.teleport_us();
+                    gate_teleports += 2;
+                }
+            }
+            Arch::FullyMultiplexed => {
+                if operands.len() >= 2 {
+                    move_us += link.avg_ballistic_us(n);
+                }
+            }
+            Arch::Qalypso { tile_qubits } => {
+                if operands.len() >= 2 {
+                    let same_tile = operands
+                        .iter()
+                        .all(|&q| q / tile_qubits == operands[0] / tile_qubits);
+                    if same_tile {
+                        move_us += link.avg_ballistic_us(tile_qubits.min(n));
+                    } else {
+                        move_us += link.teleport_us();
+                        gate_teleports += 1;
+                    }
+                }
+            }
+            Arch::Cqla { .. } => {
+                let c = cache.as_mut().expect("cqla cache");
+                let mut transferred = false;
+                for &q in &operands {
+                    if c.contains(q) {
+                        c.touch(q);
+                    } else {
+                        cache_misses += 1;
+                        gate_teleports += 1;
+                        let mut transfer = link.teleport_us();
+                        if c.insert(q, &operands) {
+                            // Writeback of the evicted qubit.
+                            transfer += link.teleport_us();
+                            gate_teleports += 1;
+                        }
+                        // Serialize on the hierarchy port.
+                        let start = ready.max(hierarchy_port_free);
+                        hierarchy_port_free = start + transfer;
+                        transferred = true;
+                    }
+                }
+                if transferred {
+                    // The gate waits for its last transfer to land.
+                    move_us += (hierarchy_port_free - ready).max(0.0);
+                }
+                if operands.len() >= 2 {
+                    // Intra-cache movement uses teleportation: data in
+                    // the compute region sits interleaved with
+                    // generators (§5.3), operands meet and return.
+                    move_us += 2.0 * link.teleport_us();
+                    gate_teleports += 2;
+                }
+                // Remote ancilla delivery: the memory-side share of
+                // this gate's encoded zeros crosses the hierarchy port
+                // (one teleport per block pair), serialized with all
+                // other transfers.
+                let remote_zeros =
+                    remote_fraction * 2.0 * operands.len() as f64;
+                if remote_zeros > 0.0 {
+                    let transfer = remote_zeros / 2.0 * link.teleport_us();
+                    let start = ready.max(hierarchy_port_free);
+                    hierarchy_port_free = start + transfer;
+                    move_us = move_us.max(hierarchy_port_free - ready);
+                }
+            }
+        }
+
+        // Ancilla consumption. Teleports burn EPR pairs of encoded
+        // blocks on top of the QEC zeros, spread over the operands'
+        // pools.
+        teleports += gate_teleports;
+        let zeros_per_qubit = model.zeros_per_qec() as f64
+            + 2.0 * gate_teleports as f64 / operands.len().max(1) as f64;
+        let pi8 = if g.needs_pi8_ancilla() { 1.0 } else { 0.0 };
+        let mut avail = ready;
+        for (j, &q) in operands.iter().enumerate() {
+            let pi8_here = if j == 0 { pi8 } else { 0.0 };
+            let a = pools[pool_of(q)].consume(zeros_per_qubit, pi8_here, ready);
+            avail = avail.max(a);
+        }
+
+        movement_us += move_us;
+        supply_stall_us += (avail - ready).max(0.0);
+        let dur = move_us + model.data_latency(g) + model.qec_interact();
+        let e = avail.max(ready) + dur;
+        end[i] = e;
+        makespan = makespan.max(e);
+        for &s in &succs[i] {
+            ready_time[s] = ready_time[s].max(e);
+            indegree[s] -= 1;
+            if indegree[s] == 0 {
+                heap.push((key(ready_time[s]), s));
+            }
+        }
+    }
+
+    SimOutcome {
+        makespan_us: makespan,
+        teleports,
+        cache_misses,
+        movement_us,
+        supply_stall_us,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qods_circuit::circuit::Circuit;
+    use qods_circuit::schedule::Schedule;
+
+    fn toy(n: usize, layers: usize) -> Circuit {
+        let mut c = Circuit::named(n, "toy");
+        for _ in 0..layers {
+            for q in 0..n {
+                c.h(q);
+            }
+            for q in 0..n - 1 {
+                c.cx(q, q + 1);
+            }
+            c.t(0);
+        }
+        c
+    }
+
+    #[test]
+    fn generous_fm_approaches_speed_of_data() {
+        let c = toy(4, 6);
+        let model = CharacterizationModel::ion_trap();
+        let sod = Schedule::speed_of_data(&c, &model).makespan_us;
+        let out = simulate(&c, Arch::FullyMultiplexed, 1e9);
+        // FM adds only ballistic movement on 2q gates.
+        assert!(out.makespan_us >= sod);
+        assert!(out.makespan_us < sod * 1.5, "{} vs {sod}", out.makespan_us);
+        assert_eq!(out.cache_misses, 0);
+    }
+
+    #[test]
+    fn qla_is_never_faster_than_fm() {
+        let c = toy(6, 4);
+        for area in [1e3, 1e4, 1e5, 1e6] {
+            let fm = simulate(&c, Arch::FullyMultiplexed, area);
+            let qla = simulate(&c, Arch::Qla, area);
+            assert!(
+                qla.makespan_us >= fm.makespan_us * 0.999,
+                "area {area}: QLA {} < FM {}",
+                qla.makespan_us,
+                fm.makespan_us
+            );
+        }
+    }
+
+    #[test]
+    fn qla_wastes_idle_generation() {
+        // With per-site buckets, a serial chain on one qubit starves
+        // even though aggregate production would suffice: the other
+        // sites' generators idle at full buffers.
+        let mut c = Circuit::new(8);
+        for _ in 0..50 {
+            c.h(0);
+        }
+        let area = 8.0 * 200.0; // modest per-site generation
+        let fm = simulate(&c, Arch::FullyMultiplexed, area);
+        let qla = simulate(&c, Arch::Qla, area);
+        assert!(
+            qla.makespan_us > fm.makespan_us * 2.0,
+            "QLA {} vs FM {}",
+            qla.makespan_us,
+            fm.makespan_us
+        );
+    }
+
+    #[test]
+    fn cqla_misses_cost_time() {
+        let c = toy(8, 4);
+        let big = simulate(&c, Arch::Cqla { cache_slots: 8 }, 1e6);
+        let small = simulate(&c, Arch::Cqla { cache_slots: 4 }, 1e6);
+        assert!(small.cache_misses > 0);
+        assert!(big.cache_misses <= small.cache_misses);
+        assert!(small.makespan_us > big.makespan_us);
+    }
+
+    #[test]
+    fn cqla_plateaus_above_fm() {
+        let c = toy(8, 6);
+        let fm = simulate(&c, Arch::FullyMultiplexed, 1e7);
+        let cqla = simulate(&c, Arch::Cqla { cache_slots: 4 }, 1e7);
+        assert!(
+            cqla.makespan_us > fm.makespan_us * 1.5,
+            "CQLA {} vs FM {}",
+            cqla.makespan_us,
+            fm.makespan_us
+        );
+    }
+
+    #[test]
+    fn starved_architectures_are_supply_limited() {
+        let c = toy(4, 8);
+        let tiny = simulate(&c, Arch::FullyMultiplexed, 10.0);
+        let big = simulate(&c, Arch::FullyMultiplexed, 1e7);
+        assert!(tiny.makespan_us > 10.0 * big.makespan_us);
+    }
+
+    #[test]
+    fn qalypso_matches_fm_within_tile() {
+        // Whole circuit in one tile: Qalypso == FM up to the ballistic
+        // distance (tile smaller than full region helps slightly).
+        let c = toy(8, 4);
+        let fm = simulate(&c, Arch::FullyMultiplexed, 1e7);
+        let qal = simulate(&c, Arch::Qalypso { tile_qubits: 8 }, 1e7);
+        assert!(qal.makespan_us <= fm.makespan_us * 1.01);
+        assert_eq!(qal.teleports, 0);
+    }
+
+    #[test]
+    fn cross_tile_gates_teleport() {
+        let mut c = Circuit::new(8);
+        c.cx(0, 7); // tiles 0 and 1 with tile_qubits = 4
+        let out = simulate(&c, Arch::Qalypso { tile_qubits: 4 }, 1e6);
+        assert_eq!(out.teleports, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_area_panics() {
+        let c = toy(2, 1);
+        let _ = simulate(&c, Arch::FullyMultiplexed, 0.0);
+    }
+}

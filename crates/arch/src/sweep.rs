@@ -1,0 +1,180 @@
+//! The Fig 15 experiment: execution time vs. total ancilla-factory
+//! area for each microarchitecture, plus the paper's headline speedup
+//! summary.
+
+use crate::machine::Arch;
+use crate::simulator::simulate;
+use qods_circuit::circuit::Circuit;
+
+/// One point of an architecture's area/latency curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Total ancilla-factory area (macroblocks).
+    pub area: f64,
+    /// Execution time (us).
+    pub exec_us: f64,
+}
+
+/// One architecture's curve.
+#[derive(Debug, Clone)]
+pub struct ArchCurve {
+    /// Architecture display name.
+    pub arch: &'static str,
+    /// Sweep points in increasing area order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl ArchCurve {
+    /// The plateau (best achievable) execution time.
+    pub fn plateau_us(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|p| p.exec_us)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// The smallest swept area whose execution time is within
+    /// `slack` (e.g. 1.1 = 10%) of the plateau.
+    pub fn knee_area(&self, slack: f64) -> f64 {
+        let plateau = self.plateau_us();
+        self.points
+            .iter()
+            .find(|p| p.exec_us <= plateau * slack)
+            .map_or(f64::INFINITY, |p| p.area)
+    }
+}
+
+/// Log-spaced areas from `lo` to `hi` (inclusive).
+pub fn log_areas(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && hi > lo && n >= 2, "bad area range");
+    let step = (hi / lo).powf(1.0 / (n - 1) as f64);
+    (0..n).map(|i| lo * step.powi(i as i32)).collect()
+}
+
+/// Runs the Fig 15 sweep for the given architectures.
+pub fn area_sweep(circuit: &Circuit, archs: &[Arch], areas: &[f64]) -> Vec<ArchCurve> {
+    archs
+        .iter()
+        .map(|&arch| ArchCurve {
+            arch: arch.name(),
+            points: areas
+                .iter()
+                .map(|&area| SweepPoint {
+                    area,
+                    exec_us: simulate(circuit, arch, area).makespan_us,
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// The quantitative claims of §5.2 / §6 for one benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct SpeedupSummary {
+    /// Maximum equal-area speedup of Fully-Multiplexed over the best
+    /// of QLA and CQLA (the ">5x over previous proposals" headline).
+    pub max_speedup: f64,
+    /// The area at which that maximum occurs.
+    pub area_at_max: f64,
+    /// Fully-Multiplexed plateau execution time.
+    pub fm_plateau_us: f64,
+    /// QLA plateau execution time.
+    pub qla_plateau_us: f64,
+    /// CQLA plateau execution time.
+    pub cqla_plateau_us: f64,
+    /// Ratio of QLA's knee area to Fully-Multiplexed's (the paper
+    /// reports about two orders of magnitude).
+    pub qla_area_penalty: f64,
+}
+
+/// Computes the headline summary by sweeping the three §5.2
+/// architectures on `circuit`.
+pub fn speedup_summary(circuit: &Circuit, areas: &[f64]) -> SpeedupSummary {
+    let archs = [
+        Arch::FullyMultiplexed,
+        Arch::Qla,
+        Arch::default_cqla(circuit.n_qubits()),
+    ];
+    let curves = area_sweep(circuit, &archs, areas);
+    let fm = &curves[0];
+    let qla = &curves[1];
+    let cqla = &curves[2];
+
+    let mut max_speedup = 0.0f64;
+    let mut area_at_max = 0.0;
+    for ((f, q), c) in fm.points.iter().zip(&qla.points).zip(&cqla.points) {
+        let best_baseline = q.exec_us.min(c.exec_us);
+        let s = best_baseline / f.exec_us;
+        if s > max_speedup {
+            max_speedup = s;
+            area_at_max = f.area;
+        }
+    }
+    SpeedupSummary {
+        max_speedup,
+        area_at_max,
+        fm_plateau_us: fm.plateau_us(),
+        qla_plateau_us: qla.plateau_us(),
+        cqla_plateau_us: cqla.plateau_us(),
+        qla_area_penalty: qla.knee_area(1.15) / fm.knee_area(1.15),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Circuit {
+        let mut c = Circuit::named(8, "toy");
+        for _ in 0..6 {
+            for q in 0..8 {
+                c.h(q);
+            }
+            for q in 0..7 {
+                c.cx(q, q + 1);
+            }
+            c.t(3);
+        }
+        c
+    }
+
+    #[test]
+    fn curves_are_monotone_decreasing() {
+        let c = toy();
+        let areas = log_areas(100.0, 1e6, 9);
+        for curve in area_sweep(
+            &c,
+            &[Arch::FullyMultiplexed, Arch::Qla, Arch::default_cqla(8)],
+            &areas,
+        ) {
+            for w in curve.points.windows(2) {
+                assert!(
+                    w[1].exec_us <= w[0].exec_us * 1.0001,
+                    "{}: not monotone at area {}",
+                    curve.arch,
+                    w[1].area
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fm_dominates_and_summary_is_consistent() {
+        let c = toy();
+        let areas = log_areas(100.0, 1e6, 9);
+        let s = speedup_summary(&c, &areas);
+        assert!(s.max_speedup >= 1.0);
+        assert!(s.fm_plateau_us <= s.qla_plateau_us * 1.001);
+        assert!(s.fm_plateau_us <= s.cqla_plateau_us * 1.001);
+        assert!(s.qla_area_penalty >= 1.0);
+    }
+
+    #[test]
+    fn log_areas_are_geometric() {
+        let a = log_areas(10.0, 1000.0, 3);
+        assert_eq!(a.len(), 3);
+        assert!((a[0] - 10.0).abs() < 1e-9);
+        assert!((a[1] - 100.0).abs() < 1e-6);
+        assert!((a[2] - 1000.0).abs() < 1e-6);
+    }
+}

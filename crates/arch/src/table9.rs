@@ -1,0 +1,124 @@
+//! Table 9: the chip-area breakdown when running at the speed of data.
+
+use qods_circuit::characterize::CircuitReport;
+use qods_factory::supply::{FactoryFarm, ZeroFactoryKind};
+use qods_layout::region::data_region_area;
+
+/// One Table 9 row.
+#[derive(Debug, Clone)]
+pub struct Table9Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Encoded-zero bandwidth for QEC (per ms) — Table 9 column 2.
+    pub zero_bandwidth: f64,
+    /// Data region area (macroblocks).
+    pub data_area: f64,
+    /// QEC zero-factory area.
+    pub qec_factory_area: f64,
+    /// pi/8 chain area (encoders + feeding zero factories).
+    pub pi8_factory_area: f64,
+}
+
+impl Table9Row {
+    /// Total chip area.
+    pub fn total(&self) -> f64 {
+        self.data_area + self.qec_factory_area + self.pi8_factory_area
+    }
+
+    /// Data share of the chip.
+    pub fn data_share(&self) -> f64 {
+        self.data_area / self.total()
+    }
+
+    /// QEC-factory share.
+    pub fn qec_share(&self) -> f64 {
+        self.qec_factory_area / self.total()
+    }
+
+    /// pi/8-chain share.
+    pub fn pi8_share(&self) -> f64 {
+        self.pi8_factory_area / self.total()
+    }
+
+    /// Fraction of the chip devoted to ancilla generation of any kind.
+    pub fn generation_share(&self) -> f64 {
+        1.0 - self.data_share()
+    }
+}
+
+/// Builds a Table 9 row from a benchmark characterization.
+pub fn table9_row(report: &CircuitReport) -> Table9Row {
+    let farm = FactoryFarm::size_for(
+        report.bandwidth.zero_per_ms,
+        report.bandwidth.pi8_per_ms,
+        ZeroFactoryKind::Pipelined,
+    );
+    Table9Row {
+        name: report.name.clone(),
+        zero_bandwidth: report.bandwidth.zero_per_ms,
+        data_area: data_region_area(report.n_qubits) as f64,
+        qec_factory_area: farm.qec_factory_area,
+        pi8_factory_area: farm.pi8_factory_area,
+    }
+}
+
+/// Builds a Table 9 row directly from the paper's published
+/// bandwidths (validation path).
+pub fn table9_row_from_bandwidths(
+    name: &str,
+    n_qubits: usize,
+    zero_per_ms: f64,
+    pi8_per_ms: f64,
+) -> Table9Row {
+    let farm = FactoryFarm::size_for(zero_per_ms, pi8_per_ms, ZeroFactoryKind::Pipelined);
+    Table9Row {
+        name: name.to_string(),
+        zero_bandwidth: zero_per_ms,
+        data_area: data_region_area(n_qubits) as f64,
+        qec_factory_area: farm.qec_factory_area,
+        pi8_factory_area: farm.pi8_factory_area,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_rows_reproduce_within_one_percent() {
+        // (name, qubits, zero bw, pi8 bw, data, qec, pi8, shares)
+        let rows = [
+            ("QRCA", 97, 34.8, 7.0, 679.0, 986.9, 354.7, (0.336, 0.488, 0.176)),
+            ("QCLA", 123, 306.1, 62.7, 861.0, 8682.2, 3154.4, (0.068, 0.684, 0.248)),
+            ("QFT", 32, 36.8, 8.6, 224.0, 1043.5, 433.7, (0.132, 0.613, 0.255)),
+        ];
+        for (name, nq, zbw, pbw, data, qec, pi8, shares) in rows {
+            let row = table9_row_from_bandwidths(name, nq, zbw, pbw);
+            assert_eq!(row.data_area, data, "{name} data area");
+            assert!(
+                (row.qec_factory_area - qec).abs() / qec < 0.01,
+                "{name} qec {}",
+                row.qec_factory_area
+            );
+            assert!(
+                (row.pi8_factory_area - pi8).abs() / pi8 < 0.015,
+                "{name} pi8 {}",
+                row.pi8_factory_area
+            );
+            assert!((row.data_share() - shares.0).abs() < 0.005, "{name} data share");
+            assert!((row.qec_share() - shares.1).abs() < 0.005, "{name} qec share");
+            assert!((row.pi8_share() - shares.2).abs() < 0.005, "{name} pi8 share");
+        }
+    }
+
+    #[test]
+    fn even_the_serial_adder_is_generation_dominated() {
+        // §5.1: "even the most serial of the benchmarks ... requires
+        // two-thirds of the chip dedicated to encoded ancilla
+        // generation"; the QCLA needs more than 90%.
+        let qrca = table9_row_from_bandwidths("QRCA", 97, 34.8, 7.0);
+        assert!(qrca.generation_share() > 0.60);
+        let qcla = table9_row_from_bandwidths("QCLA", 123, 306.1, 62.7);
+        assert!(qcla.generation_share() > 0.90);
+    }
+}

@@ -1,0 +1,102 @@
+//! Qalypso tile-size optimization — the open problem of §5.3.
+//!
+//! "The choice of data region size is still an open problem and
+//! depends on the level of parallelism in the target application."
+//! This module sweeps tile sizes for a given circuit and area budget
+//! and reports the latency-minimizing choice, quantifying the §5.3
+//! trade-off: small tiles keep ballistic movement cheap but force
+//! inter-tile teleports and fragment the factory pools; large tiles do
+//! the opposite.
+
+use crate::machine::Arch;
+use crate::simulator::simulate;
+use qods_circuit::circuit::Circuit;
+
+/// One tile-size evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct TilePoint {
+    /// Encoded data qubits per tile.
+    pub tile_qubits: usize,
+    /// Execution time (us).
+    pub exec_us: f64,
+    /// Inter-tile teleports incurred.
+    pub teleports: u64,
+}
+
+/// Sweeps tile sizes (powers of two from 2 up to the full machine).
+pub fn tile_sweep(circuit: &Circuit, factory_area: f64) -> Vec<TilePoint> {
+    let n = circuit.n_qubits();
+    let mut sizes: Vec<usize> = Vec::new();
+    let mut t = 2usize;
+    while t < n {
+        sizes.push(t);
+        t *= 2;
+    }
+    sizes.push(n); // single-tile machine
+    sizes
+        .into_iter()
+        .map(|tile_qubits| {
+            let out = simulate(circuit, Arch::Qalypso { tile_qubits }, factory_area);
+            TilePoint {
+                tile_qubits,
+                exec_us: out.makespan_us,
+                teleports: out.teleports,
+            }
+        })
+        .collect()
+}
+
+/// The latency-minimizing tile size for a circuit at a given area.
+pub fn best_tile(circuit: &Circuit, factory_area: f64) -> TilePoint {
+    tile_sweep(circuit, factory_area)
+        .into_iter()
+        .min_by(|a, b| a.exec_us.partial_cmp(&b.exec_us).expect("finite"))
+        .expect("at least one tile size")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Circuit {
+        let mut c = Circuit::named(n, "toy");
+        for r in 0..4 {
+            for q in 0..n {
+                c.h(q);
+            }
+            for q in 0..n - 1 {
+                c.cx(q, q + 1);
+            }
+            c.t(r % n);
+        }
+        c
+    }
+
+    #[test]
+    fn sweep_covers_power_of_two_sizes() {
+        let c = toy(12);
+        let pts = tile_sweep(&c, 1e5);
+        let sizes: Vec<usize> = pts.iter().map(|p| p.tile_qubits).collect();
+        assert_eq!(sizes, vec![2, 4, 8, 12]);
+    }
+
+    #[test]
+    fn teleports_decrease_with_tile_size() {
+        let c = toy(16);
+        let pts = tile_sweep(&c, 1e5);
+        for w in pts.windows(2) {
+            assert!(w[1].teleports <= w[0].teleports);
+        }
+        assert_eq!(pts.last().expect("points").teleports, 0);
+    }
+
+    #[test]
+    fn best_tile_is_no_worse_than_extremes() {
+        let c = toy(16);
+        let pts = tile_sweep(&c, 1e5);
+        let best = best_tile(&c, 1e5);
+        for p in &pts {
+            assert!(best.exec_us <= p.exec_us + 1e-9);
+        }
+    }
+}

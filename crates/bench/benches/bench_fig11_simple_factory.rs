@@ -1,0 +1,19 @@
+//! Fig 11 / §4.3: the simple ancilla factory (323 us, 90 MB, 3.1/ms).
+use criterion::{criterion_group, criterion_main, Criterion};
+use qods_core::factory::layout_gen::simple_factory_layout;
+use qods_core::factory::simple::SimpleFactory;
+
+fn bench(c: &mut Criterion) {
+    let f = SimpleFactory::paper();
+    println!(
+        "[fig11] latency {:.0} us, area {} MB, {:.2} anc/ms  [paper: 323, 90, 3.1]",
+        f.prep_latency_us(), f.area(), f.throughput_per_ms()
+    );
+    assert_eq!(f.area(), 90);
+    c.bench_function("fig11_layout_generation", |b| {
+        b.iter(|| simple_factory_layout().area())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

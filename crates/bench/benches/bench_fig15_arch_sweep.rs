@@ -1,0 +1,29 @@
+//! Fig 15: architecture comparison sweep (and the >5x headline).
+use criterion::{criterion_group, criterion_main, Criterion};
+use qods_core::arch::machine::Arch;
+use qods_core::arch::simulator::simulate;
+use qods_core::arch::sweep::{log_areas, speedup_summary};
+use qods_core::kernels::{qcla_lowered, qrca_lowered};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let areas = log_areas(200.0, 3e6, 13);
+    for circ in [qrca_lowered(32), qcla_lowered(32)] {
+        let s = speedup_summary(&circ, &areas);
+        println!(
+            "[fig15] {}: max speedup {:.1}x @ area {:.1e}; QLA area penalty {:.0}x; CQLA plateau {:.1}x FM",
+            circ.name, s.max_speedup, s.area_at_max, s.qla_area_penalty,
+            s.cqla_plateau_us / s.fm_plateau_us
+        );
+    }
+    let circ = qrca_lowered(32);
+    c.bench_function("fig15_simulate_fm_qrca32", |b| {
+        b.iter(|| simulate(black_box(&circ), Arch::FullyMultiplexed, 1e5).makespan_us)
+    });
+    c.bench_function("fig15_simulate_cqla_qrca32", |b| {
+        b.iter(|| simulate(black_box(&circ), Arch::default_cqla(97), 1e5).makespan_us)
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Fig 4: Monte-Carlo error rates of the preparation circuits.
+//! (Inflated noise so the bench-sized run resolves the hierarchy.)
+use criterion::{criterion_group, criterion_main, Criterion};
+use qods_core::phys::error_model::ErrorModel;
+use qods_core::steane::eval::{evaluate_all, evaluate_prep};
+use qods_core::steane::prep::PrepStrategy;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let model = ErrorModel::paper().scaled(10.0);
+    for e in evaluate_all(model, 50_000, 7, 8) {
+        println!(
+            "[fig4] {:<20} uncorrectable {:.3e} dirty {:.3e} discard {:.4} (paper at 1x: {:.1e})",
+            e.strategy.name(), e.error_rate(), e.dirty_rate(), e.discard_rate(),
+            e.strategy.paper_error_rate()
+        );
+    }
+    c.bench_function("fig4_basic_prep_1k_trials", |b| {
+        b.iter(|| evaluate_prep(PrepStrategy::Basic, black_box(model), 1_000, 7, 1).error_rate())
+    });
+    c.bench_function("fig4_verify_and_correct_1k_trials", |b| {
+        b.iter(|| {
+            evaluate_prep(PrepStrategy::VerifyAndCorrect, black_box(model), 1_000, 7, 1)
+                .error_rate()
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Fig 6 / §4.4.2: cascade pi/2^k analysis and synthesis comparison.
+use criterion::{criterion_group, criterion_main, Criterion};
+use qods_core::phys::latency::LatencyTable;
+use qods_core::synth::cascade::{analyze_cascade, compare_with_synthesis};
+use qods_core::synth::search::Synthesizer;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let t = LatencyTable::ion_trap();
+    let synth = Synthesizer::with_budget(10, 1e-2);
+    for k in [3u8, 5, 8] {
+        let a = analyze_cascade(k);
+        let seq = synth.rz_pi_over_2k(k, false);
+        let (cas, syn) = compare_with_synthesis(k, &seq, &t);
+        println!(
+            "[fig6] k={k}: E[CX]={:.3}, cascade {:.0} us vs synthesized {:.0} us (T-count {}, dist {:.2e})",
+            a.expected_cx, cas, syn, seq.t_count, seq.distance
+        );
+    }
+    c.bench_function("fig6_synthesize_pi_32", |b| {
+        b.iter(|| synth.rz_pi_over_2k(black_box(5), false).t_count)
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Fig 7: in-flight encoded-zero demand profiles.
+use criterion::{criterion_group, criterion_main, Criterion};
+use qods_core::circuit::characterize::demand_profile;
+use qods_core::circuit::latency_model::CharacterizationModel;
+use qods_core::kernels::{qcla_lowered, qrca_lowered};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let model = CharacterizationModel::ion_trap();
+    for circ in [qrca_lowered(32), qcla_lowered(32)] {
+        let prof = demand_profile(&circ, &model, 512);
+        let peak = prof.iter().map(|p| p.zeros_in_flight).fold(0.0, f64::max);
+        let avg = prof.iter().map(|p| p.zeros_in_flight).sum::<f64>() / prof.len() as f64;
+        println!("[fig7] {}: avg in-flight {:.1}, peak {:.0}", circ.name, avg, peak);
+    }
+    let qrca = qrca_lowered(32);
+    c.bench_function("fig7_demand_profile_qrca32", |b| {
+        b.iter(|| demand_profile(black_box(&qrca), &model, 512).len())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

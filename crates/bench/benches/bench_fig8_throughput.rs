@@ -1,0 +1,25 @@
+//! Fig 8: execution time vs steady encoded-zero throughput.
+use criterion::{criterion_group, criterion_main, Criterion};
+use qods_core::circuit::characterize::characterize;
+use qods_core::circuit::latency_model::CharacterizationModel;
+use qods_core::circuit::throughput::{execution_time_us, throughput_sweep};
+use qods_core::kernels::qrca_lowered;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let model = CharacterizationModel::ion_trap();
+    let circ = qrca_lowered(32);
+    let avg = characterize(&circ).bandwidth.zero_per_ms;
+    let pts = throughput_sweep(&circ, &model, avg / 30.0, avg * 30.0, 13);
+    println!(
+        "[fig8] QRCA-32: starved {:.2e} us @ {:.1}/ms -> plateau {:.2e} us @ {:.1}/ms (avg bw {:.1})",
+        pts[0].execution_us, pts[0].zeros_per_ms,
+        pts.last().unwrap().execution_us, pts.last().unwrap().zeros_per_ms, avg
+    );
+    c.bench_function("fig8_single_point_qrca32", |b| {
+        b.iter(|| execution_time_us(black_box(&circ), &model, black_box(avg)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

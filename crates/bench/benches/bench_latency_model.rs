@@ -1,0 +1,21 @@
+//! Table 1 / Table 4: the physical latency model (and symbolic
+//! latency evaluation speed).
+use criterion::{criterion_group, criterion_main, Criterion};
+use qods_core::phys::latency::{LatencyTable, SymbolicLatency};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let t = LatencyTable::ion_trap();
+    println!(
+        "[table1/table4] t_1q={} t_2q={} t_meas={} t_prep={} t_move={} t_turn={}",
+        t.t_1q, t.t_2q, t.t_meas, t.t_prep, t.t_move, t.t_turn
+    );
+    let lat = SymbolicLatency::new().prep(1).meas(2).two_q(6).one_q(2).turn(8).mov(30);
+    assert_eq!(lat.eval(&t), 323.0);
+    c.bench_function("table1_symbolic_eval", |b| {
+        b.iter(|| black_box(lat).eval(black_box(&t)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

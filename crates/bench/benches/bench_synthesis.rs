@@ -1,0 +1,20 @@
+//! Supporting bench: Fowler-style search cost vs T-count budget.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qods_core::synth::search::Synthesizer;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesis_rz_pi16");
+    for max_t in [6u32, 10, 12] {
+        let synth = Synthesizer::with_budget(max_t, 0.0);
+        let seq = synth.rz_pi_over_2k(4, false);
+        println!("[synth] max_t={max_t}: distance {:.3e}, T-count {}", seq.distance, seq.t_count);
+        group.bench_with_input(BenchmarkId::from_parameter(max_t), &max_t, |b, _| {
+            b.iter(|| synth.rz_pi_over_2k(black_box(4), false).distance)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

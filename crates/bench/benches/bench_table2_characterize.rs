@@ -1,0 +1,26 @@
+//! Table 2: latency breakdown of the three benchmarks.
+use criterion::{criterion_group, criterion_main, Criterion};
+use qods_core::circuit::characterize::characterize;
+use qods_core::kernels::{qcla_lowered, qrca_lowered};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let qrca = qrca_lowered(32);
+    let r = characterize(&qrca);
+    println!(
+        "[table2] QRCA-32: data {:.0} ({:.1}%) interact {:.0} ({:.1}%) prep {:.0} ({:.1}%)  [paper: 29508 (5.2%) 95641 (16.7%) 447726 (78.2%)]",
+        r.breakdown.data_op_us, 100.0 * r.breakdown.data_op_share(),
+        r.breakdown.qec_interact_us, 100.0 * r.breakdown.qec_interact_share(),
+        r.breakdown.ancilla_prep_us, 100.0 * r.breakdown.ancilla_prep_share()
+    );
+    c.bench_function("table2_characterize_qrca32", |b| {
+        b.iter(|| characterize(black_box(&qrca)))
+    });
+    let qcla = qcla_lowered(32);
+    c.bench_function("table2_characterize_qcla32", |b| {
+        b.iter(|| characterize(black_box(&qcla)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

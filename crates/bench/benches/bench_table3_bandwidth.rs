@@ -1,0 +1,23 @@
+//! Table 3: required ancilla bandwidths at the speed of data.
+use criterion::{criterion_group, criterion_main, Criterion};
+use qods_core::circuit::characterize::characterize;
+use qods_core::kernels::{qcla_lowered, qft_lowered, qrca_lowered, SynthAdapter};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let synth = SynthAdapter::with_budget(12, 1e-2);
+    for circ in [qrca_lowered(32), qcla_lowered(32), qft_lowered(32, &synth)] {
+        let r = characterize(&circ);
+        println!(
+            "[table3] {}: zero {:.1}/ms pi8 {:.1}/ms  [paper: QRCA 34.8/7.0, QCLA 306.1/62.7, QFT 36.8/8.6]",
+            r.name, r.bandwidth.zero_per_ms, r.bandwidth.pi8_per_ms
+        );
+    }
+    let qft = qft_lowered(32, &synth);
+    c.bench_function("table3_bandwidth_qft32", |b| {
+        b.iter(|| characterize(black_box(&qft)).bandwidth.zero_per_ms)
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

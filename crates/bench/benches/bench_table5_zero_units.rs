@@ -1,0 +1,26 @@
+//! Table 5: zero-factory functional unit characteristics.
+use criterion::{criterion_group, criterion_main, Criterion};
+use qods_core::factory::zero::ZeroFactory;
+use qods_core::phys::latency::LatencyTable;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let t = LatencyTable::ion_trap();
+    for u in ZeroFactory::units() {
+        println!(
+            "[table5] {:<16} {} = {:.0} us, bw in {:.1} out {:.1} /ms, area {}",
+            u.name, u.latency, u.latency_us(&t), u.bw_in_per_ms(&t), u.bw_out_per_ms(&t), u.area
+        );
+    }
+    c.bench_function("table5_unit_bandwidths", |b| {
+        b.iter(|| {
+            ZeroFactory::units()
+                .iter()
+                .map(|u| u.bw_out_per_ms(black_box(&t)))
+                .sum::<f64>()
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

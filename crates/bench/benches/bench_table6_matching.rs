@@ -1,0 +1,19 @@
+//! Table 6: zero-factory bandwidth matching (counts, areas, 10.5/ms).
+use criterion::{criterion_group, criterion_main, Criterion};
+use qods_core::factory::zero::ZeroFactory;
+
+fn bench(c: &mut Criterion) {
+    let f = ZeroFactory::paper().bandwidth_matched();
+    let counts: Vec<String> = f.stages.iter().map(|s| format!("{} x{}", s.unit.name, s.count)).collect();
+    println!(
+        "[table6] {}; functional {} + crossbar {} = {} MB; {:.2} anc/ms  [paper: 130+168=298, 10.5]",
+        counts.join(", "), f.functional_area(), f.crossbar_area(), f.total_area(), f.throughput_per_ms
+    );
+    assert_eq!(f.total_area(), 298);
+    c.bench_function("table6_bandwidth_matching", |b| {
+        b.iter(|| ZeroFactory::paper().bandwidth_matched().total_area())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

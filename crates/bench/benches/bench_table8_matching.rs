@@ -1,0 +1,19 @@
+//! Table 8: pi/8 factory bandwidth matching (counts, 403 MB, 18.3/ms).
+use criterion::{criterion_group, criterion_main, Criterion};
+use qods_core::factory::pi8::Pi8Factory;
+
+fn bench(c: &mut Criterion) {
+    let f = Pi8Factory::paper().bandwidth_matched();
+    let counts: Vec<String> = f.stages.iter().map(|s| format!("{} x{}", s.unit.name, s.count)).collect();
+    println!(
+        "[table8] {}; functional {} + crossbar {} = {} MB; {:.2} anc/ms  [paper: 147+256=403, 18.3]",
+        counts.join(", "), f.functional_area(), f.crossbar_area(), f.total_area(), f.throughput_per_ms
+    );
+    assert_eq!(f.total_area(), 403);
+    c.bench_function("table8_bandwidth_matching", |b| {
+        b.iter(|| Pi8Factory::paper().bandwidth_matched().total_area())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Table 9: chip area breakdown at the speed of data.
+use criterion::{criterion_group, criterion_main, Criterion};
+use qods_core::arch::table9::table9_row_from_bandwidths;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    for (name, nq, zbw, pbw) in [("QRCA", 97, 34.8, 7.0), ("QCLA", 123, 306.1, 62.7), ("QFT", 32, 36.8, 8.6)] {
+        let r = table9_row_from_bandwidths(name, nq, zbw, pbw);
+        println!(
+            "[table9] {name}: data {:.0} ({:.1}%) qec {:.1} ({:.1}%) pi8 {:.1} ({:.1}%)  [paper: e.g. QRCA 679 (33.6%) 986.9 (48.8%) 354.7 (17.6%)]",
+            r.data_area, 100.0 * r.data_share(), r.qec_factory_area, 100.0 * r.qec_share(),
+            r.pi8_factory_area, 100.0 * r.pi8_share()
+        );
+    }
+    c.bench_function("table9_row", |b| {
+        b.iter(|| table9_row_from_bandwidths(black_box("QRCA"), 97, 34.8, 7.0).total())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

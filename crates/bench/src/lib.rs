@@ -1,0 +1,72 @@
+//! # qods-bench — benchmark harness for the speed-of-data reproduction
+//!
+//! Two entry points:
+//!
+//! * the **`repro` binary** (`cargo run -p qods-bench --bin repro --release`)
+//!   regenerates every table and figure of the paper, prints them in
+//!   the paper's layout, and writes machine-readable results (JSON and
+//!   per-figure CSV) under `results/`;
+//! * the **Criterion benches** (`cargo bench`), one per table/figure,
+//!   measure how long each regeneration takes and print the headline
+//!   reproduced numbers once per run.
+//!
+//! Experiment ids match DESIGN.md §3: `table1`..`table9`, `fig4`,
+//! `fig6`, `fig7`, `fig8`, `fig11`, `fig15`, `headline`.
+
+use qods_core::study::{PaperReproduction, Series};
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Writes a figure series to a CSV file (x,y per line, one file per
+/// series label).
+///
+/// # Errors
+///
+/// Returns I/O errors from file creation or writing.
+pub fn write_series_csv(dir: &Path, figure: &str, series: &[Series]) -> std::io::Result<()> {
+    fs::create_dir_all(dir)?;
+    for s in series {
+        let safe: String = s
+            .label
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c } else { '_' })
+            .collect();
+        let mut f = fs::File::create(dir.join(format!("{figure}_{safe}.csv")))?;
+        writeln!(f, "x,y")?;
+        for (x, y) in &s.points {
+            writeln!(f, "{x},{y}")?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes the full reproduction as pretty JSON.
+///
+/// # Errors
+///
+/// Returns I/O or serialization errors.
+pub fn write_json(path: &Path, out: &PaperReproduction) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    let json = serde_json::to_string_pretty(out)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::Other, e))?;
+    fs::write(path, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qods_core::study::{Study, StudyConfig};
+
+    #[test]
+    fn csv_and_json_roundtrip() {
+        let out = Study::new(StudyConfig::smoke()).run_all();
+        let dir = std::env::temp_dir().join("qods_bench_test");
+        write_series_csv(&dir, "fig7", &out.fig7).expect("csv");
+        write_json(&dir.join("repro.json"), &out).expect("json");
+        let json = std::fs::read_to_string(dir.join("repro.json")).expect("read");
+        assert!(json.contains("table9"));
+    }
+}

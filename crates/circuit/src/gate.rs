@@ -1,0 +1,146 @@
+//! The logical gate set over Steane-encoded qubits.
+//!
+//! Gates are classified the way the paper's analysis needs them:
+//!
+//! * **transversal** gates (X, Y, Z, H, S, CX — §2.1) execute directly
+//!   on the encoded block;
+//! * the **pi/8 gate** (T) is non-transversal and consumes an encoded
+//!   pi/8 ancilla (§2.4);
+//! * finer **pi/2^k phase rotations** have no transversal or
+//!   ancilla-gadget implementation and must be *synthesized* into H/T
+//!   sequences (§2.5, Fowler's technique) before a circuit is
+//!   "physical";
+//! * **Toffoli** is a convenience IR node that kernels decompose into
+//!   the standard 15-gate Clifford+T network.
+//!
+//! Phase-rotation convention: `PhaseRot { k, .. }` applies
+//! `diag(1, exp(i*pi/2^k))`, so `k = 0` is Z, `k = 1` is S, `k = 2` is
+//! the pi/8 gate T (named for its `exp(±i*pi/8)` eigenphases), and
+//! `k >= 3` requires synthesis.
+
+/// A logical gate instance (qubit indices refer to encoded qubits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Gate {
+    /// Pauli X.
+    X(usize),
+    /// Pauli Y.
+    Y(usize),
+    /// Pauli Z.
+    Z(usize),
+    /// Hadamard.
+    H(usize),
+    /// Phase gate S = `PhaseRot{k:1}`.
+    S(usize),
+    /// Inverse phase gate.
+    Sdg(usize),
+    /// pi/8 gate T = `PhaseRot{k:2}` (non-transversal).
+    T(usize),
+    /// Inverse pi/8 gate.
+    Tdg(usize),
+    /// Controlled-X on (control, target).
+    Cx(usize, usize),
+    /// Toffoli (control, control, target); decomposed before analysis.
+    Toffoli(usize, usize, usize),
+    /// `diag(1, exp(±i*pi/2^k))` on a qubit; `dagger` negates the angle.
+    PhaseRot {
+        /// Target qubit.
+        q: usize,
+        /// Angle exponent: rotation by pi/2^k.
+        k: u8,
+        /// Use the negative angle.
+        dagger: bool,
+    },
+    /// Controlled `PhaseRot` on (control, target); decomposed to
+    /// two CX plus three `PhaseRot{k+1}` before analysis (§2.5).
+    CPhaseRot {
+        /// Control qubit.
+        c: usize,
+        /// Target qubit.
+        t: usize,
+        /// Angle exponent of the *controlled* rotation.
+        k: u8,
+        /// Use the negative angle.
+        dagger: bool,
+    },
+}
+
+impl Gate {
+    /// The encoded qubits this gate touches.
+    pub fn qubits(&self) -> Vec<usize> {
+        match *self {
+            Gate::X(q)
+            | Gate::Y(q)
+            | Gate::Z(q)
+            | Gate::H(q)
+            | Gate::S(q)
+            | Gate::Sdg(q)
+            | Gate::T(q)
+            | Gate::Tdg(q)
+            | Gate::PhaseRot { q, .. } => vec![q],
+            Gate::Cx(c, t) | Gate::CPhaseRot { c, t, .. } => vec![c, t],
+            Gate::Toffoli(a, b, t) => vec![a, b, t],
+        }
+    }
+
+    /// True when the gate is directly executable on the encoded data:
+    /// transversal Cliffords plus the ancilla-assisted T. Everything
+    /// else must be lowered first ([`crate::circuit::Circuit::lower`]).
+    pub fn is_physical(&self) -> bool {
+        match *self {
+            Gate::Toffoli(..) | Gate::CPhaseRot { .. } => false,
+            Gate::PhaseRot { k, .. } => k <= 2,
+            _ => true,
+        }
+    }
+
+    /// True for transversal encoded gates (no extra encoded ancilla).
+    pub fn is_transversal(&self) -> bool {
+        match *self {
+            Gate::X(_)
+            | Gate::Y(_)
+            | Gate::Z(_)
+            | Gate::H(_)
+            | Gate::S(_)
+            | Gate::Sdg(_)
+            | Gate::Cx(..) => true,
+            Gate::PhaseRot { k, .. } => k <= 1,
+            Gate::T(_) | Gate::Tdg(_) | Gate::Toffoli(..) | Gate::CPhaseRot { .. } => false,
+        }
+    }
+
+    /// True for gates that consume one encoded pi/8 ancilla (§2.4).
+    pub fn needs_pi8_ancilla(&self) -> bool {
+        matches!(
+            *self,
+            Gate::T(_) | Gate::Tdg(_) | Gate::PhaseRot { k: 2, .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert!(Gate::H(0).is_transversal());
+        assert!(Gate::Cx(0, 1).is_transversal());
+        assert!(!Gate::T(0).is_transversal());
+        assert!(Gate::T(0).needs_pi8_ancilla());
+        assert!(Gate::T(0).is_physical());
+        assert!(!Gate::Toffoli(0, 1, 2).is_physical());
+        assert!(!Gate::PhaseRot { q: 0, k: 5, dagger: false }.is_physical());
+        assert!(Gate::PhaseRot { q: 0, k: 1, dagger: false }.is_transversal());
+        assert!(Gate::PhaseRot { q: 0, k: 2, dagger: true }.needs_pi8_ancilla());
+    }
+
+    #[test]
+    fn qubit_lists() {
+        assert_eq!(Gate::Cx(3, 5).qubits(), vec![3, 5]);
+        assert_eq!(Gate::Toffoli(1, 2, 3).qubits(), vec![1, 2, 3]);
+        assert_eq!(
+            Gate::CPhaseRot { c: 0, t: 9, k: 4, dagger: false }.qubits(),
+            vec![0, 9]
+        );
+    }
+}

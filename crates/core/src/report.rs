@@ -1,0 +1,201 @@
+//! Paper-style text rendering of a [`crate::study::PaperReproduction`].
+
+use crate::study::PaperReproduction;
+use std::fmt::Write as _;
+
+/// Renders every table and headline as formatted text mirroring the
+/// paper's layout (used by the `repro` binary and the examples).
+pub fn render(out: &PaperReproduction) -> String {
+    let mut s = String::new();
+    let w = &mut s;
+
+    let _ = writeln!(w, "== Table 1 / Table 4: physical operation latencies (us) ==");
+    let _ = writeln!(
+        w,
+        "  one-qubit 1, two-qubit 10, measurement 50, zero-prepare 51, move 1, turn 10"
+    );
+
+    let _ = writeln!(w, "\n== Fig 4: encoded-zero preparation (Monte Carlo) ==");
+    let _ = writeln!(
+        w,
+        "  {:<20} {:>14} {:>12} {:>10} {:>12}",
+        "circuit", "uncorrectable", "any-residual", "discard", "paper"
+    );
+    for r in &out.fig4 {
+        let _ = writeln!(
+            w,
+            "  {:<20} {:>14.3e} {:>12.3e} {:>10.4} {:>12.1e}",
+            r.strategy, r.uncorrectable_rate, r.dirty_rate, r.discard_rate, r.paper_rate
+        );
+    }
+
+    let _ = writeln!(w, "\n== Table 2: latency breakdown (us, % of total) ==");
+    for r in &out.table2 {
+        let _ = writeln!(
+            w,
+            "  {:<10} data {:>10.0} ({:>4.1}%)  QEC interact {:>10.0} ({:>4.1}%)  prep {:>10.0} ({:>4.1}%)",
+            r.name,
+            r.data_op_us,
+            100.0 * r.shares.0,
+            r.qec_interact_us,
+            100.0 * r.shares.1,
+            r.ancilla_prep_us,
+            100.0 * r.shares.2
+        );
+    }
+
+    let _ = writeln!(w, "\n== Table 3: required ancilla bandwidths (per ms) ==");
+    for r in &out.table3 {
+        let _ = writeln!(
+            w,
+            "  {:<10} zero {:>8.1}   pi/8 {:>8.1}",
+            r.name, r.zero_per_ms, r.pi8_per_ms
+        );
+    }
+
+    let _ = writeln!(w, "\n== §3.3: non-transversal gate fractions ==");
+    for (name, f) in &out.non_transversal {
+        let _ = writeln!(w, "  {:<10} {:.1}%", name, 100.0 * f);
+    }
+
+    let f = &out.factories;
+    let _ = writeln!(w, "\n== Fig 11 / §4.3: simple ancilla factory ==");
+    let _ = writeln!(
+        w,
+        "  latency {:.0} us, area {} macroblocks, {:.1} ancillae/ms",
+        f.simple.0, f.simple.1, f.simple.2
+    );
+    let _ = writeln!(w, "\n== Tables 5-6: pipelined encoded-zero factory ==");
+    let counts: Vec<String> = f
+        .zero_counts
+        .iter()
+        .map(|(n, c)| format!("{n} x{c}"))
+        .collect();
+    let _ = writeln!(w, "  units: {}", counts.join(", "));
+    let _ = writeln!(
+        w,
+        "  functional {} + crossbar {} = {} macroblocks; {:.1} ancillae/ms",
+        f.zero.0, f.zero.1, f.zero.2, f.zero.3
+    );
+    let _ = writeln!(w, "\n== Tables 7-8: pi/8 ancilla factory ==");
+    let counts: Vec<String> = f
+        .pi8_counts
+        .iter()
+        .map(|(n, c)| format!("{n} x{c}"))
+        .collect();
+    let _ = writeln!(w, "  units: {}", counts.join(", "));
+    let _ = writeln!(
+        w,
+        "  functional {} + crossbar {} = {} macroblocks; {:.1} ancillae/ms",
+        f.pi8.0, f.pi8.1, f.pi8.2, f.pi8.3
+    );
+
+    let _ = writeln!(w, "\n== Table 9: area breakdown at the speed of data ==");
+    for r in &out.table9 {
+        let _ = writeln!(
+            w,
+            "  {:<10} bw {:>7.1}  data {:>8.0} ({:>4.1}%)  QEC factories {:>9.1} ({:>4.1}%)  pi/8 {:>9.1} ({:>4.1}%)",
+            r.name,
+            r.zero_bandwidth,
+            r.data.0,
+            100.0 * r.data.1,
+            r.qec.0,
+            100.0 * r.qec.1,
+            r.pi8.0,
+            100.0 * r.pi8.1
+        );
+    }
+
+    let _ = writeln!(w, "\n== Fig 14c: microarchitecture to scale ==");
+    if let Some(row) = out.table9.first() {
+        let _ = writeln!(w, "{}", render_floorplan(row));
+    }
+
+    let _ = writeln!(w, "\n== Fig 15: execution time vs factory area ==");
+    for p in &out.fig15 {
+        let _ = writeln!(
+            w,
+            "  {}: max equal-area speedup {:.1}x; QLA needs {:.0}x the area; CQLA plateau {:.1}x FM",
+            p.name, p.max_speedup, p.qla_area_penalty, p.cqla_plateau_ratio
+        );
+        for c in &p.curves {
+            let first = c.points.first().map(|p| p.1).unwrap_or(0.0);
+            let last = c.points.last().map(|p| p.1).unwrap_or(0.0);
+            let _ = writeln!(
+                w,
+                "    {:<18} {:>10.3e} us (starved) -> {:>10.3e} us (plateau)",
+                c.label, first, last
+            );
+        }
+    }
+
+    let _ = writeln!(w, "\n== Fig 6 / §4.4.2: cascade expected CX on critical path ==");
+    let row: Vec<String> = out
+        .cascade
+        .iter()
+        .map(|(k, cx)| format!("k={k}: {cx:.3}"))
+        .collect();
+    let _ = writeln!(w, "  {}", row.join("  "));
+
+    s
+}
+
+/// Renders the Fig 14c "microarchitecture to scale" picture for one
+/// Table 9 row as ASCII art: each cell is ~1% of the chip.
+///
+/// The paper's point is visual: the data region is a sliver and the
+/// chip is essentially a wall of ancilla factories.
+pub fn render_floorplan(row: &crate::study::Table9Out) -> String {
+    let width = 50usize;
+    let rows = 6usize;
+    let cells = width * rows;
+    let data = ((row.data.1 * cells as f64).round() as usize).max(1);
+    let qec = ((row.qec.1 * cells as f64).round() as usize).max(1);
+    let mut s = format!(
+        "{} — to scale ({}: D = data, Q = QEC factories, P = pi/8 chain)\n",
+        row.name, "Fig 14c"
+    );
+    for r in 0..rows {
+        s.push_str("  ");
+        for c in 0..width {
+            let i = r * width + c;
+            s.push(if i < data {
+                'D'
+            } else if i < data + qec {
+                'Q'
+            } else {
+                'P'
+            });
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::study::{Study, StudyConfig};
+
+    #[test]
+    fn floorplan_is_generation_dominated() {
+        let out = Study::new(StudyConfig::smoke()).run_all();
+        let plan = super::render_floorplan(&out.table9[0]);
+        let d = plan.matches('D').count();
+        let q = plan.matches('Q').count();
+        let p = plan.matches('P').count();
+        assert!(q + p > d, "factories must dominate the floor plan");
+        assert!(d > 0 && q > 0 && p > 0);
+    }
+
+    #[test]
+    fn render_mentions_every_artifact() {
+        let out = Study::new(StudyConfig::smoke()).run_all();
+        let text = super::render(&out);
+        for needle in [
+            "Table 2", "Table 3", "Table 9", "Fig 4", "Fig 11", "Fig 15", "Fig 6",
+            "Tables 5-6", "Tables 7-8", "298", "403",
+        ] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+}

@@ -1,0 +1,455 @@
+//! The full-paper reproduction study: one call regenerates every table
+//! and figure as serializable data.
+
+use qods_arch::machine::Arch;
+use qods_arch::sweep::{area_sweep, log_areas, speedup_summary};
+use qods_arch::table9::table9_row;
+use qods_circuit::characterize::{characterize, demand_profile};
+use qods_circuit::circuit::Circuit;
+use qods_circuit::latency_model::CharacterizationModel;
+use qods_circuit::throughput::throughput_sweep;
+use qods_factory::pi8::Pi8Factory;
+use qods_factory::simple::SimpleFactory;
+use qods_factory::zero::ZeroFactory;
+use qods_kernels::{qcla_lowered, qft_lowered, qrca_lowered, SynthAdapter};
+use qods_phys::error_model::ErrorModel;
+use qods_phys::latency::LatencyTable;
+use qods_steane::eval::evaluate_all;
+use qods_synth::cascade::analyze_cascade;
+use serde::Serialize;
+
+/// Knobs for the study. Defaults run the paper's full configuration at
+/// a Monte-Carlo size suitable for minutes-scale runs; tests shrink
+/// `n_bits` and `mc_trials`.
+#[derive(Debug, Clone, Serialize)]
+pub struct StudyConfig {
+    /// Benchmark operand width (paper: 32).
+    pub n_bits: usize,
+    /// Monte-Carlo trials per preparation circuit (Fig 4).
+    pub mc_trials: u64,
+    /// Monte-Carlo noise scale (1.0 = the paper's error rates).
+    pub noise_scale: f64,
+    /// Threads for Monte-Carlo runs.
+    pub threads: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Synthesis budget: maximum T-count for pi/2^k sequences.
+    pub synth_max_t: u32,
+    /// Synthesis early-stop distance.
+    pub synth_target: f64,
+    /// Fig 15 sweep: number of area points.
+    pub sweep_points: usize,
+    /// Fig 15 sweep range (macroblocks).
+    pub sweep_area_range: (f64, f64),
+    /// Fig 7/8 sample counts.
+    pub profile_samples: usize,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        StudyConfig {
+            n_bits: 32,
+            mc_trials: 200_000,
+            noise_scale: 1.0,
+            threads: 8,
+            seed: 20080621, // ISCA '08
+            synth_max_t: 12,
+            synth_target: 1e-2,
+            sweep_points: 13,
+            sweep_area_range: (200.0, 3e6),
+            profile_samples: 256,
+        }
+    }
+}
+
+impl StudyConfig {
+    /// A configuration small enough for CI tests (seconds).
+    pub fn smoke() -> Self {
+        StudyConfig {
+            n_bits: 8,
+            mc_trials: 4_000,
+            noise_scale: 10.0,
+            threads: 2,
+            synth_max_t: 8,
+            sweep_points: 7,
+            profile_samples: 64,
+            ..StudyConfig::default()
+        }
+    }
+}
+
+/// Fig 4 result row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig4Row {
+    /// Strategy label.
+    pub strategy: String,
+    /// Measured uncorrectable-residual rate.
+    pub uncorrectable_rate: f64,
+    /// Measured any-residual rate.
+    pub dirty_rate: f64,
+    /// Measured verification discard rate.
+    pub discard_rate: f64,
+    /// The paper's reported number.
+    pub paper_rate: f64,
+}
+
+/// Table 2 result row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Useful data-op latency (us) and share of total.
+    pub data_op_us: f64,
+    /// QEC interaction latency (us).
+    pub qec_interact_us: f64,
+    /// Ancilla preparation latency (us).
+    pub ancilla_prep_us: f64,
+    /// Shares of the total (fractions).
+    pub shares: (f64, f64, f64),
+}
+
+/// Table 3 result row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table3Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Encoded zeros per ms for QEC.
+    pub zero_per_ms: f64,
+    /// Encoded pi/8 ancillae per ms.
+    pub pi8_per_ms: f64,
+}
+
+/// Factory summary (Tables 5-8, Fig 11).
+#[derive(Debug, Clone, Serialize)]
+pub struct FactorySummary {
+    /// Simple factory: latency (us), area, throughput/ms (Fig 11).
+    pub simple: (f64, u32, f64),
+    /// Zero factory: functional area, crossbar area, total, throughput.
+    pub zero: (u32, u32, u32, f64),
+    /// pi/8 factory: functional area, crossbar area, total, throughput.
+    pub pi8: (u32, u32, u32, f64),
+    /// Zero factory unit counts (Table 6).
+    pub zero_counts: Vec<(String, u32)>,
+    /// pi/8 factory unit counts (Table 8).
+    pub pi8_counts: Vec<(String, u32)>,
+}
+
+/// Table 9 serializable row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table9Out {
+    /// Benchmark name.
+    pub name: String,
+    /// Encoded-zero bandwidth (per ms).
+    pub zero_bandwidth: f64,
+    /// Data area and share.
+    pub data: (f64, f64),
+    /// QEC factory area and share.
+    pub qec: (f64, f64),
+    /// pi/8 chain area and share.
+    pub pi8: (f64, f64),
+}
+
+/// A figure series of (x, y) points.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// Series label.
+    pub label: String,
+    /// Points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Fig 15 panel: one benchmark, one curve per architecture.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig15Panel {
+    /// Benchmark name.
+    pub name: String,
+    /// One curve per architecture.
+    pub curves: Vec<Series>,
+    /// Headline numbers for this panel.
+    pub max_speedup: f64,
+    /// QLA knee-area penalty relative to Fully-Multiplexed.
+    pub qla_area_penalty: f64,
+    /// CQLA plateau / FM plateau.
+    pub cqla_plateau_ratio: f64,
+}
+
+/// Everything the paper reports, in one struct.
+#[derive(Debug, Clone, Serialize)]
+pub struct PaperReproduction {
+    /// The configuration that produced this run.
+    pub config: StudyConfig,
+    /// Fig 4 rows.
+    pub fig4: Vec<Fig4Row>,
+    /// Table 2 rows.
+    pub table2: Vec<Table2Row>,
+    /// Table 3 rows.
+    pub table3: Vec<Table3Row>,
+    /// Non-transversal gate fractions (§3.3).
+    pub non_transversal: Vec<(String, f64)>,
+    /// Tables 5-8 and Fig 11 summary.
+    pub factories: FactorySummary,
+    /// Table 9 rows.
+    pub table9: Vec<Table9Out>,
+    /// Fig 7 series (one per benchmark).
+    pub fig7: Vec<Series>,
+    /// Fig 8 series (one per benchmark).
+    pub fig8: Vec<Series>,
+    /// Fig 15 panels (one per benchmark).
+    pub fig15: Vec<Fig15Panel>,
+    /// Fig 6 / §4.4.2 cascade expected CX counts by k.
+    pub cascade: Vec<(u8, f64)>,
+}
+
+/// The study driver.
+#[derive(Debug, Clone, Default)]
+pub struct Study {
+    /// Configuration.
+    pub config: StudyConfig,
+}
+
+impl Study {
+    /// A study with the paper's configuration.
+    pub fn new(config: StudyConfig) -> Self {
+        Study { config }
+    }
+
+    /// Builds the three lowered benchmark circuits.
+    pub fn benchmarks(&self) -> Vec<Circuit> {
+        let synth = SynthAdapter::with_budget(self.config.synth_max_t, self.config.synth_target);
+        vec![
+            qrca_lowered(self.config.n_bits),
+            qcla_lowered(self.config.n_bits),
+            qft_lowered(self.config.n_bits, &synth),
+        ]
+    }
+
+    /// Runs the Fig 4 Monte-Carlo panel.
+    pub fn run_fig4(&self) -> Vec<Fig4Row> {
+        let model = ErrorModel::paper().scaled(self.config.noise_scale);
+        evaluate_all(model, self.config.mc_trials, self.config.seed, self.config.threads)
+            .into_iter()
+            .map(|e| Fig4Row {
+                strategy: e.strategy.name().to_string(),
+                uncorrectable_rate: e.error_rate(),
+                dirty_rate: e.dirty_rate(),
+                discard_rate: e.discard_rate(),
+                paper_rate: e.strategy.paper_error_rate(),
+            })
+            .collect()
+    }
+
+    /// Runs Tables 2-3 and the §3.3 fractions.
+    pub fn run_characterization(
+        &self,
+        benchmarks: &[Circuit],
+    ) -> (Vec<Table2Row>, Vec<Table3Row>, Vec<(String, f64)>) {
+        let mut t2 = Vec::new();
+        let mut t3 = Vec::new();
+        let mut nt = Vec::new();
+        for c in benchmarks {
+            let r = characterize(c);
+            t2.push(Table2Row {
+                name: r.name.clone(),
+                data_op_us: r.breakdown.data_op_us,
+                qec_interact_us: r.breakdown.qec_interact_us,
+                ancilla_prep_us: r.breakdown.ancilla_prep_us,
+                shares: (
+                    r.breakdown.data_op_share(),
+                    r.breakdown.qec_interact_share(),
+                    r.breakdown.ancilla_prep_share(),
+                ),
+            });
+            t3.push(Table3Row {
+                name: r.name.clone(),
+                zero_per_ms: r.bandwidth.zero_per_ms,
+                pi8_per_ms: r.bandwidth.pi8_per_ms,
+            });
+            nt.push((r.name.clone(), r.non_transversal_fraction));
+        }
+        (t2, t3, nt)
+    }
+
+    /// Computes the factory summary (Tables 5-8, Fig 11).
+    pub fn run_factories(&self) -> FactorySummary {
+        let simple = SimpleFactory::paper();
+        let zero = ZeroFactory::paper().bandwidth_matched();
+        let pi8 = Pi8Factory::paper().bandwidth_matched();
+        FactorySummary {
+            simple: (
+                simple.prep_latency_us(),
+                simple.area(),
+                simple.throughput_per_ms(),
+            ),
+            zero: (
+                zero.functional_area(),
+                zero.crossbar_area(),
+                zero.total_area(),
+                zero.throughput_per_ms,
+            ),
+            pi8: (
+                pi8.functional_area(),
+                pi8.crossbar_area(),
+                pi8.total_area(),
+                pi8.throughput_per_ms,
+            ),
+            zero_counts: zero
+                .stages
+                .iter()
+                .map(|s| (s.unit.name.to_string(), s.count))
+                .collect(),
+            pi8_counts: pi8
+                .stages
+                .iter()
+                .map(|s| (s.unit.name.to_string(), s.count))
+                .collect(),
+        }
+    }
+
+    /// Runs Table 9 from measured bandwidths.
+    pub fn run_table9(&self, benchmarks: &[Circuit]) -> Vec<Table9Out> {
+        benchmarks
+            .iter()
+            .map(|c| {
+                let row = table9_row(&characterize(c));
+                Table9Out {
+                    name: row.name.clone(),
+                    zero_bandwidth: row.zero_bandwidth,
+                    data: (row.data_area, row.data_share()),
+                    qec: (row.qec_factory_area, row.qec_share()),
+                    pi8: (row.pi8_factory_area, row.pi8_share()),
+                }
+            })
+            .collect()
+    }
+
+    /// Runs the Fig 7 demand profiles.
+    pub fn run_fig7(&self, benchmarks: &[Circuit]) -> Vec<Series> {
+        let model = CharacterizationModel::ion_trap();
+        benchmarks
+            .iter()
+            .map(|c| Series {
+                label: c.name.clone(),
+                points: demand_profile(c, &model, self.config.profile_samples)
+                    .into_iter()
+                    .map(|p| (p.t_us, p.zeros_in_flight))
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Runs the Fig 8 throughput sweeps.
+    pub fn run_fig8(&self, benchmarks: &[Circuit]) -> Vec<Series> {
+        let model = CharacterizationModel::ion_trap();
+        benchmarks
+            .iter()
+            .map(|c| {
+                let avg = characterize(c).bandwidth.zero_per_ms.max(1.0);
+                Series {
+                    label: c.name.clone(),
+                    points: throughput_sweep(c, &model, avg / 30.0, avg * 30.0, 25)
+                        .into_iter()
+                        .map(|p| (p.zeros_per_ms, p.execution_us))
+                        .collect(),
+                }
+            })
+            .collect()
+    }
+
+    /// Runs the Fig 15 architecture sweeps.
+    pub fn run_fig15(&self, benchmarks: &[Circuit]) -> Vec<Fig15Panel> {
+        let (lo, hi) = self.config.sweep_area_range;
+        let areas = log_areas(lo, hi, self.config.sweep_points);
+        benchmarks
+            .iter()
+            .map(|c| {
+                let archs = [
+                    Arch::FullyMultiplexed,
+                    Arch::Qla,
+                    Arch::default_cqla(c.n_qubits()),
+                    Arch::default_qalypso(),
+                ];
+                let curves = area_sweep(c, &archs, &areas);
+                let s = speedup_summary(c, &areas);
+                Fig15Panel {
+                    name: c.name.clone(),
+                    curves: curves
+                        .into_iter()
+                        .map(|cv| Series {
+                            label: cv.arch.to_string(),
+                            points: cv.points.iter().map(|p| (p.area, p.exec_us)).collect(),
+                        })
+                        .collect(),
+                    max_speedup: s.max_speedup,
+                    qla_area_penalty: s.qla_area_penalty,
+                    cqla_plateau_ratio: s.cqla_plateau_us / s.fm_plateau_us,
+                }
+            })
+            .collect()
+    }
+
+    /// Runs everything.
+    pub fn run_all(&self) -> PaperReproduction {
+        let benchmarks = self.benchmarks();
+        let fig4 = self.run_fig4();
+        let (table2, table3, non_transversal) = self.run_characterization(&benchmarks);
+        let factories = self.run_factories();
+        let table9 = self.run_table9(&benchmarks);
+        let fig7 = self.run_fig7(&benchmarks);
+        let fig8 = self.run_fig8(&benchmarks);
+        let fig15 = self.run_fig15(&benchmarks);
+        let cascade = (3..=12u8)
+            .map(|k| (k, analyze_cascade(k).expected_cx))
+            .collect();
+        PaperReproduction {
+            config: self.config.clone(),
+            fig4,
+            table2,
+            table3,
+            non_transversal,
+            factories,
+            table9,
+            fig7,
+            fig8,
+            fig15,
+            cascade,
+        }
+    }
+
+    /// The ion-trap latency model in use (Tables 1 and 4).
+    pub fn latency_table(&self) -> LatencyTable {
+        LatencyTable::ion_trap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_study_runs_end_to_end() {
+        let study = Study::new(StudyConfig::smoke());
+        let out = study.run_all();
+        assert_eq!(out.fig4.len(), 4);
+        assert_eq!(out.table2.len(), 3);
+        assert_eq!(out.table3.len(), 3);
+        assert_eq!(out.table9.len(), 3);
+        assert_eq!(out.fig15.len(), 3);
+        assert_eq!(out.factories.zero.2, 298);
+        assert_eq!(out.factories.pi8.2, 403);
+        // Serializes cleanly.
+        let json = serde_json::to_string(&out).expect("serialize");
+        assert!(json.contains("QRCA"));
+    }
+
+    #[test]
+    fn benchmarks_have_expected_qubit_counts() {
+        let study = Study::new(StudyConfig {
+            n_bits: 32,
+            ..StudyConfig::smoke()
+        });
+        let b = study.benchmarks();
+        assert_eq!(b[0].n_qubits(), 97);
+        assert_eq!(b[1].n_qubits(), 123);
+        assert_eq!(b[2].n_qubits(), 32);
+    }
+}

@@ -1,0 +1,45 @@
+//! # qods-factory — ancilla factories (§4.3-§4.4)
+//!
+//! Ancilla factories consume stateless physical qubits and produce a
+//! steady stream of encoded ancillae. This crate models:
+//!
+//! * the **simple factory** (Fig 11): one verify-and-correct prepare
+//!   per 323 us in 90 macroblocks (3.1 encoded zeros / ms);
+//! * the **fully pipelined encoded-zero factory** (Figs 12-13,
+//!   Tables 5-6): five functional unit types, bandwidth-matched unit
+//!   counts {24, 1, 1, 3, 2}, 168 macroblocks of crossbar + 130 of
+//!   functional units = 298 total, 10.5 encoded zeros / ms;
+//! * the **pi/8 factory** (Tables 7-8): four stages, counts
+//!   {4, 1, 4, 2}, 403 macroblocks, 18.3 encoded pi/8 ancillae / ms
+//!   (fed by zero factories, accounted in [`supply`]);
+//! * concrete macroblock layouts for these factories
+//!   ([`layout_gen`]), cross-checked against the published areas.
+//!
+//! Every number above is *computed* from the functional-unit
+//! definitions and the bandwidth-matching solver, then asserted
+//! against the paper's values in tests.
+//!
+//! # Example
+//!
+//! ```
+//! use qods_factory::zero::ZeroFactory;
+//!
+//! let sized = ZeroFactory::paper().bandwidth_matched();
+//! assert_eq!(sized.total_area(), 298);
+//! assert!((sized.throughput_per_ms - 10.5).abs() < 0.05);
+//! ```
+
+pub mod layout_gen;
+pub mod pi8;
+pub mod pipeline;
+pub mod simple;
+pub mod supply;
+pub mod unit;
+pub mod zero;
+
+pub use pi8::Pi8Factory;
+pub use pipeline::SizedFactory;
+pub use simple::SimpleFactory;
+pub use supply::FactoryFarm;
+pub use unit::FunctionalUnit;
+pub use zero::ZeroFactory;

@@ -1,0 +1,222 @@
+//! The encoded pi/8 ancilla factory (§4.4.2, Tables 7-8).
+//!
+//! Turns encoded zeros (supplied by zero factories) into encoded pi/8
+//! ancillae via the Fig 5b gadget, in four pipeline stages. Only half
+//! the qubits consumed by the transversal stage come from the cat-prep
+//! stage; the other half are the encoded-zero feed.
+
+use crate::pipeline::{units_to_cover, CrossbarColumns, SizedFactory, SizedStage};
+use crate::unit::FunctionalUnit;
+use qods_phys::latency::{LatencyTable, SymbolicLatency};
+
+/// The pi/8 factory specification.
+#[derive(Debug, Clone)]
+pub struct Pi8Factory {
+    latency: LatencyTable,
+}
+
+impl Pi8Factory {
+    /// The paper's configuration.
+    pub fn paper() -> Self {
+        Pi8Factory {
+            latency: LatencyTable::ion_trap(),
+        }
+    }
+
+    /// A configuration with custom physical latencies.
+    pub fn with_latencies(latency: LatencyTable) -> Self {
+        Pi8Factory { latency }
+    }
+
+    /// Table 7 row: 7-qubit cat state preparation.
+    pub fn cat_prep_unit() -> FunctionalUnit {
+        FunctionalUnit {
+            name: "Cat State Prepare",
+            latency: SymbolicLatency::new().two_q(7).turn(14).mov(8),
+            stages: 1,
+            qubits_in: 7,
+            qubits_out: 7,
+            success: 1.0,
+            area: 12,
+            height: 6,
+        }
+    }
+
+    /// Table 7 row: the transversal CX/CS/CZ/pi-8 stage (14 qubits per
+    /// initiation: the cat plus the encoded zero).
+    pub fn transversal_unit() -> FunctionalUnit {
+        FunctionalUnit {
+            name: "Transversal CX/CS/CZ/pi8",
+            latency: SymbolicLatency::new().two_q(3).turn(2).mov(3),
+            stages: 1,
+            qubits_in: 14,
+            qubits_out: 14,
+            success: 1.0,
+            area: 7,
+            height: 7,
+        }
+    }
+
+    /// Table 7 row: decode (plus store); 14 qubits in, 8 out (the
+    /// encoded block plus the decoded readout qubit).
+    pub fn decode_unit() -> FunctionalUnit {
+        FunctionalUnit {
+            name: "Decode (plus Store)",
+            latency: SymbolicLatency::new().two_q(7).turn(14).mov(8),
+            stages: 1,
+            qubits_in: 14,
+            qubits_out: 8,
+            success: 1.0,
+            area: 19,
+            height: 13,
+        }
+    }
+
+    /// Table 7 row: H / measure / conditional transversal Z.
+    pub fn readout_unit() -> FunctionalUnit {
+        FunctionalUnit {
+            name: "H/M/Transversal Z",
+            latency: SymbolicLatency::new().meas(1).one_q(2).turn(2).mov(2),
+            stages: 1,
+            qubits_in: 8,
+            qubits_out: 7,
+            success: 1.0,
+            area: 8,
+            height: 8,
+        }
+    }
+
+    /// All four Table 7 stages, in pipeline order.
+    pub fn units() -> Vec<FunctionalUnit> {
+        vec![
+            Self::cat_prep_unit(),
+            Self::transversal_unit(),
+            Self::decode_unit(),
+            Self::readout_unit(),
+        ]
+    }
+
+    /// Sizes the factory (Table 8): one transversal unit; as many
+    /// cat-prep units as can feed its cat half without overshooting;
+    /// downstream stages matched to the realized flow.
+    pub fn bandwidth_matched(&self) -> SizedFactory {
+        let t = &self.latency;
+        let cat = Self::cat_prep_unit();
+        let trans = Self::transversal_unit();
+        let decode = Self::decode_unit();
+        let readout = Self::readout_unit();
+
+        let trans_count = 1u32;
+        // Only half of the transversal stage's input comes from cat
+        // prep (the other half is the encoded-zero feed): saturate from
+        // below so the crossbar never congests.
+        let cat_capacity = f64::from(trans_count) * trans.bw_in_per_ms(t) / 2.0;
+        let cat_count = (cat_capacity / cat.bw_out_per_ms(t)).floor().max(1.0) as u32;
+        let realized_flow = 2.0 * f64::from(cat_count) * cat.bw_out_per_ms(t);
+        let decode_count = units_to_cover(realized_flow, &decode, t);
+        let decode_out = f64::from(decode_count) * decode.bw_out_per_ms(t);
+        let readout_count = units_to_cover(decode_out, &readout, t);
+
+        // Each 7-qubit cat state yields one pi/8 ancilla; cat prep is
+        // the bottleneck.
+        let throughput = f64::from(cat_count) * cat.bw_out_per_ms(t) / 7.0;
+
+        SizedFactory {
+            name: "pi/8 ancilla factory",
+            stages: vec![
+                SizedStage { unit: cat, count: cat_count },
+                SizedStage { unit: trans, count: trans_count },
+                SizedStage { unit: decode, count: decode_count },
+                SizedStage { unit: readout, count: readout_count },
+            ],
+            stage_groups: vec![vec![0], vec![1], vec![2], vec![3]],
+            crossbars: vec![
+                CrossbarColumns::Double,
+                CrossbarColumns::Double,
+                CrossbarColumns::Double,
+            ],
+            throughput_per_ms: throughput,
+        }
+    }
+
+    /// Encoded zeros consumed per emitted pi/8 ancilla (the gadget
+    /// input; §5.1 sizes supply factories with this).
+    pub fn zeros_per_ancilla() -> f64 {
+        1.0
+    }
+}
+
+impl Default for Pi8Factory {
+    fn default() -> Self {
+        Pi8Factory::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table7_latencies_and_bandwidths() {
+        let t = LatencyTable::ion_trap();
+        let rows: Vec<(FunctionalUnit, f64, f64, f64)> = vec![
+            (Pi8Factory::cat_prep_unit(), 218.0, 32.1, 32.1),
+            (Pi8Factory::transversal_unit(), 53.0, 264.2, 264.2),
+            (Pi8Factory::decode_unit(), 218.0, 64.2, 36.7),
+            (Pi8Factory::readout_unit(), 74.0, 108.1, 94.6),
+        ];
+        for (u, lat, bin, bout) in rows {
+            assert_eq!(u.latency_us(&t), lat, "{} latency", u.name);
+            assert!(
+                (u.bw_in_per_ms(&t) - bin).abs() < 0.15,
+                "{} bw_in {}",
+                u.name,
+                u.bw_in_per_ms(&t)
+            );
+            assert!(
+                (u.bw_out_per_ms(&t) - bout).abs() < 0.15,
+                "{} bw_out {}",
+                u.name,
+                u.bw_out_per_ms(&t)
+            );
+        }
+    }
+
+    #[test]
+    fn table8_unit_counts_heights_areas() {
+        let f = Pi8Factory::paper().bandwidth_matched();
+        let rows: Vec<(&str, u32, u32, u32)> = f
+            .stages
+            .iter()
+            .map(|s| (s.unit.name, s.count, s.total_height(), s.total_area()))
+            .collect();
+        assert_eq!(
+            rows,
+            vec![
+                ("Cat State Prepare", 4, 24, 48),
+                ("Transversal CX/CS/CZ/pi8", 1, 7, 7),
+                ("Decode (plus Store)", 4, 52, 76),
+                ("H/M/Transversal Z", 2, 16, 16),
+            ]
+        );
+    }
+
+    #[test]
+    fn total_area_is_403() {
+        let f = Pi8Factory::paper().bandwidth_matched();
+        // §4.4.2: crossbars 2x24 + 2x52 + 2x52 = 256; functional 147.
+        assert_eq!(f.crossbar_area(), 256);
+        assert_eq!(f.functional_area(), 147);
+        assert_eq!(f.total_area(), 403);
+    }
+
+    #[test]
+    fn throughput_is_18_3_per_ms() {
+        let f = Pi8Factory::paper().bandwidth_matched();
+        assert!(
+            (f.throughput_per_ms - 18.3).abs() < 0.1,
+            "throughput {}",
+            f.throughput_per_ms
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! The simple (non-pipelined) ancilla factory of Fig 11 (§4.3).
+//!
+//! Three rows of gate locations — one per encoded block of the
+//! verify-and-correct circuit — with communication rows between them.
+//! Each row holds ten physical qubits (seven to encode plus three for
+//! verification). One hand-optimized preparation takes
+//!
+//! ```text
+//! t_prep + 2 t_meas + 6 t_2q + 2 t_1q + 8 t_turn + 30 t_move = 323 us
+//! ```
+//!
+//! in 90 macroblocks, for 3.1 encoded ancillae per millisecond.
+
+use qods_phys::latency::{LatencyTable, SymbolicLatency};
+
+/// The Fig 11 simple factory.
+#[derive(Debug, Clone)]
+pub struct SimpleFactory {
+    latency: LatencyTable,
+}
+
+impl SimpleFactory {
+    /// The paper's configuration.
+    pub fn paper() -> Self {
+        SimpleFactory {
+            latency: LatencyTable::ion_trap(),
+        }
+    }
+
+    /// A configuration with custom physical latencies.
+    pub fn with_latencies(latency: LatencyTable) -> Self {
+        SimpleFactory { latency }
+    }
+
+    /// The hand-optimized schedule's symbolic latency (§4.3).
+    pub fn prep_latency_symbolic() -> SymbolicLatency {
+        SymbolicLatency::new()
+            .prep(1)
+            .meas(2)
+            .two_q(6)
+            .one_q(2)
+            .turn(8)
+            .mov(30)
+    }
+
+    /// Single-preparation latency in microseconds (323 in ion trap).
+    pub fn prep_latency_us(&self) -> f64 {
+        Self::prep_latency_symbolic().eval(&self.latency)
+    }
+
+    /// Throughput in encoded ancillae per millisecond (one ancilla in
+    /// flight at a time).
+    pub fn throughput_per_ms(&self) -> f64 {
+        1000.0 / self.prep_latency_us()
+    }
+
+    /// Area in macroblocks (from the generated layout; 90).
+    pub fn area(&self) -> u32 {
+        crate::layout_gen::simple_factory_layout().area() as u32
+    }
+
+    /// Encoded-ancilla bandwidth per macroblock.
+    pub fn throughput_per_area(&self) -> f64 {
+        self.throughput_per_ms() / f64::from(self.area())
+    }
+}
+
+impl Default for SimpleFactory {
+    fn default() -> Self {
+        SimpleFactory::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig11_numbers() {
+        let f = SimpleFactory::paper();
+        assert_eq!(f.prep_latency_us(), 323.0);
+        assert_eq!(f.area(), 90);
+        // §4.3: "total latency of 323 us with a throughput of 3.1
+        // encoded ancillae per millisecond".
+        assert!((f.throughput_per_ms() - 3.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn faster_prep_raises_throughput() {
+        let mut t = LatencyTable::ion_trap();
+        t.t_prep = 1.0;
+        let f = SimpleFactory::with_latencies(t);
+        assert!(f.throughput_per_ms() > 3.1);
+    }
+}

@@ -1,0 +1,156 @@
+//! Factory farms: sizing factory area for a requested ancilla
+//! bandwidth, including the zero-factory supply chains feeding pi/8
+//! factories (§5.1, Table 9).
+
+use crate::pi8::Pi8Factory;
+use crate::simple::SimpleFactory;
+use crate::zero::ZeroFactory;
+
+/// Which factory design produces the encoded zeros.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZeroFactoryKind {
+    /// Fig 11's 90-macroblock serial design (3.1 anc/ms).
+    Simple,
+    /// §4.4.1's 298-macroblock pipelined design (10.5 anc/ms).
+    Pipelined,
+}
+
+/// A farm of factories meeting a bandwidth demand.
+#[derive(Debug, Clone, Copy)]
+pub struct FactoryFarm {
+    /// Encoded-zero bandwidth for QEC (per ms).
+    pub zero_bandwidth: f64,
+    /// Encoded pi/8 bandwidth (per ms).
+    pub pi8_bandwidth: f64,
+    /// Area of zero factories serving QEC directly.
+    pub qec_factory_area: f64,
+    /// Area of pi/8 encoders plus their supplying zero factories.
+    pub pi8_factory_area: f64,
+}
+
+impl FactoryFarm {
+    /// Sizes a farm for the requested bandwidths. Areas are fractional
+    /// (factories can be shared between demands), exactly as Table 9
+    /// reports them.
+    pub fn size_for(
+        zero_bandwidth: f64,
+        pi8_bandwidth: f64,
+        kind: ZeroFactoryKind,
+    ) -> FactoryFarm {
+        assert!(zero_bandwidth >= 0.0 && pi8_bandwidth >= 0.0, "bandwidths must be non-negative");
+        let (zero_rate, zero_area) = match kind {
+            ZeroFactoryKind::Simple => {
+                let f = SimpleFactory::paper();
+                (f.throughput_per_ms(), f64::from(f.area()))
+            }
+            ZeroFactoryKind::Pipelined => {
+                let f = ZeroFactory::paper().bandwidth_matched();
+                (f.throughput_per_ms, f64::from(f.total_area()))
+            }
+        };
+        let pi8 = Pi8Factory::paper().bandwidth_matched();
+        let pi8_rate = pi8.throughput_per_ms;
+        let pi8_area = f64::from(pi8.total_area());
+
+        let qec_factory_area = zero_bandwidth / zero_rate * zero_area;
+        // pi/8 encoders plus the zero factories feeding them.
+        let encoder_area = pi8_bandwidth / pi8_rate * pi8_area;
+        let feed_zero_bw = pi8_bandwidth * Pi8Factory::zeros_per_ancilla();
+        let feed_area = feed_zero_bw / zero_rate * zero_area;
+
+        FactoryFarm {
+            zero_bandwidth,
+            pi8_bandwidth,
+            qec_factory_area,
+            pi8_factory_area: encoder_area + feed_area,
+        }
+    }
+
+    /// Total factory area (both kinds).
+    pub fn total_factory_area(&self) -> f64 {
+        self.qec_factory_area + self.pi8_factory_area
+    }
+
+    /// Inverse sizing: the zero bandwidth a given area can sustain
+    /// when split between QEC zeros and a matched pi/8 chain with the
+    /// given pi8:zero demand ratio.
+    pub fn bandwidth_for_area(
+        total_area: f64,
+        pi8_to_zero_ratio: f64,
+        kind: ZeroFactoryKind,
+    ) -> FactoryFarm {
+        assert!(total_area >= 0.0, "area must be non-negative");
+        // Solve zero_bw from: area(zero_bw) + area_pi8(ratio*zero_bw)
+        // = total. All areas are linear in bandwidth, so one probe
+        // suffices.
+        let probe = FactoryFarm::size_for(1.0, pi8_to_zero_ratio, kind);
+        let area_per_unit_bw = probe.total_factory_area();
+        let zero_bw = if area_per_unit_bw > 0.0 {
+            total_area / area_per_unit_bw
+        } else {
+            0.0
+        };
+        FactoryFarm::size_for(zero_bw, pi8_to_zero_ratio * zero_bw, kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 9's factory-area columns, from the paper's Table 3
+    /// bandwidths. The paper rounds intermediate values; we accept 1%.
+    #[test]
+    fn table9_factory_areas_from_paper_bandwidths() {
+        let rows = [
+            // (zero bw, pi8 bw, qec area, pi8 area)
+            (34.8, 7.0, 986.9, 354.7),
+            (306.1, 62.7, 8682.2, 3154.4),
+            (36.8, 8.6, 1043.5, 433.7),
+        ];
+        for (zbw, pbw, qec, pi8) in rows {
+            let farm = FactoryFarm::size_for(zbw, pbw, ZeroFactoryKind::Pipelined);
+            let qec_err = (farm.qec_factory_area - qec).abs() / qec;
+            let pi8_err = (farm.pi8_factory_area - pi8).abs() / pi8;
+            assert!(
+                qec_err < 0.01,
+                "QEC area {} vs paper {qec}",
+                farm.qec_factory_area
+            );
+            assert!(
+                pi8_err < 0.015,
+                "pi/8 area {} vs paper {pi8}",
+                farm.pi8_factory_area
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_sizing_roundtrips() {
+        let farm = FactoryFarm::size_for(50.0, 10.0, ZeroFactoryKind::Pipelined);
+        let back = FactoryFarm::bandwidth_for_area(
+            farm.total_factory_area(),
+            10.0 / 50.0,
+            ZeroFactoryKind::Pipelined,
+        );
+        assert!((back.zero_bandwidth - 50.0).abs() < 1e-9);
+        assert!((back.pi8_bandwidth - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simple_factories_need_more_area_for_same_bandwidth() {
+        let pipe = FactoryFarm::size_for(34.8, 7.0, ZeroFactoryKind::Pipelined);
+        let simple = FactoryFarm::size_for(34.8, 7.0, ZeroFactoryKind::Simple);
+        // §5.3: bandwidth per area is nearly equal, so the two should
+        // be close (within ~10%), with the simple design slightly
+        // ahead on pure density.
+        let ratio = simple.qec_factory_area / pipe.qec_factory_area;
+        assert!((0.85..1.15).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn zero_demand_needs_zero_area() {
+        let farm = FactoryFarm::size_for(0.0, 0.0, ZeroFactoryKind::Pipelined);
+        assert_eq!(farm.total_factory_area(), 0.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Functional-unit descriptors (the rows of Tables 5 and 7).
+
+use qods_phys::latency::{LatencyTable, SymbolicLatency};
+
+/// One pipelined functional unit: its latency, internal pipelining,
+/// per-initiation qubit flow, and footprint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionalUnit {
+    /// Display name (matches the paper's table rows).
+    pub name: &'static str,
+    /// Symbolic latency (Table 5/7, column 2).
+    pub latency: SymbolicLatency,
+    /// Internal pipeline stages: a new initiation can begin every
+    /// `latency / stages`.
+    pub stages: u32,
+    /// Physical qubits consumed per initiation.
+    pub qubits_in: u32,
+    /// Physical qubits emitted per initiation (before any success
+    /// derating).
+    pub qubits_out: u32,
+    /// Fraction of initiations whose outputs survive (verification
+    /// success; 1.0 for most units).
+    pub success: f64,
+    /// Area in macroblocks.
+    pub area: u32,
+    /// Height in macroblocks (for crossbar sizing).
+    pub height: u32,
+}
+
+impl FunctionalUnit {
+    /// Latency in microseconds.
+    pub fn latency_us(&self, t: &LatencyTable) -> f64 {
+        self.latency.eval(t)
+    }
+
+    /// Initiation interval in microseconds.
+    pub fn initiation_interval_us(&self, t: &LatencyTable) -> f64 {
+        self.latency_us(t) / f64::from(self.stages)
+    }
+
+    /// Input bandwidth (qubits/ms) of one unit.
+    pub fn bw_in_per_ms(&self, t: &LatencyTable) -> f64 {
+        f64::from(self.qubits_in) / self.initiation_interval_us(t) * 1000.0
+    }
+
+    /// Output bandwidth (qubits/ms) of one unit, after success
+    /// derating.
+    pub fn bw_out_per_ms(&self, t: &LatencyTable) -> f64 {
+        f64::from(self.qubits_out) * self.success / self.initiation_interval_us(t) * 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> FunctionalUnit {
+        FunctionalUnit {
+            name: "CX Stage",
+            latency: SymbolicLatency::new().two_q(3).turn(6).mov(5),
+            stages: 3,
+            qubits_in: 7,
+            qubits_out: 7,
+            success: 1.0,
+            area: 28,
+            height: 4,
+        }
+    }
+
+    #[test]
+    fn cx_stage_matches_table5() {
+        let t = LatencyTable::ion_trap();
+        let u = unit();
+        assert_eq!(u.latency_us(&t), 95.0);
+        assert!((u.bw_in_per_ms(&t) - 221.05).abs() < 0.1);
+        assert!((u.bw_out_per_ms(&t) - 221.05).abs() < 0.1);
+    }
+
+    #[test]
+    fn success_derates_output_only() {
+        let t = LatencyTable::ion_trap();
+        let mut u = unit();
+        u.success = 0.5;
+        assert!((u.bw_in_per_ms(&t) - 221.05).abs() < 0.1);
+        assert!((u.bw_out_per_ms(&t) - 110.53).abs() < 0.1);
+    }
+}

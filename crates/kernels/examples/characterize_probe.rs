@@ -1,0 +1,28 @@
+//! Prints Table 2/3-shaped characterization for the three kernels.
+use qods_circuit::characterize::characterize;
+use qods_kernels::{qcla_lowered, qft_lowered, qrca_lowered, SynthAdapter};
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let synth = SynthAdapter::with_budget(12, 1e-2);
+    let circuits = vec![
+        qrca_lowered(32),
+        qcla_lowered(32),
+        qft_lowered(32, &synth),
+    ];
+    println!("built in {:?}", t0.elapsed());
+    for c in &circuits {
+        let r = characterize(c);
+        println!(
+            "{:<10} q={:<4} gates={:<6} T%={:.1} | T2: {:.0} ({:.1}%) {:.0} ({:.1}%) {:.0} ({:.1}%) | T3: zero={:.1}/ms pi8={:.1}/ms runtime={:.1}ms",
+            r.name, r.n_qubits, r.gate_count, 100.0 * r.non_transversal_fraction,
+            r.breakdown.data_op_us, 100.0 * r.breakdown.data_op_share(),
+            r.breakdown.qec_interact_us, 100.0 * r.breakdown.qec_interact_share(),
+            r.breakdown.ancilla_prep_us, 100.0 * r.breakdown.ancilla_prep_share(),
+            r.bandwidth.zero_per_ms, r.bandwidth.pi8_per_ms, r.bandwidth.runtime_ms
+        );
+    }
+    println!("paper T2 rows: QRCA 29508(5.2)/95641(16.7)/447726(78.2); QCLA 3827(5.3)/11921(16.7)/55806(78.0); QFT 77057(5.0)/365792(23.7)/1097376(71.2)");
+    println!("paper T3 rows: QRCA 34.8/7.0; QCLA 306.1/62.7; QFT 36.8/8.6");
+}

@@ -1,0 +1,123 @@
+//! Controlled ripple-carry addition — the composite kernel inside
+//! Shor-style modular exponentiation (§3.1 motivates the adder
+//! kernels as exactly this building block).
+//!
+//! `b += a` fires only when the control qubit is set. Built from the
+//! VBE structure with the SUM blocks controlled (CX -> Toffoli); the
+//! CARRY chain runs unconditionally and uncomputes itself, so only the
+//! sum writes need the control — the standard trick that keeps the
+//! controlled adder at roughly 1.5x the plain adder's Toffoli count.
+//!
+//! Register layout:
+//!
+//! ```text
+//! ctrl: 0                control
+//! a:    [1, n+1)         first input (preserved)
+//! b:    [n+1, 2n+1)      second input; b += a when ctrl = 1
+//! c:    [2n+1, 3n+2)     carry ancillae (restored; c[n] stays clear
+//!                        because the carry-out write is controlled)
+//! ```
+
+use qods_circuit::circuit::{Circuit, NoSynth};
+
+/// Builds the n-bit controlled adder (kernel IR with Toffolis).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn controlled_adder(n: usize) -> Circuit {
+    assert!(n > 0, "adder width must be positive");
+    let mut circ = Circuit::named(3 * n + 2, format!("CtrlAdd-{n}"));
+    let ctrl = 0usize;
+    let a = |i: usize| 1 + i;
+    let b = |i: usize| 1 + n + i;
+    let c = |i: usize| 1 + 2 * n + i;
+
+    // Forward carry chain (unconditional, self-inverse overall).
+    for i in 0..n {
+        circ.toffoli(a(i), b(i), c(i + 1));
+        circ.cx(a(i), b(i));
+        circ.toffoli(c(i), b(i), c(i + 1));
+    }
+    // Controlled carry-out write: c[n] -> result high bit only under
+    // control. We copy it to b-space via the control... the carry-out
+    // has no home in b, so expose it through c[n] conditionally:
+    // uncompute c[n] unless ctrl (double-Toffoli trick). Simplest
+    // correct form: leave the carry chain value, write the controlled
+    // sums, then uncompute the chain.
+    for i in (0..n).rev() {
+        // Uncompute the carry into c[i+1].
+        circ.toffoli(c(i), b(i), c(i + 1));
+        circ.cx(a(i), b(i));
+        circ.toffoli(a(i), b(i), c(i + 1));
+        // Controlled SUM: b_i ^= ctrl & (a_i ^ c_i).
+        circ.toffoli(ctrl, a(i), b(i));
+        circ.toffoli(ctrl, c(i), b(i));
+        // Recompute carries below so deeper bits see them... not
+        // needed: we sweep from the top bit down, and position i only
+        // needs c(i), which is still intact (we uncompute c(i+1),
+        // never c(i), before using it).
+    }
+    circ
+}
+
+/// The controlled adder lowered to the physical gate set.
+pub fn controlled_adder_lowered(n: usize) -> Circuit {
+    controlled_adder(n).lower(&NoSynth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qods_circuit::sim::permutation;
+
+    fn apply(n: usize, ctrl: bool, a: u64, b: u64) -> (u64, u64, u64, bool) {
+        let circ = controlled_adder(n);
+        let input: u128 =
+            (u128::from(ctrl)) | (u128::from(a) << 1) | (u128::from(b) << (1 + n));
+        let out = permutation::apply(&circ, input);
+        let mask = (1u128 << n) - 1;
+        let a_out = (out >> 1) & mask;
+        let b_out = (out >> (1 + n)) & mask;
+        let c_out = (out >> (1 + 2 * n)) & ((1 << (n + 1)) - 1);
+        (a_out as u64, b_out as u64, c_out as u64, out & 1 == 1)
+    }
+
+    #[test]
+    fn adds_only_under_control() {
+        for n in 1..=4 {
+            for a in 0..(1u64 << n) {
+                for b in 0..(1u64 << n) {
+                    // Control off: identity on b.
+                    let (ao, bo, co, ct) = apply(n, false, a, b);
+                    assert_eq!((ao, bo), (a, b), "n={n} {a}+{b} ctrl=0");
+                    assert_eq!(co, 0, "carries must restore");
+                    assert!(!ct);
+                    // Control on: modular sum into b.
+                    let (ao, bo, co, ct) = apply(n, true, a, b);
+                    assert_eq!(ao, a, "a preserved");
+                    assert_eq!(bo, (a + b) & ((1 << n) - 1), "n={n} {a}+{b} ctrl=1");
+                    assert_eq!(co, 0, "carries must restore");
+                    assert!(ct, "control preserved");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn toffoli_overhead_is_modest() {
+        use qods_circuit::gate::Gate;
+        let n = 32;
+        let plain = crate::qrca(n).count_where(|g| matches!(g, Gate::Toffoli(..)));
+        let ctrl = controlled_adder(n).count_where(|g| matches!(g, Gate::Toffoli(..)));
+        // ~1.5x the plain adder's Toffoli count.
+        assert!((ctrl as f64) / (plain as f64) < 1.8, "{ctrl} vs {plain}");
+    }
+
+    #[test]
+    fn lowered_is_physical_and_t_heavy() {
+        let c = controlled_adder_lowered(16);
+        assert!(c.gates().iter().all(|g| g.is_physical()));
+        assert!(c.non_transversal_fraction() > 0.35);
+    }
+}

@@ -1,0 +1,125 @@
+//! The n-bit Quantum Ripple-Carry Adder (VBE construction).
+//!
+//! Register layout (qubit indices):
+//!
+//! ```text
+//! a:  [0, n)        first input (preserved)
+//! b:  [n, 2n)       second input; becomes the low n sum bits
+//! c:  [2n, 3n+1)    carry ancillae; c[n] becomes the carry-out,
+//!                   c[0..n] are restored to zero
+//! ```
+//!
+//! 3n+1 qubits total — the "two n-bit data inputs plus n+1 ancillae"
+//! of §3: 97 encoded qubits at n = 32, which is exactly the paper's
+//! Table 9 data area of 679 = 7 x 97 macroblocks.
+
+use qods_circuit::circuit::{Circuit, NoSynth};
+
+/// CARRY(c, a, b, c_next): the VBE majority/carry block.
+fn carry(circ: &mut Circuit, c: usize, a: usize, b: usize, c_next: usize) {
+    circ.toffoli(a, b, c_next);
+    circ.cx(a, b);
+    circ.toffoli(c, b, c_next);
+}
+
+/// Inverse CARRY.
+fn carry_dg(circ: &mut Circuit, c: usize, a: usize, b: usize, c_next: usize) {
+    circ.toffoli(c, b, c_next);
+    circ.cx(a, b);
+    circ.toffoli(a, b, c_next);
+}
+
+/// SUM(c, a, b): b ^= a ^ c.
+fn sum(circ: &mut Circuit, c: usize, a: usize, b: usize) {
+    circ.cx(a, b);
+    circ.cx(c, b);
+}
+
+/// Builds the n-bit ripple-carry adder (kernel IR with Toffolis).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn qrca(n: usize) -> Circuit {
+    assert!(n > 0, "adder width must be positive");
+    let mut circ = Circuit::named(3 * n + 1, format!("QRCA-{n}"));
+    let a = |i: usize| i;
+    let b = |i: usize| n + i;
+    let c = |i: usize| 2 * n + i;
+
+    for i in 0..n {
+        carry(&mut circ, c(i), a(i), b(i), c(i + 1));
+    }
+    circ.cx(a(n - 1), b(n - 1));
+    sum(&mut circ, c(n - 1), a(n - 1), b(n - 1));
+    for i in (0..n - 1).rev() {
+        carry_dg(&mut circ, c(i), a(i), b(i), c(i + 1));
+        sum(&mut circ, c(i), a(i), b(i));
+    }
+    circ
+}
+
+/// The adder lowered to the physical Clifford+T set.
+pub fn qrca_lowered(n: usize) -> Circuit {
+    qrca(n).lower(&NoSynth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify_adder;
+    use qods_circuit::gate::Gate;
+
+    #[test]
+    fn qubit_budget_matches_paper() {
+        assert_eq!(qrca(32).n_qubits(), 97);
+    }
+
+    #[test]
+    fn adds_exhaustively_small() {
+        for n in 1..=4 {
+            let circ = qrca(n);
+            for a in 0..(1u64 << n) {
+                for b in 0..(1u64 << n) {
+                    verify_adder(&circ, n, a, b).expect("exhaustive add");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adds_sampled_wide() {
+        let circ = qrca(16);
+        for (a, b) in [
+            (0u64, 0u64),
+            (65535, 65535),
+            (12345, 54321),
+            (1, 65535),
+            (32768, 32768),
+        ] {
+            verify_adder(&circ, 16, a, b).expect("sampled add");
+        }
+    }
+
+    #[test]
+    fn toffoli_and_cx_counts() {
+        let n = 32;
+        let circ = qrca(n);
+        let toffolis = circ.count_where(|g| matches!(g, Gate::Toffoli(..)));
+        let cxs = circ.count_where(|g| matches!(g, Gate::Cx(..)));
+        assert_eq!(toffolis, 4 * n - 2);
+        assert_eq!(cxs, 4 * n);
+    }
+
+    #[test]
+    fn lowered_t_fraction_near_paper() {
+        // Paper §3.3: 40.5% of QRCA gates are non-transversal.
+        let f = qrca_lowered(32).non_transversal_fraction();
+        assert!((0.35..0.50).contains(&f), "T fraction {f}");
+    }
+
+    #[test]
+    fn lowered_is_physical() {
+        assert!(qrca_lowered(8).gates().iter().all(|g| g.is_physical()));
+    }
+}

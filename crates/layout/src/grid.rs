@@ -1,0 +1,166 @@
+//! Rectangular macroblock layouts.
+
+use crate::macroblock::{Dir, Macroblock};
+
+/// A rectangular grid of optional macroblocks.
+///
+/// # Example
+///
+/// ```
+/// use qods_layout::grid::Grid;
+/// use qods_layout::macroblock::{Macroblock, MacroblockKind};
+///
+/// let mut g = Grid::new(2, 1);
+/// g.place(0, 0, Macroblock::new(MacroblockKind::StraightChannelGate));
+/// g.place(1, 0, Macroblock::new(MacroblockKind::StraightChannel));
+/// assert_eq!(g.area(), 2);
+/// assert!(g.validate().is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Grid {
+    rows: usize,
+    cols: usize,
+    cells: Vec<Option<Macroblock>>,
+}
+
+impl Grid {
+    /// An empty grid of the given dimensions.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Grid {
+            rows,
+            cols,
+            cells: vec![None; rows * cols],
+        }
+    }
+
+    /// Grid height in macroblocks.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Grid width in macroblocks.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Places a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds or the cell is occupied.
+    pub fn place(&mut self, row: usize, col: usize, block: Macroblock) {
+        assert!(row < self.rows && col < self.cols, "({row},{col}) out of bounds");
+        let cell = &mut self.cells[row * self.cols + col];
+        assert!(cell.is_none(), "cell ({row},{col}) already occupied");
+        *cell = Some(block);
+    }
+
+    /// The block at a position (if any).
+    pub fn at(&self, row: usize, col: usize) -> Option<&Macroblock> {
+        if row < self.rows && col < self.cols {
+            self.cells[row * self.cols + col].as_ref()
+        } else {
+            None
+        }
+    }
+
+    /// Number of placed macroblocks — the paper's area measure.
+    pub fn area(&self) -> usize {
+        self.cells.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Positions of all gate locations.
+    pub fn gate_locations(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if let Some(b) = self.at(r, c) {
+                    if b.has_gate_location() {
+                        out.push((r, c));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Neighbor position in a direction (bounds-checked).
+    pub fn neighbor(&self, row: usize, col: usize, d: Dir) -> Option<(usize, usize)> {
+        let (dr, dc) = d.delta();
+        let nr = row as isize + dr;
+        let nc = col as isize + dc;
+        if nr >= 0 && nc >= 0 && (nr as usize) < self.rows && (nc as usize) < self.cols {
+            Some((nr as usize, nc as usize))
+        } else {
+            None
+        }
+    }
+
+    /// Checks that every open port faces either the grid edge (an
+    /// external port) or an open port of the adjacent block.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first mismatched `(row, col, dir)`.
+    pub fn validate(&self) -> Result<(), (usize, usize, Dir)> {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let Some(b) = self.at(r, c) else { continue };
+                for d in b.ports() {
+                    if let Some((nr, nc)) = self.neighbor(r, c, d) {
+                        if let Some(nb) = self.at(nr, nc) {
+                            if !nb.has_port(d.opposite()) {
+                                return Err((r, c, d));
+                            }
+                        }
+                        // Facing an empty cell is allowed: the channel
+                        // simply terminates (external port).
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::macroblock::MacroblockKind;
+
+    #[test]
+    fn area_counts_placed_blocks() {
+        let mut g = Grid::new(3, 3);
+        g.place(0, 0, Macroblock::new(MacroblockKind::StraightChannel));
+        g.place(2, 2, Macroblock::new(MacroblockKind::FourWayIntersection));
+        assert_eq!(g.area(), 2);
+    }
+
+    #[test]
+    fn validate_catches_port_mismatch() {
+        let mut g = Grid::new(2, 1);
+        // Vertical channel above a turn whose ports face south+east:
+        // the channel's south port hits the turn's closed north side.
+        g.place(0, 0, Macroblock::new(MacroblockKind::StraightChannel));
+        g.place(1, 0, Macroblock::new(MacroblockKind::Turn));
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn validate_accepts_matched_ports() {
+        let mut g = Grid::new(3, 1);
+        g.place(0, 0, Macroblock::new(MacroblockKind::StraightChannel));
+        g.place(1, 0, Macroblock::new(MacroblockKind::StraightChannelGate));
+        g.place(2, 0, Macroblock::new(MacroblockKind::StraightChannel));
+        assert!(g.validate().is_ok());
+        assert_eq!(g.gate_locations(), vec![(1, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already occupied")]
+    fn double_placement_panics() {
+        let mut g = Grid::new(1, 1);
+        g.place(0, 0, Macroblock::new(MacroblockKind::StraightChannel));
+        g.place(0, 0, Macroblock::new(MacroblockKind::StraightChannel));
+    }
+}

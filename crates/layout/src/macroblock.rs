@@ -1,0 +1,178 @@
+//! The macroblock kinds of Fig 9.
+
+/// Cardinal directions; ports and headings use these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dir {
+    /// Up (decreasing row).
+    North,
+    /// Right (increasing column).
+    East,
+    /// Down (increasing row).
+    South,
+    /// Left (decreasing column).
+    West,
+}
+
+impl Dir {
+    /// All four directions.
+    pub const ALL: [Dir; 4] = [Dir::North, Dir::East, Dir::South, Dir::West];
+
+    /// The opposite direction.
+    pub fn opposite(self) -> Dir {
+        match self {
+            Dir::North => Dir::South,
+            Dir::East => Dir::West,
+            Dir::South => Dir::North,
+            Dir::West => Dir::East,
+        }
+    }
+
+    /// Row/column delta of a step in this direction.
+    pub fn delta(self) -> (isize, isize) {
+        match self {
+            Dir::North => (-1, 0),
+            Dir::East => (0, 1),
+            Dir::South => (1, 0),
+            Dir::West => (0, -1),
+        }
+    }
+
+    /// Rotation by 90 degrees clockwise, `q` times.
+    pub fn rotated(self, q: u8) -> Dir {
+        let order = [Dir::North, Dir::East, Dir::South, Dir::West];
+        let i = order.iter().position(|&d| d == self).expect("cardinal");
+        order[(i + q as usize) % 4]
+    }
+}
+
+/// Orientation of a macroblock: the number of clockwise quarter-turns
+/// applied to its canonical form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Orientation(pub u8);
+
+/// The abstract building blocks of Fig 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MacroblockKind {
+    /// A straight movement channel (canonical: north-south).
+    StraightChannel,
+    /// A straight channel containing a gate location.
+    StraightChannelGate,
+    /// A dead end containing a gate location (canonical port: south).
+    DeadEndGate,
+    /// A 90-degree turn (canonical: south-to-east).
+    Turn,
+    /// A three-way intersection (canonical: all but north).
+    ThreeWayIntersection,
+    /// A four-way intersection.
+    FourWayIntersection,
+}
+
+impl MacroblockKind {
+    /// Ports of the canonical (unrotated) form.
+    fn canonical_ports(self) -> Vec<Dir> {
+        match self {
+            MacroblockKind::StraightChannel | MacroblockKind::StraightChannelGate => {
+                vec![Dir::North, Dir::South]
+            }
+            MacroblockKind::DeadEndGate => vec![Dir::South],
+            MacroblockKind::Turn => vec![Dir::South, Dir::East],
+            MacroblockKind::ThreeWayIntersection => vec![Dir::East, Dir::South, Dir::West],
+            MacroblockKind::FourWayIntersection => Dir::ALL.to_vec(),
+        }
+    }
+
+    /// Whether the block contains a gate location. Gate locations may
+    /// not occur in intersections (Fig 9 caption).
+    pub fn has_gate_location(self) -> bool {
+        matches!(
+            self,
+            MacroblockKind::StraightChannelGate | MacroblockKind::DeadEndGate
+        )
+    }
+}
+
+/// A placed macroblock: a kind plus an orientation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Macroblock {
+    /// Which Fig 9 block this is.
+    pub kind: MacroblockKind,
+    /// Clockwise quarter-turns from the canonical form.
+    pub orientation: Orientation,
+}
+
+impl Macroblock {
+    /// A block in canonical orientation.
+    pub fn new(kind: MacroblockKind) -> Self {
+        Macroblock {
+            kind,
+            orientation: Orientation(0),
+        }
+    }
+
+    /// A rotated block.
+    pub fn rotated(kind: MacroblockKind, quarter_turns: u8) -> Self {
+        Macroblock {
+            kind,
+            orientation: Orientation(quarter_turns % 4),
+        }
+    }
+
+    /// The open ports after rotation.
+    pub fn ports(&self) -> Vec<Dir> {
+        self.kind
+            .canonical_ports()
+            .into_iter()
+            .map(|d| d.rotated(self.orientation.0))
+            .collect()
+    }
+
+    /// True when a port opens in direction `d`.
+    pub fn has_port(&self, d: Dir) -> bool {
+        self.ports().contains(&d)
+    }
+
+    /// Whether the block contains a gate location.
+    pub fn has_gate_location(&self) -> bool {
+        self.kind.has_gate_location()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotation_cycles_ports() {
+        let t = Macroblock::rotated(MacroblockKind::Turn, 1);
+        // south-east turned clockwise once: west-south.
+        assert!(t.has_port(Dir::West));
+        assert!(t.has_port(Dir::South));
+        assert!(!t.has_port(Dir::North));
+    }
+
+    #[test]
+    fn gate_locations_only_in_channel_blocks() {
+        assert!(MacroblockKind::StraightChannelGate.has_gate_location());
+        assert!(MacroblockKind::DeadEndGate.has_gate_location());
+        assert!(!MacroblockKind::FourWayIntersection.has_gate_location());
+        assert!(!MacroblockKind::Turn.has_gate_location());
+    }
+
+    #[test]
+    fn four_way_is_rotation_invariant() {
+        for q in 0..4 {
+            let b = Macroblock::rotated(MacroblockKind::FourWayIntersection, q);
+            assert_eq!(b.ports().len(), 4);
+        }
+    }
+
+    #[test]
+    fn opposite_and_delta_are_consistent() {
+        for d in Dir::ALL {
+            let (dr, dc) = d.delta();
+            let (or, oc) = d.opposite().delta();
+            assert_eq!((dr + or, dc + oc), (0, 0));
+            assert_eq!(d.rotated(4), d);
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Movement routing over a macroblock grid.
+//!
+//! Ion movement has two primitives (Table 4): a straight move across
+//! one macroblock (`t_move` = 1 us) and a turn (`t_turn` = 10 us,
+//! an order of magnitude slower — the reason factory layouts minimize
+//! corners). The router runs Dijkstra over `(position, heading)`
+//! states and reports the move/turn counts of the cheapest path.
+
+use crate::grid::Grid;
+use crate::macroblock::Dir;
+use qods_phys::latency::{LatencyTable, SymbolicLatency};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// The movement cost of a route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MovementPlan {
+    /// Straight macroblock crossings.
+    pub moves: u32,
+    /// Heading changes.
+    pub turns: u32,
+}
+
+impl MovementPlan {
+    /// The plan as a symbolic latency.
+    pub fn symbolic(&self) -> SymbolicLatency {
+        SymbolicLatency::new().mov(self.moves).turn(self.turns)
+    }
+
+    /// Latency in microseconds under a latency table.
+    pub fn latency_us(&self, t: &LatencyTable) -> f64 {
+        self.symbolic().eval(t)
+    }
+}
+
+#[derive(PartialEq)]
+struct Node {
+    cost: f64,
+    pos: (usize, usize),
+    heading: Option<Dir>,
+    moves: u32,
+    turns: u32,
+}
+
+impl Eq for Node {}
+
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap by cost.
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .expect("finite costs")
+    }
+}
+
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Finds the cheapest movement plan from `from` to `to` through open
+/// ports, or `None` when unreachable. The initial heading is free (the
+/// ion starts parked); every subsequent heading change is a turn.
+pub fn route(grid: &Grid, from: (usize, usize), to: (usize, usize), t: &LatencyTable) -> Option<MovementPlan> {
+    if grid.at(from.0, from.1).is_none() || grid.at(to.0, to.1).is_none() {
+        return None;
+    }
+    if from == to {
+        return Some(MovementPlan { moves: 0, turns: 0 });
+    }
+    let idx = |p: (usize, usize), h: usize| (p.0 * grid.cols() + p.1) * 5 + h;
+    let hidx = |h: Option<Dir>| match h {
+        None => 4usize,
+        Some(d) => Dir::ALL.iter().position(|&x| x == d).expect("cardinal"),
+    };
+    let mut best = vec![f64::INFINITY; grid.rows() * grid.cols() * 5];
+    let mut heap = BinaryHeap::new();
+    heap.push(Node {
+        cost: 0.0,
+        pos: from,
+        heading: None,
+        moves: 0,
+        turns: 0,
+    });
+    best[idx(from, 4)] = 0.0;
+    while let Some(n) = heap.pop() {
+        if n.pos == to {
+            return Some(MovementPlan {
+                moves: n.moves,
+                turns: n.turns,
+            });
+        }
+        if n.cost > best[idx(n.pos, hidx(n.heading))] {
+            continue;
+        }
+        let here = grid.at(n.pos.0, n.pos.1).expect("on grid");
+        for d in here.ports() {
+            let Some(np) = grid.neighbor(n.pos.0, n.pos.1, d) else {
+                continue;
+            };
+            let Some(nb) = grid.at(np.0, np.1) else {
+                continue;
+            };
+            if !nb.has_port(d.opposite()) {
+                continue;
+            }
+            let turning = matches!(n.heading, Some(h) if h != d);
+            let cost = n.cost + t.t_move + if turning { t.t_turn } else { 0.0 };
+            let key = idx(np, hidx(Some(d)));
+            if cost < best[key] {
+                best[key] = cost;
+                heap.push(Node {
+                    cost,
+                    pos: np,
+                    heading: Some(d),
+                    moves: n.moves + 1,
+                    turns: n.turns + u32::from(turning),
+                });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::macroblock::{Macroblock, MacroblockKind};
+
+    fn straight_line(n: usize) -> Grid {
+        let mut g = Grid::new(n, 1);
+        for r in 0..n {
+            g.place(r, 0, Macroblock::new(MacroblockKind::StraightChannel));
+        }
+        g
+    }
+
+    #[test]
+    fn straight_route_has_no_turns() {
+        let g = straight_line(6);
+        let t = LatencyTable::ion_trap();
+        let p = route(&g, (0, 0), (5, 0), &t).expect("reachable");
+        assert_eq!(p.moves, 5);
+        assert_eq!(p.turns, 0);
+        assert_eq!(p.latency_us(&t), 5.0);
+    }
+
+    #[test]
+    fn l_shaped_route_counts_one_turn() {
+        // Vertical channel, a turn block, then horizontal channel.
+        let mut g = Grid::new(3, 3);
+        g.place(0, 0, Macroblock::new(MacroblockKind::StraightChannel));
+        g.place(1, 0, Macroblock::new(MacroblockKind::StraightChannel));
+        // Turn: canonical south+east; we need north+east = rotate so
+        // ports are north and east: canonical (S,E) rotated twice is
+        // (N,W); rotated three times is (E,N)... enumerate to find it.
+        let mut placed = false;
+        for q in 0..4 {
+            let b = Macroblock::rotated(MacroblockKind::Turn, q);
+            if b.has_port(crate::macroblock::Dir::North)
+                && b.has_port(crate::macroblock::Dir::East)
+            {
+                g.place(2, 0, b);
+                placed = true;
+                break;
+            }
+        }
+        assert!(placed);
+        for c in 1..3 {
+            g.place(
+                2,
+                c,
+                Macroblock::rotated(MacroblockKind::StraightChannel, 1),
+            );
+        }
+        assert!(g.validate().is_ok());
+        let t = LatencyTable::ion_trap();
+        let p = route(&g, (0, 0), (2, 2), &t).expect("reachable");
+        assert_eq!(p.moves, 4);
+        assert_eq!(p.turns, 1);
+        assert_eq!(p.latency_us(&t), 14.0);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut g = Grid::new(3, 1);
+        g.place(0, 0, Macroblock::new(MacroblockKind::StraightChannel));
+        g.place(2, 0, Macroblock::new(MacroblockKind::StraightChannel));
+        // gap at row 1
+        let t = LatencyTable::ion_trap();
+        assert!(route(&g, (0, 0), (2, 0), &t).is_none());
+    }
+
+    #[test]
+    fn self_route_is_free() {
+        let g = straight_line(2);
+        let t = LatencyTable::ion_trap();
+        let p = route(&g, (1, 0), (1, 0), &t).expect("self");
+        assert_eq!((p.moves, p.turns), (0, 0));
+    }
+
+    #[test]
+    fn router_prefers_fewer_turns_when_costlier() {
+        // A 3x3 all-four-way grid: multiple shortest paths exist; the
+        // L-path has 1 turn; any staircase has 3. Dijkstra must pick 1.
+        let mut g = Grid::new(3, 3);
+        for r in 0..3 {
+            for c in 0..3 {
+                g.place(r, c, Macroblock::new(MacroblockKind::FourWayIntersection));
+            }
+        }
+        let t = LatencyTable::ion_trap();
+        let p = route(&g, (0, 0), (2, 2), &t).expect("reachable");
+        assert_eq!(p.moves, 4);
+        assert_eq!(p.turns, 1);
+    }
+}

@@ -1,0 +1,93 @@
+//! Per-operation independent error probabilities.
+//!
+//! §2.2 of the paper: "We assume an independent error probability for
+//! each gate and movement operation. The gate error rate is 1e-4 and the
+//! error per movement op is 1e-6." Gates here include measurement and
+//! preparation; turns are movement.
+
+use crate::ops::PhysOpKind;
+
+/// Error probabilities per physical operation.
+///
+/// # Example
+///
+/// ```
+/// use qods_phys::error_model::ErrorModel;
+/// use qods_phys::ops::PhysOpKind;
+///
+/// let m = ErrorModel::paper();
+/// assert_eq!(m.p_of(PhysOpKind::TwoQubitGate), 1e-4);
+/// assert_eq!(m.p_of(PhysOpKind::StraightMove), 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorModel {
+    /// Probability of a fault at any gate-type op (1q, 2q, measure, prep).
+    pub p_gate: f64,
+    /// Probability of a fault at any movement op (straight move, turn).
+    pub p_move: f64,
+}
+
+impl ErrorModel {
+    /// The paper's values: gate 1e-4, movement 1e-6.
+    pub fn paper() -> Self {
+        ErrorModel {
+            p_gate: 1e-4,
+            p_move: 1e-6,
+        }
+    }
+
+    /// A noiseless model, for functional testing of circuits.
+    pub fn noiseless() -> Self {
+        ErrorModel {
+            p_gate: 0.0,
+            p_move: 0.0,
+        }
+    }
+
+    /// A uniformly scaled copy (for threshold-style sweeps).
+    pub fn scaled(&self, factor: f64) -> Self {
+        ErrorModel {
+            p_gate: self.p_gate * factor,
+            p_move: self.p_move * factor,
+        }
+    }
+
+    /// Fault probability for an op kind.
+    pub fn p_of(&self, kind: PhysOpKind) -> f64 {
+        match kind {
+            PhysOpKind::OneQubitGate
+            | PhysOpKind::TwoQubitGate
+            | PhysOpKind::Measurement
+            | PhysOpKind::ZeroPrepare => self.p_gate,
+            PhysOpKind::StraightMove | PhysOpKind::Turn => self.p_move,
+        }
+    }
+}
+
+impl Default for ErrorModel {
+    /// Defaults to the paper's error rates.
+    fn default() -> Self {
+        ErrorModel::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_rates() {
+        let m = ErrorModel::paper();
+        assert_eq!(m.p_of(PhysOpKind::OneQubitGate), 1e-4);
+        assert_eq!(m.p_of(PhysOpKind::Measurement), 1e-4);
+        assert_eq!(m.p_of(PhysOpKind::ZeroPrepare), 1e-4);
+        assert_eq!(m.p_of(PhysOpKind::Turn), 1e-6);
+    }
+
+    #[test]
+    fn scaling() {
+        let m = ErrorModel::paper().scaled(10.0);
+        assert!((m.p_gate - 1e-3).abs() < 1e-15);
+        assert!((m.p_move - 1e-5).abs() < 1e-15);
+    }
+}

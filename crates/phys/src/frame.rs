@@ -1,0 +1,379 @@
+//! Pauli-frame Monte-Carlo simulation of physical circuits.
+//!
+//! The simulator tracks, for every physical qubit, the X and Z
+//! components of the accumulated Pauli *error* relative to the ideal
+//! circuit execution. Faults are injected stochastically per operation
+//! (§2.2 of the paper) and propagated through Clifford conjugation; in
+//! particular two-qubit gates propagate bit and phase flips between
+//! qubits, the effect the paper calls out explicitly.
+//!
+//! Measurements report whether the accumulated error *flips* the ideal
+//! outcome. Callers (the Steane-code circuits in `qods-steane`) combine
+//! these flips into syndromes; the ideal-state contribution of any
+//! stabilizer measurement is zero by construction, so error bits are all
+//! that is needed.
+//!
+//! ## Non-Clifford gates
+//!
+//! `T` is not Clifford, so an X-component error does not map to a Pauli
+//! under conjugation. We apply the standard stochastic twirl: an X or Y
+//! error propagates through `T` unchanged or picks up an extra Z with
+//! probability 1/2. This is exact for the twirled (Pauli) channel and
+//! accurate to first order in the error rate for the untwirled one.
+//! The same applies to controlled-S on its non-Clifford component.
+
+use crate::error_model::ErrorModel;
+use crate::ops::{Basis, Gate1, Gate2, PhysOp};
+use crate::pauli::{Pauli, PauliString};
+use rand::Rng;
+
+/// Pauli-frame state of a register of physical qubits.
+///
+/// # Example
+///
+/// ```
+/// use qods_phys::frame::PauliFrame;
+/// use qods_phys::error_model::ErrorModel;
+/// use qods_phys::ops::PhysOp;
+/// use qods_phys::pauli::Pauli;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut f = PauliFrame::new(2, ErrorModel::noiseless());
+/// f.inject(0, Pauli::X);
+/// f.apply(&PhysOp::cx(0, 1), &mut rng);
+/// // CX propagates the bit flip from control to target.
+/// assert_eq!(f.error_at(1), Pauli::X);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PauliFrame {
+    x: Vec<bool>,
+    z: Vec<bool>,
+    model: ErrorModel,
+    faults_injected: u64,
+}
+
+impl PauliFrame {
+    /// A clean frame over `n` qubits with the given error model.
+    pub fn new(n: usize, model: ErrorModel) -> Self {
+        PauliFrame {
+            x: vec![false; n],
+            z: vec![false; n],
+            model,
+            faults_injected: 0,
+        }
+    }
+
+    /// Number of qubits tracked.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True when tracking zero qubits.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Number of stochastic faults injected so far (diagnostics).
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected
+    }
+
+    /// The current error on qubit `q`.
+    pub fn error_at(&self, q: usize) -> Pauli {
+        Pauli::from_bits(self.x[q], self.z[q])
+    }
+
+    /// Deterministically multiplies an error into qubit `q` (used by
+    /// tests and by deliberate fault-injection experiments).
+    pub fn inject(&mut self, q: usize, p: Pauli) {
+        let (px, pz) = p.bits();
+        self.x[q] ^= px;
+        self.z[q] ^= pz;
+    }
+
+    /// Extracts the error pattern restricted to `qubits`, as a
+    /// [`PauliString`] indexed in the order given.
+    pub fn extract(&self, qubits: &[usize]) -> PauliString {
+        let mut s = PauliString::identity(qubits.len());
+        for (i, &q) in qubits.iter().enumerate() {
+            s.mul_assign_at(i, self.error_at(q));
+        }
+        s
+    }
+
+    /// Applies one physical operation: ideal Clifford conjugation of the
+    /// existing frame, then stochastic fault injection per the error
+    /// model. Returns `Some(flip)` for measurements, where `flip` is
+    /// true when the recorded outcome differs from the ideal one.
+    pub fn apply<R: Rng + ?Sized>(&mut self, op: &PhysOp, rng: &mut R) -> Option<bool> {
+        // 1. Ideal conjugation of the accumulated error through the op.
+        match *op {
+            PhysOp::Gate1(g, q) => self.conjugate_gate1(g, q, rng),
+            PhysOp::Gate2(g, a, b) => self.conjugate_gate2(g, a, b, rng),
+            PhysOp::CondPauli(p, q) => {
+                // In the ideal (fault-free) execution every syndrome is
+                // zero and no correction fires, so an applied correction
+                // is a deliberate deviation from the ideal circuit: it
+                // multiplies into the frame, cancelling tracked errors.
+                self.inject(q, p);
+            }
+            PhysOp::Prep(q) => {
+                // Fresh |0>: prior errors are erased.
+                self.x[q] = false;
+                self.z[q] = false;
+            }
+            PhysOp::Measure(..) | PhysOp::Move(_) | PhysOp::TurnOp(_) => {}
+        }
+
+        // 2. Fault injection + measurement readout.
+        match *op {
+            PhysOp::Measure(basis, q) => {
+                let mut flip = match basis {
+                    Basis::Z => self.x[q],
+                    Basis::X => self.z[q],
+                };
+                if rng.gen_bool(self.model.p_gate) {
+                    // Faulty measurement misreports the outcome.
+                    flip = !flip;
+                    self.faults_injected += 1;
+                }
+                // The ion is consumed / re-prepared after measurement;
+                // clear its frame so recycled qubits start clean.
+                self.x[q] = false;
+                self.z[q] = false;
+                Some(flip)
+            }
+            PhysOp::Prep(q) => {
+                if rng.gen_bool(self.model.p_gate) {
+                    // A faulty |0> preparation yields the flipped state.
+                    self.x[q] = true;
+                    self.faults_injected += 1;
+                }
+                None
+            }
+            PhysOp::Gate1(_, q) | PhysOp::CondPauli(_, q) => {
+                if rng.gen_bool(self.model.p_gate) {
+                    self.inject_random_1q(q, rng);
+                }
+                None
+            }
+            PhysOp::Gate2(_, a, b) => {
+                if rng.gen_bool(self.model.p_gate) {
+                    self.inject_random_2q(a, b, rng);
+                }
+                None
+            }
+            PhysOp::Move(q) | PhysOp::TurnOp(q) => {
+                if rng.gen_bool(self.model.p_move) {
+                    self.inject_random_1q(q, rng);
+                }
+                None
+            }
+        }
+    }
+
+    /// Runs a straight-line circuit, returning measurement flips in
+    /// program order. Only valid for circuits without classical
+    /// feedback; feedback circuits drive [`PauliFrame::apply`] manually.
+    pub fn run<R: Rng + ?Sized>(&mut self, ops: &[PhysOp], rng: &mut R) -> Vec<bool> {
+        let mut flips = Vec::new();
+        for op in ops {
+            if let Some(f) = self.apply(op, rng) {
+                flips.push(f);
+            }
+        }
+        flips
+    }
+
+    fn conjugate_gate1<R: Rng + ?Sized>(&mut self, g: Gate1, q: usize, rng: &mut R) {
+        match g {
+            Gate1::I | Gate1::X | Gate1::Y | Gate1::Z => {}
+            Gate1::H => std::mem::swap(&mut self.x[q], &mut self.z[q]),
+            Gate1::S | Gate1::Sdg => self.z[q] ^= self.x[q],
+            Gate1::T | Gate1::Tdg => {
+                // Stochastic twirl of the non-Clifford conjugation:
+                // X -> (X ± Y)/sqrt(2) becomes X or Y with prob 1/2.
+                if self.x[q] && rng.gen_bool(0.5) {
+                    self.z[q] = !self.z[q];
+                }
+            }
+        }
+    }
+
+    fn conjugate_gate2<R: Rng + ?Sized>(&mut self, g: Gate2, a: usize, b: usize, rng: &mut R) {
+        match g {
+            Gate2::Cx => {
+                // X propagates control -> target, Z target -> control.
+                self.x[b] ^= self.x[a];
+                self.z[a] ^= self.z[b];
+            }
+            Gate2::Cz => {
+                // X on either qubit deposits Z on the other.
+                self.z[b] ^= self.x[a];
+                self.z[a] ^= self.x[b];
+            }
+            Gate2::Cs => {
+                // Clifford part acts like CZ on X errors; the residual
+                // non-Clifford part is twirled like T.
+                self.z[b] ^= self.x[a];
+                self.z[a] ^= self.x[b];
+                if self.x[a] && rng.gen_bool(0.5) {
+                    self.z[a] = !self.z[a];
+                }
+                if self.x[b] && rng.gen_bool(0.5) {
+                    self.z[b] = !self.z[b];
+                }
+            }
+        }
+    }
+
+    fn inject_random_1q<R: Rng + ?Sized>(&mut self, q: usize, rng: &mut R) {
+        let p = Pauli::NON_IDENTITY[rng.gen_range(0..3)];
+        self.inject(q, p);
+        self.faults_injected += 1;
+    }
+
+    fn inject_random_2q<R: Rng + ?Sized>(&mut self, a: usize, b: usize, rng: &mut R) {
+        // Uniform over the 15 non-identity two-qubit Paulis.
+        let k = rng.gen_range(1..16u8);
+        let pa = match k / 4 {
+            0 => Pauli::I,
+            1 => Pauli::X,
+            2 => Pauli::Y,
+            _ => Pauli::Z,
+        };
+        let pb = match k % 4 {
+            0 => Pauli::I,
+            1 => Pauli::X,
+            2 => Pauli::Y,
+            _ => Pauli::Z,
+        };
+        self.inject(a, pa);
+        self.inject(b, pb);
+        self.faults_injected += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(12345)
+    }
+
+    #[test]
+    fn cx_propagates_x_forward_and_z_backward() {
+        let mut r = rng();
+        let mut f = PauliFrame::new(2, ErrorModel::noiseless());
+        f.inject(0, Pauli::X);
+        f.inject(1, Pauli::Z);
+        f.apply(&PhysOp::cx(0, 1), &mut r);
+        assert_eq!(f.error_at(0), Pauli::Y); // X plus back-propagated Z
+        assert_eq!(f.error_at(1), Pauli::Y); // Z plus forward-propagated X
+    }
+
+    #[test]
+    fn h_exchanges_x_and_z() {
+        let mut r = rng();
+        let mut f = PauliFrame::new(1, ErrorModel::noiseless());
+        f.inject(0, Pauli::X);
+        f.apply(&PhysOp::h(0), &mut r);
+        assert_eq!(f.error_at(0), Pauli::Z);
+    }
+
+    #[test]
+    fn s_maps_x_to_y() {
+        let mut r = rng();
+        let mut f = PauliFrame::new(1, ErrorModel::noiseless());
+        f.inject(0, Pauli::X);
+        f.apply(&PhysOp::Gate1(Gate1::S, 0), &mut r);
+        assert_eq!(f.error_at(0), Pauli::Y);
+    }
+
+    #[test]
+    fn cz_deposits_z_across() {
+        let mut r = rng();
+        let mut f = PauliFrame::new(2, ErrorModel::noiseless());
+        f.inject(0, Pauli::X);
+        f.apply(&PhysOp::cz(0, 1), &mut r);
+        assert_eq!(f.error_at(0), Pauli::X);
+        assert_eq!(f.error_at(1), Pauli::Z);
+    }
+
+    #[test]
+    fn measurement_reports_error_flip_and_consumes() {
+        let mut r = rng();
+        let mut f = PauliFrame::new(1, ErrorModel::noiseless());
+        f.inject(0, Pauli::X);
+        let flip = f.apply(&PhysOp::measure_z(0), &mut r).unwrap();
+        assert!(flip);
+        assert_eq!(f.error_at(0), Pauli::I); // consumed
+        // Z error does not flip a Z-basis outcome.
+        f.inject(0, Pauli::Z);
+        let flip = f.apply(&PhysOp::measure_z(0), &mut r).unwrap();
+        assert!(!flip);
+    }
+
+    #[test]
+    fn x_basis_measurement_sees_z_errors() {
+        let mut r = rng();
+        let mut f = PauliFrame::new(1, ErrorModel::noiseless());
+        f.inject(0, Pauli::Z);
+        let flip = f.apply(&PhysOp::measure_x(0), &mut r).unwrap();
+        assert!(flip);
+    }
+
+    #[test]
+    fn prep_erases_history() {
+        let mut r = rng();
+        let mut f = PauliFrame::new(1, ErrorModel::noiseless());
+        f.inject(0, Pauli::Y);
+        f.apply(&PhysOp::Prep(0), &mut r);
+        assert_eq!(f.error_at(0), Pauli::I);
+    }
+
+    #[test]
+    fn noiseless_run_never_injects() {
+        let mut r = rng();
+        let mut f = PauliFrame::new(3, ErrorModel::noiseless());
+        let ops = vec![
+            PhysOp::Prep(0),
+            PhysOp::h(0),
+            PhysOp::cx(0, 1),
+            PhysOp::cx(1, 2),
+            PhysOp::measure_z(2),
+        ];
+        let flips = f.run(&ops, &mut r);
+        assert_eq!(flips, vec![false]);
+        assert_eq!(f.faults_injected(), 0);
+    }
+
+    #[test]
+    fn noisy_run_injects_at_expected_rate() {
+        // 10k two-qubit gates at p=0.01 should see ~100 faults.
+        let mut r = rng();
+        let model = ErrorModel {
+            p_gate: 0.01,
+            p_move: 0.0,
+        };
+        let mut f = PauliFrame::new(2, model);
+        for _ in 0..10_000 {
+            f.apply(&PhysOp::cx(0, 1), &mut r);
+        }
+        let n = f.faults_injected();
+        assert!((50..200).contains(&n), "fault count {n} out of range");
+    }
+
+    #[test]
+    fn extract_orders_by_request() {
+        let mut f = PauliFrame::new(4, ErrorModel::noiseless());
+        f.inject(2, Pauli::X);
+        f.inject(3, Pauli::Z);
+        let s = f.extract(&[3, 2]);
+        assert_eq!(s.to_string(), "ZX");
+    }
+}

@@ -1,0 +1,268 @@
+//! The ion-trap latency model (Tables 1 and 4 of the paper) and a
+//! symbolic-latency vector used to reproduce the symbolic columns of
+//! Tables 5 and 7.
+//!
+//! All latencies are in microseconds, matching the paper.
+
+use crate::ops::{PhysOp, PhysOpKind};
+use std::fmt;
+
+/// Latencies for each physical operation kind, in microseconds.
+///
+/// [`LatencyTable::ion_trap`] returns the paper's values:
+///
+/// | op | symbol | us |
+/// |----|--------|----|
+/// | one-qubit gate | `t_1q` | 1 |
+/// | two-qubit gate | `t_2q` | 10 |
+/// | measurement | `t_meas` | 50 |
+/// | zero prepare | `t_prep` | 51 |
+/// | straight move | `t_move` | 1 |
+/// | turn | `t_turn` | 10 |
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyTable {
+    /// One-qubit gate latency (`t_1q`).
+    pub t_1q: f64,
+    /// Two-qubit gate latency (`t_2q`).
+    pub t_2q: f64,
+    /// Measurement latency (`t_meas`).
+    pub t_meas: f64,
+    /// Physical zero-preparation latency (`t_prep`).
+    pub t_prep: f64,
+    /// Straight move across one macroblock (`t_move`).
+    pub t_move: f64,
+    /// Turn latency (`t_turn`).
+    pub t_turn: f64,
+}
+
+impl LatencyTable {
+    /// The paper's ion-trap latency values (Tables 1 and 4).
+    pub fn ion_trap() -> Self {
+        LatencyTable {
+            t_1q: 1.0,
+            t_2q: 10.0,
+            t_meas: 50.0,
+            t_prep: 51.0,
+            t_move: 1.0,
+            t_turn: 10.0,
+        }
+    }
+
+    /// Latency of a given op kind.
+    pub fn of_kind(&self, kind: PhysOpKind) -> f64 {
+        match kind {
+            PhysOpKind::OneQubitGate => self.t_1q,
+            PhysOpKind::TwoQubitGate => self.t_2q,
+            PhysOpKind::Measurement => self.t_meas,
+            PhysOpKind::ZeroPrepare => self.t_prep,
+            PhysOpKind::StraightMove => self.t_move,
+            PhysOpKind::Turn => self.t_turn,
+        }
+    }
+
+    /// Latency of a concrete physical op.
+    pub fn of(&self, op: &PhysOp) -> f64 {
+        self.of_kind(op.kind())
+    }
+}
+
+impl Default for LatencyTable {
+    /// Defaults to the paper's ion-trap values.
+    fn default() -> Self {
+        LatencyTable::ion_trap()
+    }
+}
+
+/// A latency expressed symbolically as integer multiples of the six
+/// physical-op latencies, e.g. `t_prep + t_1q + 2 t_turn + t_move`.
+///
+/// The paper reports functional-unit latencies in this form (Tables 5
+/// and 7) before substituting ion-trap values; we do the same so the
+/// reproduction can print both columns.
+///
+/// # Example
+///
+/// ```
+/// use qods_phys::latency::{LatencyTable, SymbolicLatency};
+///
+/// // Zero Prep functional unit (Table 5): t_prep + t_1q + 2 t_turn + t_move.
+/// let lat = SymbolicLatency::new().prep(1).one_q(1).turn(2).mov(1);
+/// assert_eq!(lat.eval(&LatencyTable::ion_trap()), 73.0);
+/// assert_eq!(lat.to_string(), "t_prep + t_1q + 2 t_turn + t_move");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SymbolicLatency {
+    /// Coefficient of `t_1q`.
+    pub n_1q: u32,
+    /// Coefficient of `t_2q`.
+    pub n_2q: u32,
+    /// Coefficient of `t_meas`.
+    pub n_meas: u32,
+    /// Coefficient of `t_prep`.
+    pub n_prep: u32,
+    /// Coefficient of `t_move`.
+    pub n_move: u32,
+    /// Coefficient of `t_turn`.
+    pub n_turn: u32,
+}
+
+impl SymbolicLatency {
+    /// The zero latency.
+    pub fn new() -> Self {
+        SymbolicLatency::default()
+    }
+
+    /// Adds `n` one-qubit gates.
+    pub fn one_q(mut self, n: u32) -> Self {
+        self.n_1q += n;
+        self
+    }
+
+    /// Adds `n` two-qubit gates.
+    pub fn two_q(mut self, n: u32) -> Self {
+        self.n_2q += n;
+        self
+    }
+
+    /// Adds `n` measurements.
+    pub fn meas(mut self, n: u32) -> Self {
+        self.n_meas += n;
+        self
+    }
+
+    /// Adds `n` zero preparations.
+    pub fn prep(mut self, n: u32) -> Self {
+        self.n_prep += n;
+        self
+    }
+
+    /// Adds `n` straight moves.
+    pub fn mov(mut self, n: u32) -> Self {
+        self.n_move += n;
+        self
+    }
+
+    /// Adds `n` turns.
+    pub fn turn(mut self, n: u32) -> Self {
+        self.n_turn += n;
+        self
+    }
+
+    /// Sums two symbolic latencies (sequential composition).
+    pub fn plus(self, other: SymbolicLatency) -> Self {
+        SymbolicLatency {
+            n_1q: self.n_1q + other.n_1q,
+            n_2q: self.n_2q + other.n_2q,
+            n_meas: self.n_meas + other.n_meas,
+            n_prep: self.n_prep + other.n_prep,
+            n_move: self.n_move + other.n_move,
+            n_turn: self.n_turn + other.n_turn,
+        }
+    }
+
+    /// Evaluates against a latency table, in microseconds.
+    pub fn eval(&self, t: &LatencyTable) -> f64 {
+        f64::from(self.n_1q) * t.t_1q
+            + f64::from(self.n_2q) * t.t_2q
+            + f64::from(self.n_meas) * t.t_meas
+            + f64::from(self.n_prep) * t.t_prep
+            + f64::from(self.n_move) * t.t_move
+            + f64::from(self.n_turn) * t.t_turn
+    }
+}
+
+impl fmt::Display for SymbolicLatency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let terms: [(u32, &str); 6] = [
+            (self.n_prep, "t_prep"),
+            (self.n_meas, "t_meas"),
+            (self.n_2q, "t_2q"),
+            (self.n_1q, "t_1q"),
+            (self.n_turn, "t_turn"),
+            (self.n_move, "t_move"),
+        ];
+        let mut first = true;
+        for (n, name) in terms {
+            if n == 0 {
+                continue;
+            }
+            if !first {
+                write!(f, " + ")?;
+            }
+            if n == 1 {
+                write!(f, "{name}")?;
+            } else {
+                write!(f, "{n} {name}")?;
+            }
+            first = false;
+        }
+        if first {
+            write!(f, "0")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ion_trap_values_match_tables_1_and_4() {
+        let t = LatencyTable::ion_trap();
+        assert_eq!(t.t_1q, 1.0);
+        assert_eq!(t.t_2q, 10.0);
+        assert_eq!(t.t_meas, 50.0);
+        assert_eq!(t.t_prep, 51.0);
+        assert_eq!(t.t_move, 1.0);
+        assert_eq!(t.t_turn, 10.0);
+    }
+
+    #[test]
+    fn simple_factory_latency_formula() {
+        // §4.3: t_prep + 2 t_meas + 6 t_2q + 2 t_1q + 8 t_turn + 30 t_move = 323 us.
+        let lat = SymbolicLatency::new()
+            .prep(1)
+            .meas(2)
+            .two_q(6)
+            .one_q(2)
+            .turn(8)
+            .mov(30);
+        assert_eq!(lat.eval(&LatencyTable::ion_trap()), 323.0);
+    }
+
+    #[test]
+    fn table5_unit_latencies() {
+        let t = LatencyTable::ion_trap();
+        // CX Stage: 3 t_2q + 6 t_turn + 5 t_move = 95.
+        assert_eq!(SymbolicLatency::new().two_q(3).turn(6).mov(5).eval(&t), 95.0);
+        // Cat State Prep: 2 t_2q + 4 t_turn + 2 t_move = 62.
+        assert_eq!(SymbolicLatency::new().two_q(2).turn(4).mov(2).eval(&t), 62.0);
+        // Verification: t_meas + t_2q + 2 t_turn + 2 t_move = 82.
+        assert_eq!(
+            SymbolicLatency::new().meas(1).two_q(1).turn(2).mov(2).eval(&t),
+            82.0
+        );
+        // B/P Correction: t_meas + 2 t_2q + 6 t_turn + 8 t_move = 138.
+        assert_eq!(
+            SymbolicLatency::new().meas(1).two_q(2).turn(6).mov(8).eval(&t),
+            138.0
+        );
+    }
+
+    #[test]
+    fn display_formats_terms_in_paper_order() {
+        let lat = SymbolicLatency::new().meas(1).two_q(2).turn(6).mov(8);
+        assert_eq!(lat.to_string(), "t_meas + 2 t_2q + 6 t_turn + 8 t_move");
+        assert_eq!(SymbolicLatency::new().to_string(), "0");
+    }
+
+    #[test]
+    fn plus_composes() {
+        let a = SymbolicLatency::new().two_q(1);
+        let b = SymbolicLatency::new().two_q(2).meas(1);
+        let c = a.plus(b);
+        assert_eq!(c.n_2q, 3);
+        assert_eq!(c.n_meas, 1);
+    }
+}

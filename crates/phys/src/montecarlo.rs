@@ -1,0 +1,248 @@
+//! A small Monte-Carlo harness: seeded, optionally multi-threaded
+//! trial runners with acceptance/error bookkeeping.
+//!
+//! The paper evaluates every ancilla-preparation circuit by Monte-Carlo
+//! simulation (§2.2). Circuits with verification can *discard* a trial
+//! (the block fails verification and is recycled), so the harness
+//! distinguishes discarded trials from accepted ones, and counts logical
+//! errors only among accepted trials — matching how the paper separately
+//! reports error rates (per delivered ancilla) and the verification
+//! failure rate (0.2%).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Outcome of one Monte-Carlo trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrialOutcome {
+    /// The circuit delivered its product; `logical_error` records
+    /// whether the delivered state carries an uncorrectable error.
+    Accepted {
+        /// True when the delivered state is logically corrupted.
+        logical_error: bool,
+    },
+    /// Like [`TrialOutcome::Accepted`], with a secondary "any residual
+    /// error at all" flag for experiments that report both metrics.
+    AcceptedDetailed {
+        /// True when the delivered state is logically corrupted.
+        logical_error: bool,
+        /// True when the delivered state carries *any* non-benign
+        /// residual (including correctable ones).
+        dirty: bool,
+    },
+    /// Verification rejected the product; nothing was delivered.
+    Discarded,
+}
+
+/// Aggregated statistics over many trials.
+///
+/// # Example
+///
+/// ```
+/// use qods_phys::montecarlo::{run_trials, TrialOutcome};
+///
+/// // A fake experiment that errors 10% of the time and discards 50%.
+/// let stats = run_trials(10_000, 42, |rng| {
+///     use rand::Rng;
+///     if rng.gen_bool(0.5) {
+///         TrialOutcome::Discarded
+///     } else {
+///         TrialOutcome::Accepted { logical_error: rng.gen_bool(0.1) }
+///     }
+/// });
+/// assert!((stats.discard_rate() - 0.5).abs() < 0.05);
+/// assert!((stats.error_rate() - 0.1).abs() < 0.02);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MonteCarloStats {
+    /// Total trials attempted.
+    pub trials: u64,
+    /// Trials rejected by verification.
+    pub discarded: u64,
+    /// Trials that delivered a product.
+    pub accepted: u64,
+    /// Accepted trials whose product carried a logical error.
+    pub logical_errors: u64,
+    /// Accepted trials whose product carried any non-benign residual
+    /// (only populated by [`TrialOutcome::AcceptedDetailed`]).
+    pub dirty_errors: u64,
+}
+
+impl MonteCarloStats {
+    /// Merges statistics from another run (used by the parallel runner).
+    pub fn merge(&mut self, other: &MonteCarloStats) {
+        self.trials += other.trials;
+        self.discarded += other.discarded;
+        self.accepted += other.accepted;
+        self.logical_errors += other.logical_errors;
+        self.dirty_errors += other.dirty_errors;
+    }
+
+    /// Any-residual-error rate among accepted products (0 when the
+    /// experiment did not report the detailed flag).
+    pub fn dirty_rate(&self) -> f64 {
+        if self.accepted == 0 {
+            0.0
+        } else {
+            self.dirty_errors as f64 / self.accepted as f64
+        }
+    }
+
+    /// Logical error rate among *accepted* (delivered) products.
+    /// Returns 0 when nothing was accepted.
+    pub fn error_rate(&self) -> f64 {
+        if self.accepted == 0 {
+            0.0
+        } else {
+            self.logical_errors as f64 / self.accepted as f64
+        }
+    }
+
+    /// Fraction of trials rejected by verification.
+    pub fn discard_rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.discarded as f64 / self.trials as f64
+        }
+    }
+
+    /// A 95% confidence half-width for the error rate (normal
+    /// approximation); useful for asserting Monte-Carlo agreement.
+    pub fn error_rate_ci95(&self) -> f64 {
+        if self.accepted == 0 {
+            return f64::INFINITY;
+        }
+        let p = self.error_rate();
+        1.96 * (p * (1.0 - p) / self.accepted as f64).sqrt()
+    }
+
+    fn record(&mut self, outcome: TrialOutcome) {
+        self.trials += 1;
+        match outcome {
+            TrialOutcome::Discarded => self.discarded += 1,
+            TrialOutcome::Accepted { logical_error } => {
+                self.accepted += 1;
+                if logical_error {
+                    self.logical_errors += 1;
+                }
+            }
+            TrialOutcome::AcceptedDetailed {
+                logical_error,
+                dirty,
+            } => {
+                self.accepted += 1;
+                if logical_error {
+                    self.logical_errors += 1;
+                }
+                if dirty {
+                    self.dirty_errors += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Runs `n` seeded trials sequentially.
+pub fn run_trials<F>(n: u64, seed: u64, mut trial: F) -> MonteCarloStats
+where
+    F: FnMut(&mut StdRng) -> TrialOutcome,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stats = MonteCarloStats::default();
+    for _ in 0..n {
+        stats.record(trial(&mut rng));
+    }
+    stats
+}
+
+/// Runs `n` seeded trials across `threads` OS threads. Each thread gets
+/// a distinct seed derived from `seed`, so results are reproducible for
+/// a fixed `(seed, threads)` pair.
+pub fn run_trials_parallel<F>(n: u64, seed: u64, threads: usize, trial: F) -> MonteCarloStats
+where
+    F: Fn(&mut StdRng) -> TrialOutcome + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut stats = MonteCarloStats::default();
+        for _ in 0..n {
+            stats.record(trial(&mut rng));
+        }
+        return stats;
+    }
+    let per = n / threads as u64;
+    let extra = n % threads as u64;
+    let mut total = MonteCarloStats::default();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let quota = per + u64::from((t as u64) < extra);
+            let trial = &trial;
+            handles.push(scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(t as u64 + 1)));
+                let mut stats = MonteCarloStats::default();
+                for _ in 0..quota {
+                    stats.record(trial(&mut rng));
+                }
+                stats
+            }));
+        }
+        for h in handles {
+            total.merge(&h.join().expect("monte-carlo worker panicked"));
+        }
+    });
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn stats_bookkeeping() {
+        let stats = run_trials(1000, 1, |rng| {
+            if rng.gen_bool(0.25) {
+                TrialOutcome::Discarded
+            } else {
+                TrialOutcome::Accepted {
+                    logical_error: rng.gen_bool(0.5),
+                }
+            }
+        });
+        assert_eq!(stats.trials, 1000);
+        assert_eq!(stats.accepted + stats.discarded, 1000);
+        assert!((stats.discard_rate() - 0.25).abs() < 0.06);
+        assert!((stats.error_rate() - 0.5).abs() < 0.06);
+    }
+
+    #[test]
+    fn parallel_matches_totals() {
+        let stats = run_trials_parallel(10_000, 9, 4, |rng| TrialOutcome::Accepted {
+            logical_error: rng.gen_bool(0.01),
+        });
+        assert_eq!(stats.trials, 10_000);
+        assert_eq!(stats.accepted, 10_000);
+        assert!((stats.error_rate() - 0.01).abs() < 0.005);
+    }
+
+    #[test]
+    fn parallel_is_reproducible() {
+        let f = |rng: &mut StdRng| TrialOutcome::Accepted {
+            logical_error: rng.gen_bool(0.3),
+        };
+        let a = run_trials_parallel(5000, 77, 3, f);
+        let b = run_trials_parallel(5000, 77, 3, f);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = MonteCarloStats::default();
+        assert_eq!(s.error_rate(), 0.0);
+        assert_eq!(s.discard_rate(), 0.0);
+        assert!(s.error_rate_ci95().is_infinite());
+    }
+}

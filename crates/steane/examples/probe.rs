@@ -1,0 +1,24 @@
+//! Diagnostic probe: prints both delivered-quality metrics for each
+//! preparation strategy at an inflated error rate (for cheap stats) and
+//! at the paper's rate.
+use qods_phys::error_model::ErrorModel;
+use qods_steane::eval::evaluate_all;
+
+fn main() {
+    for (label, model, trials) in [
+        ("10x paper noise", ErrorModel::paper().scaled(10.0), 200_000u64),
+        ("paper noise (1x)", ErrorModel::paper(), 2_000_000u64),
+    ] {
+        println!("== {label} ==");
+        for e in evaluate_all(model, trials, 1234, 8) {
+            println!(
+                "{:<20} uncorrectable={:.3e} dirty={:.3e} discard={:.4} paper={:.1e}",
+                e.strategy.name(),
+                e.error_rate(),
+                e.dirty_rate(),
+                e.discard_rate(),
+                e.strategy.paper_error_rate()
+            );
+        }
+    }
+}

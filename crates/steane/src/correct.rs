@@ -1,0 +1,192 @@
+//! Bit-flip and phase-flip correction of an encoded block using fresh
+//! encoded-zero ancillae (Steane-style error correction, Fig 2).
+//!
+//! * **Bit correction** of block `A` with ancilla `B`: transversal
+//!   `CX(A_i -> B_i)` copies A's X errors onto B; measuring B in the Z
+//!   basis yields a Hamming codeword XORed with those errors, whose
+//!   syndrome locates a single bit flip on A. B's own Z errors
+//!   back-propagate onto A during the CX (the reason ancilla quality
+//!   matters).
+//! * **Phase correction** of `A` with ancilla `C`: transversal
+//!   `CX(C_i -> A_i)`; C picks up A's Z errors, and X-basis measurement
+//!   of C reveals their syndrome. C's X errors deposit onto A.
+//!
+//! Both functions return the measured syndrome and let the caller
+//! choose the [`CorrectionPolicy`]: apply the indicated correction
+//! (Fig 4b "correct only", and QEC on long-lived data, where discarding
+//! is not an option), or treat a nonzero syndrome as a discard signal
+//! (the verify-and-correct factory pipeline, where the block is a known
+//! state and recycling is cheap — see the crate-level modeling note).
+
+use crate::code::SteaneCode;
+use crate::executor::Executor;
+use qods_phys::pauli::Pauli;
+use rand::Rng;
+
+/// What to do when a correction stage observes a nonzero syndrome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorrectionPolicy {
+    /// Apply the minimum-weight correction to the block.
+    Apply,
+    /// Report only; the caller discards the block (factory recycle).
+    ReportOnly,
+}
+
+/// Transversal movement charged per correction interaction: the two
+/// blocks meet across one crossbar column (per the Fig 13f unit).
+const CORRECTION_MOVES: u32 = 4;
+const CORRECTION_TURNS: u32 = 2;
+
+/// Bit-corrects block `a` using encoded-zero `b` (which is consumed).
+/// Returns the measured syndrome (0 = clean).
+pub fn bit_correct<R: Rng>(
+    ex: &mut Executor<'_, R>,
+    a: &[usize; 7],
+    b: &[usize; 7],
+    policy: CorrectionPolicy,
+) -> u8 {
+    let code = SteaneCode::new();
+    ex.moves(b[0], CORRECTION_MOVES);
+    ex.turns(b[0], CORRECTION_TURNS);
+    for i in 0..7 {
+        ex.cx(a[i], b[i]);
+    }
+    let mut bits = 0u8;
+    for (i, &q) in b.iter().enumerate() {
+        if ex.measure_z(q) {
+            bits |= 1 << i;
+        }
+    }
+    let syndrome = code.syndrome(bits);
+    if policy == CorrectionPolicy::Apply && syndrome != 0 {
+        let mask = code.correction_for_syndrome(syndrome);
+        let q = mask.trailing_zeros() as usize;
+        ex.cond_pauli(a[q], Pauli::X);
+    }
+    syndrome
+}
+
+/// Phase-corrects block `a` using encoded-zero `c` (which is consumed).
+/// Returns the measured syndrome (0 = clean).
+pub fn phase_correct<R: Rng>(
+    ex: &mut Executor<'_, R>,
+    a: &[usize; 7],
+    c: &[usize; 7],
+    policy: CorrectionPolicy,
+) -> u8 {
+    let code = SteaneCode::new();
+    ex.moves(c[0], CORRECTION_MOVES);
+    ex.turns(c[0], CORRECTION_TURNS);
+    for i in 0..7 {
+        ex.cx(c[i], a[i]);
+    }
+    let mut bits = 0u8;
+    for (i, &q) in c.iter().enumerate() {
+        if ex.measure_x(q) {
+            bits |= 1 << i;
+        }
+    }
+    let syndrome = code.syndrome(bits);
+    if policy == CorrectionPolicy::Apply && syndrome != 0 {
+        let mask = code.correction_for_syndrome(syndrome);
+        let q = mask.trailing_zeros() as usize;
+        ex.cond_pauli(a[q], Pauli::Z);
+    }
+    syndrome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::{encode_zero, EncoderMovement};
+    use qods_phys::error_model::ErrorModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const A: [usize; 7] = [0, 1, 2, 3, 4, 5, 6];
+    const B: [usize; 7] = [7, 8, 9, 10, 11, 12, 13];
+
+    fn setup(rng: &mut StdRng) -> Executor<'_, StdRng> {
+        let mut ex = Executor::new(14, ErrorModel::noiseless(), rng);
+        encode_zero(&mut ex, &A, EncoderMovement::default());
+        encode_zero(&mut ex, &B, EncoderMovement::default());
+        ex
+    }
+
+    #[test]
+    fn clean_blocks_report_zero_syndrome() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut ex = setup(&mut rng);
+        assert_eq!(bit_correct(&mut ex, &A, &B, CorrectionPolicy::Apply), 0);
+        assert_eq!(ex.x_mask(&A), 0);
+        assert_eq!(ex.z_mask(&A), 0);
+    }
+
+    #[test]
+    fn single_bit_flip_is_located_and_fixed() {
+        for q in 0..7 {
+            let mut rng = StdRng::seed_from_u64(21);
+            let mut ex = setup(&mut rng);
+            ex.inject(q, Pauli::X);
+            let syn = bit_correct(&mut ex, &A, &B, CorrectionPolicy::Apply);
+            assert_eq!(syn, q as u8 + 1);
+            assert_eq!(ex.x_mask(&A), 0, "X on {q} not corrected");
+        }
+    }
+
+    #[test]
+    fn single_phase_flip_is_located_and_fixed() {
+        for q in 0..7 {
+            let mut rng = StdRng::seed_from_u64(22);
+            let mut ex = setup(&mut rng);
+            ex.inject(q, Pauli::Z);
+            let syn = phase_correct(&mut ex, &A, &B, CorrectionPolicy::Apply);
+            assert_eq!(syn, q as u8 + 1);
+            assert_eq!(ex.z_mask(&A), 0, "Z on {q} not corrected");
+        }
+    }
+
+    #[test]
+    fn report_only_leaves_error_in_place() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut ex = setup(&mut rng);
+        ex.inject(3, Pauli::X);
+        let syn = bit_correct(&mut ex, &A, &B, CorrectionPolicy::ReportOnly);
+        assert_eq!(syn, 4);
+        assert_eq!(ex.x_mask(&A), 0b000_1000);
+    }
+
+    #[test]
+    fn ancilla_z_error_back_propagates_in_bit_correct() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let mut ex = setup(&mut rng);
+        ex.inject(B[2], Pauli::Z);
+        let _ = bit_correct(&mut ex, &A, &B, CorrectionPolicy::Apply);
+        // B's Z error landed on A (correctable weight-1).
+        assert_eq!(ex.z_mask(&A), 0b000_0100);
+    }
+
+    #[test]
+    fn ancilla_x_error_causes_miscorrection() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let mut ex = setup(&mut rng);
+        ex.inject(B[5], Pauli::X);
+        let syn = bit_correct(&mut ex, &A, &B, CorrectionPolicy::Apply);
+        assert_eq!(syn, 6);
+        // The phantom syndrome injected a (correctable) X onto A.
+        assert_eq!(ex.x_mask(&A), 0b010_0000);
+    }
+
+    #[test]
+    fn weight_two_on_block_miscorrects_to_logical() {
+        let mut rng = StdRng::seed_from_u64(26);
+        let mut ex = setup(&mut rng);
+        ex.inject(0, Pauli::X);
+        ex.inject(1, Pauli::X);
+        let _ = bit_correct(&mut ex, &A, &B, CorrectionPolicy::Apply);
+        let code = SteaneCode::new();
+        let x = ex.x_mask(&A);
+        assert_eq!(code.syndrome(x), 0, "residual must be a codeword");
+        assert!(code.is_logical(x), "weight-2 must become logical");
+    }
+}

@@ -1,0 +1,176 @@
+//! The basic encoded-zero preparation circuit (Fig 3b).
+//!
+//! Seven physical |0> preparations, Hadamards on the three "pivot"
+//! qubits {0, 1, 3} (positions 1, 2, 4 in Hamming numbering — the
+//! powers of two), then nine CX gates arranged in three fully parallel
+//! rounds of three, exactly the structure shown in the paper's figure
+//! ("the first three CX's can be performed in parallel, as can the next
+//! three, followed by the final three").
+//!
+//! Each control fans out over the support of one parity check, so the
+//! final state is the uniform superposition over the even Hamming
+//! subcode — the Steane |0_L>.
+
+use crate::executor::Executor;
+use rand::Rng;
+
+/// The qubits receiving Hadamards (fan-out controls).
+pub const CONTROLS: [usize; 3] = [0, 1, 3];
+
+/// The nine encoder CX gates as (control, target) pairs, grouped into
+/// three rounds that each touch six distinct qubits (so each round is
+/// one two-qubit gate time).
+pub const CX_ROUNDS: [[(usize, usize); 3]; 3] = [
+    [(0, 2), (1, 5), (3, 6)],
+    [(0, 4), (1, 6), (3, 5)],
+    [(0, 6), (1, 2), (3, 4)],
+];
+
+/// Movement budget charged while running the encoder inside a factory
+/// row. The paper's hand-optimized simple-factory schedule spends 8
+/// turns and 30 straight moves across the *whole* verify-and-correct
+/// prep (§4.3); the share attributed to one basic encode is small. We
+/// charge 2 turns + 6 moves per block, spread across the CX rounds, so
+/// Monte-Carlo results include movement error at the paper's scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncoderMovement {
+    /// Straight moves per CX round (applied to the round's controls).
+    pub moves_per_round: u32,
+    /// Turns per CX round.
+    pub turns_per_round: u32,
+}
+
+impl Default for EncoderMovement {
+    fn default() -> Self {
+        // 3 rounds x 2 moves = 6 moves; 3 rounds x ~2/3 turn ~ 2 turns.
+        EncoderMovement {
+            moves_per_round: 2,
+            turns_per_round: 1,
+        }
+    }
+}
+
+/// Runs the basic encoded-zero prepare on the 7 physical qubits in
+/// `block` (indices into the executor's register).
+///
+/// After this call, `block` holds |0_L> up to the accumulated Pauli
+/// frame errors.
+pub fn encode_zero<R: Rng>(ex: &mut Executor<'_, R>, block: &[usize; 7], movement: EncoderMovement) {
+    for &q in block {
+        ex.prep(q);
+    }
+    for &c in &CONTROLS {
+        ex.h(block[c]);
+    }
+    for round in &CX_ROUNDS {
+        for &(c, t) in round {
+            ex.cx(block[c], block[t]);
+        }
+        // Charge the round's movement to the fan-out controls: they are
+        // the qubits shuttling between gate locations.
+        for &(c, _) in round.iter().take(1) {
+            ex.moves(block[c], movement.moves_per_round);
+            ex.turns(block[c], movement.turns_per_round);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::code::{SteaneCode, CHECKS};
+    use qods_phys::error_model::ErrorModel;
+    use qods_phys::pauli::Pauli;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const BLOCK: [usize; 7] = [0, 1, 2, 3, 4, 5, 6];
+
+    #[test]
+    fn rounds_cover_all_nine_edges_with_disjoint_rounds() {
+        let mut edges = std::collections::HashSet::new();
+        for round in &CX_ROUNDS {
+            let mut touched = std::collections::HashSet::new();
+            for &(c, t) in round {
+                assert!(touched.insert(c), "round reuses qubit {c}");
+                assert!(touched.insert(t), "round reuses qubit {t}");
+                edges.insert((c, t));
+            }
+        }
+        assert_eq!(edges.len(), 9);
+        // Each control fans out over its check support minus itself.
+        for (ci, &c) in CONTROLS.iter().enumerate() {
+            let check = CHECKS[2 - ci]; // control 0 -> g2, 1 -> g1, 3 -> g0
+            assert_ne!(check & (1 << c), 0, "control {c} not in its check");
+            for t in 0..7 {
+                if t != c && check & (1 << t) != 0 {
+                    assert!(edges.contains(&(c, t)), "missing edge {c}->{t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn noiseless_encode_leaves_clean_block() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut ex = Executor::new(7, ErrorModel::noiseless(), &mut rng);
+        encode_zero(&mut ex, &BLOCK, EncoderMovement::default());
+        assert_eq!(ex.x_mask(&BLOCK), 0);
+        assert_eq!(ex.z_mask(&BLOCK), 0);
+        // 7 preps + 3 H + 9 CX.
+        assert_eq!(ex.counts().preps, 7);
+        assert_eq!(ex.counts().one_qubit_gates, 3);
+        assert_eq!(ex.counts().two_qubit_gates, 9);
+    }
+
+    #[test]
+    fn early_control_fault_becomes_stabilizer() {
+        // X on a control before its fan-out spreads to the full check
+        // support = an X-stabilizer = harmless.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut ex = Executor::new(7, ErrorModel::noiseless(), &mut rng);
+        for &q in &BLOCK {
+            ex.prep(q);
+        }
+        for &c in &CONTROLS {
+            ex.h(BLOCK[c]);
+        }
+        ex.inject(0, Pauli::X);
+        for round in &CX_ROUNDS {
+            for &(c, t) in round {
+                ex.cx(BLOCK[c], BLOCK[t]);
+            }
+        }
+        let code = SteaneCode::new();
+        let x = ex.x_mask(&BLOCK);
+        assert_eq!(x, CHECKS[2]); // full fan-out of control 0
+        assert_eq!(code.syndrome(x), 0);
+        assert!(!code.uncorrectable(x));
+    }
+
+    #[test]
+    fn late_control_fault_is_uncorrectable() {
+        // X on a control with one CX remaining yields a weight-2 error,
+        // which mis-decodes to a logical operator.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut ex = Executor::new(7, ErrorModel::noiseless(), &mut rng);
+        for &q in &BLOCK {
+            ex.prep(q);
+        }
+        for &c in &CONTROLS {
+            ex.h(BLOCK[c]);
+        }
+        for (i, round) in CX_ROUNDS.iter().enumerate() {
+            if i == 2 {
+                ex.inject(0, Pauli::X);
+            }
+            for &(c, t) in round {
+                ex.cx(BLOCK[c], BLOCK[t]);
+            }
+        }
+        let code = SteaneCode::new();
+        let x = ex.x_mask(&BLOCK);
+        assert_eq!(x.count_ones(), 2);
+        assert!(code.uncorrectable(x));
+    }
+}

@@ -1,0 +1,179 @@
+//! Monte-Carlo evaluation of the ancilla preparation circuits —
+//! the experiment behind Fig 4 and the §2.3 numbers.
+//!
+//! Two delivered-quality metrics are reported side by side:
+//!
+//! * **uncorrectable rate** — the delivered block carries a residual
+//!   that can corrupt data logically when the ancilla is consumed
+//!   ([`SteaneCode::ancilla_uncorrectable`]); and
+//! * **dirty rate** — the delivered block carries *any* non-benign
+//!   residual, correctable or not ([`SteaneCode::ancilla_dirty`]).
+//!
+//! The paper reports a single number per circuit; its basic-prep value
+//! (1.8e-3) is close to the circuit's entire fault budget, which
+//! matches the dirty metric, while the ordering and the headline
+//! "more than an order of magnitude improvement" of verify-and-correct
+//! over verify-only are strongest in the uncorrectable metric. See
+//! EXPERIMENTS.md for the paper-vs-measured discussion.
+
+use crate::code::SteaneCode;
+use crate::executor::OpCounts;
+use crate::prep::{run_prep, PrepOutcome, PrepStrategy};
+use qods_phys::error_model::ErrorModel;
+use qods_phys::montecarlo::{run_trials_parallel, MonteCarloStats, TrialOutcome};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The evaluation of one preparation strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct PrepEvaluation {
+    /// Which circuit was evaluated.
+    pub strategy: PrepStrategy,
+    /// Monte-Carlo statistics: discard rate plus both error rates
+    /// (`error_rate()` = uncorrectable, `dirty_rate()` = any residual).
+    pub stats: MonteCarloStats,
+    /// Physical op census of one (noiseless) attempt, for latency and
+    /// area accounting.
+    pub ops: OpCounts,
+}
+
+impl PrepEvaluation {
+    /// Delivered uncorrectable-error rate.
+    pub fn error_rate(&self) -> f64 {
+        self.stats.error_rate()
+    }
+
+    /// Delivered any-residual ("dirty") rate.
+    pub fn dirty_rate(&self) -> f64 {
+        self.stats.dirty_rate()
+    }
+
+    /// Verification failure (discard) rate — §2.3 reports 0.2% for the
+    /// verified subunit.
+    pub fn discard_rate(&self) -> f64 {
+        self.stats.discard_rate()
+    }
+}
+
+/// Runs the Monte-Carlo evaluation of one strategy.
+///
+/// `threads = 1` gives a fully deterministic sequential run; any other
+/// value is deterministic for a fixed `(seed, threads)` pair.
+pub fn evaluate_prep(
+    strategy: PrepStrategy,
+    model: ErrorModel,
+    trials: u64,
+    seed: u64,
+    threads: usize,
+) -> PrepEvaluation {
+    let code = SteaneCode::new();
+    let stats = run_trials_parallel(trials, seed, threads, |rng| {
+        let (outcome, _) = run_prep(strategy, model, rng);
+        match outcome {
+            PrepOutcome::Discarded => TrialOutcome::Discarded,
+            delivered => TrialOutcome::AcceptedDetailed {
+                logical_error: delivered.is_uncorrectable(&code),
+                dirty: delivered.is_dirty(&code),
+            },
+        }
+    });
+    let mut dry = StdRng::seed_from_u64(seed);
+    let (_, ops) = run_prep(strategy, ErrorModel::noiseless(), &mut dry);
+    PrepEvaluation {
+        strategy,
+        stats,
+        ops,
+    }
+}
+
+/// Evaluates all four strategies (the full Fig 4 panel).
+pub fn evaluate_all(
+    model: ErrorModel,
+    trials: u64,
+    seed: u64,
+    threads: usize,
+) -> Vec<PrepEvaluation> {
+    PrepStrategy::ALL
+        .iter()
+        .map(|&s| evaluate_prep(s, model, trials, seed, threads))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Inflated error rate so the hierarchy resolves with few trials.
+    fn fast_model() -> ErrorModel {
+        ErrorModel::paper().scaled(10.0)
+    }
+
+    #[test]
+    fn hierarchy_matches_paper_ordering() {
+        // With p_gate = 1e-3 the circuits must reproduce Fig 4's
+        // ordering in the uncorrectable metric: v&c << verify-only,
+        // verify-only < basic, correct-only not better than verify-only.
+        let evals = evaluate_all(fast_model(), 60_000, 1234, 4);
+        let get = |s: PrepStrategy| {
+            *evals
+                .iter()
+                .find(|e| e.strategy == s)
+                .expect("strategy present")
+        };
+        let basic = get(PrepStrategy::Basic);
+        let verify = get(PrepStrategy::VerifyOnly);
+        let correct = get(PrepStrategy::CorrectOnly);
+        let vc = get(PrepStrategy::VerifyAndCorrect);
+        // Verification alone beats correction alone (§2.3: "Correction
+        // alone loses to verification alone in both error and area").
+        assert!(
+            verify.error_rate() < correct.error_rate(),
+            "verify {} !< correct {}",
+            verify.error_rate(),
+            correct.error_rate()
+        );
+        // Verify-and-correct is more than an order of magnitude better
+        // than verify alone.
+        assert!(
+            vc.error_rate() * 10.0 < verify.error_rate(),
+            "v&c {} not >>10x below verify {}",
+            vc.error_rate(),
+            verify.error_rate()
+        );
+        // And in the dirty metric, verified pipelines improve on basic.
+        // (Correct-only transfers its partners' residuals onto the
+        // delivered block, so it does not — see EXPERIMENTS.md.)
+        assert!(vc.dirty_rate() < basic.dirty_rate());
+        assert!(verify.dirty_rate() < basic.dirty_rate());
+        assert!(basic.error_rate() > 0.0);
+    }
+
+    #[test]
+    fn discard_rate_is_small_but_nonzero() {
+        let eval = evaluate_prep(PrepStrategy::VerifyOnly, fast_model(), 20_000, 9, 4);
+        let d = eval.discard_rate();
+        // 10x-inflated noise => roughly 10x the paper's 0.2%.
+        assert!(d > 0.001, "discard rate {d} suspiciously low");
+        assert!(d < 0.2, "discard rate {d} suspiciously high");
+    }
+
+    #[test]
+    fn basic_never_discards() {
+        let eval = evaluate_prep(PrepStrategy::Basic, fast_model(), 2_000, 9, 2);
+        assert_eq!(eval.stats.discarded, 0);
+    }
+
+    #[test]
+    fn dirty_rate_dominates_uncorrectable_rate() {
+        for s in PrepStrategy::ALL {
+            let e = evaluate_prep(s, fast_model(), 10_000, 77, 4);
+            assert!(
+                e.dirty_rate() >= e.error_rate(),
+                "{:?}: dirty {} < uncorrectable {}",
+                s,
+                e.dirty_rate(),
+                e.error_rate()
+            );
+        }
+    }
+}

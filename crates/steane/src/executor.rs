@@ -1,0 +1,282 @@
+//! Protocol executor: drives a [`PauliFrame`] through a fault-tolerance
+//! protocol while tallying physical-operation counts.
+//!
+//! The ancilla-preparation protocols contain classical feedback
+//! (measure, then conditionally correct or discard), so they cannot be
+//! expressed as straight-line circuits. Each protocol is instead a Rust
+//! function over an [`Executor`], which:
+//!
+//! * applies each op to the Pauli frame (injecting faults per the
+//!   error model),
+//! * returns measurement outcome *flips* to the protocol logic, and
+//! * counts ops by kind, so the same protocol run yields both
+//!   Monte-Carlo statistics and the op census used for latency and
+//!   bandwidth accounting (keeping a single source of truth).
+
+use qods_phys::error_model::ErrorModel;
+use qods_phys::frame::PauliFrame;
+use qods_phys::latency::{LatencyTable, SymbolicLatency};
+use qods_phys::ops::{Gate1, Gate2, PhysOp, PhysOpKind};
+use qods_phys::pauli::Pauli;
+use rand::Rng;
+
+/// Census of physical operations executed by a protocol.
+///
+/// # Example
+///
+/// ```
+/// use qods_steane::executor::OpCounts;
+///
+/// let mut c = OpCounts::default();
+/// c.two_qubit_gates = 6;
+/// c.measurements = 2;
+/// assert_eq!(c.total(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// One-qubit gates (including conditional Pauli corrections).
+    pub one_qubit_gates: u64,
+    /// Two-qubit gates.
+    pub two_qubit_gates: u64,
+    /// Measurements in any basis.
+    pub measurements: u64,
+    /// Physical |0> preparations.
+    pub preps: u64,
+    /// Straight macroblock moves.
+    pub moves: u64,
+    /// Turns.
+    pub turns: u64,
+}
+
+impl OpCounts {
+    /// Total op count.
+    pub fn total(&self) -> u64 {
+        self.one_qubit_gates
+            + self.two_qubit_gates
+            + self.measurements
+            + self.preps
+            + self.moves
+            + self.turns
+    }
+
+    /// A symbolic latency assuming fully serial execution — an upper
+    /// bound used in sanity checks (scheduled latencies come from the
+    /// factory models, not from here).
+    pub fn serial_latency(&self) -> SymbolicLatency {
+        SymbolicLatency {
+            n_1q: self.one_qubit_gates as u32,
+            n_2q: self.two_qubit_gates as u32,
+            n_meas: self.measurements as u32,
+            n_prep: self.preps as u32,
+            n_move: self.moves as u32,
+            n_turn: self.turns as u32,
+        }
+    }
+
+    fn record(&mut self, kind: PhysOpKind) {
+        match kind {
+            PhysOpKind::OneQubitGate => self.one_qubit_gates += 1,
+            PhysOpKind::TwoQubitGate => self.two_qubit_gates += 1,
+            PhysOpKind::Measurement => self.measurements += 1,
+            PhysOpKind::ZeroPrepare => self.preps += 1,
+            PhysOpKind::StraightMove => self.moves += 1,
+            PhysOpKind::Turn => self.turns += 1,
+        }
+    }
+}
+
+/// Executes protocol steps against a Pauli frame with fault injection.
+pub struct Executor<'r, R: Rng> {
+    frame: PauliFrame,
+    rng: &'r mut R,
+    counts: OpCounts,
+}
+
+impl<'r, R: Rng> Executor<'r, R> {
+    /// A new executor over `n` physical qubits.
+    pub fn new(n: usize, model: ErrorModel, rng: &'r mut R) -> Self {
+        Executor {
+            frame: PauliFrame::new(n, model),
+            rng,
+            counts: OpCounts::default(),
+        }
+    }
+
+    /// The op census so far.
+    pub fn counts(&self) -> OpCounts {
+        self.counts
+    }
+
+    /// Read-only view of the underlying frame (for final-state checks).
+    pub fn frame(&self) -> &PauliFrame {
+        &self.frame
+    }
+
+    /// Deterministic fault injection (for directed tests).
+    pub fn inject(&mut self, q: usize, p: Pauli) {
+        self.frame.inject(q, p);
+    }
+
+    /// A fair coin from the executor's RNG — used by protocols whose
+    /// ideal measurement outcomes are genuinely random (e.g. the pi/8
+    /// gadget's teleportation branch).
+    pub fn coin(&mut self) -> bool {
+        self.rng.gen_bool(0.5)
+    }
+
+    fn apply(&mut self, op: PhysOp) -> Option<bool> {
+        self.counts.record(op.kind());
+        self.frame.apply(&op, self.rng)
+    }
+
+    /// Physical |0> preparation.
+    pub fn prep(&mut self, q: usize) {
+        self.apply(PhysOp::Prep(q));
+    }
+
+    /// Hadamard.
+    pub fn h(&mut self, q: usize) {
+        self.apply(PhysOp::Gate1(Gate1::H, q));
+    }
+
+    /// Phase gate.
+    pub fn s(&mut self, q: usize) {
+        self.apply(PhysOp::Gate1(Gate1::S, q));
+    }
+
+    /// Pauli Z as a deliberate circuit gate (frame-transparent).
+    pub fn z(&mut self, q: usize) {
+        self.apply(PhysOp::Gate1(Gate1::Z, q));
+    }
+
+    /// Pauli X as a deliberate circuit gate (frame-transparent).
+    pub fn x(&mut self, q: usize) {
+        self.apply(PhysOp::Gate1(Gate1::X, q));
+    }
+
+    /// pi/8 gate.
+    pub fn t(&mut self, q: usize) {
+        self.apply(PhysOp::Gate1(Gate1::T, q));
+    }
+
+    /// CX gate.
+    pub fn cx(&mut self, c: usize, t: usize) {
+        self.apply(PhysOp::Gate2(Gate2::Cx, c, t));
+    }
+
+    /// CZ gate.
+    pub fn cz(&mut self, a: usize, b: usize) {
+        self.apply(PhysOp::Gate2(Gate2::Cz, a, b));
+    }
+
+    /// CS gate (used in the pi/8 gadget).
+    pub fn cs(&mut self, a: usize, b: usize) {
+        self.apply(PhysOp::Gate2(Gate2::Cs, a, b));
+    }
+
+    /// Z-basis measurement; returns true when the outcome is flipped
+    /// relative to ideal execution.
+    pub fn measure_z(&mut self, q: usize) -> bool {
+        self.apply(PhysOp::measure_z(q)).expect("measurement returns")
+    }
+
+    /// X-basis measurement flip.
+    pub fn measure_x(&mut self, q: usize) -> bool {
+        self.apply(PhysOp::measure_x(q)).expect("measurement returns")
+    }
+
+    /// Conditional Pauli correction (costed as a one-qubit gate).
+    pub fn cond_pauli(&mut self, q: usize, p: Pauli) {
+        self.apply(PhysOp::CondPauli(p, q));
+    }
+
+    /// `n` straight moves of qubit `q` (fault chance per move).
+    pub fn moves(&mut self, q: usize, n: u32) {
+        for _ in 0..n {
+            self.apply(PhysOp::Move(q));
+        }
+    }
+
+    /// `n` turns of qubit `q`.
+    pub fn turns(&mut self, q: usize, n: u32) {
+        for _ in 0..n {
+            self.apply(PhysOp::TurnOp(q));
+        }
+    }
+
+    /// X-component error mask over a 7-qubit block given as indices.
+    pub fn x_mask(&self, block: &[usize; 7]) -> u8 {
+        let mut m = 0u8;
+        for (i, &q) in block.iter().enumerate() {
+            if self.frame.error_at(q).has_x() {
+                m |= 1 << i;
+            }
+        }
+        m
+    }
+
+    /// Z-component error mask over a 7-qubit block.
+    pub fn z_mask(&self, block: &[usize; 7]) -> u8 {
+        let mut m = 0u8;
+        for (i, &q) in block.iter().enumerate() {
+            if self.frame.error_at(q).has_z() {
+                m |= 1 << i;
+            }
+        }
+        m
+    }
+
+    /// Serial latency of everything executed so far (diagnostics).
+    pub fn serial_latency_us(&self, table: &LatencyTable) -> f64 {
+        self.counts.serial_latency().eval(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn counts_follow_ops() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ex = Executor::new(3, ErrorModel::noiseless(), &mut rng);
+        ex.prep(0);
+        ex.h(0);
+        ex.cx(0, 1);
+        ex.cz(1, 2);
+        ex.moves(2, 4);
+        ex.turns(2, 1);
+        let _ = ex.measure_z(1);
+        let c = ex.counts();
+        assert_eq!(c.preps, 1);
+        assert_eq!(c.one_qubit_gates, 1);
+        assert_eq!(c.two_qubit_gates, 2);
+        assert_eq!(c.moves, 4);
+        assert_eq!(c.turns, 1);
+        assert_eq!(c.measurements, 1);
+        assert_eq!(c.total(), 10);
+    }
+
+    #[test]
+    fn masks_reflect_frame() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ex = Executor::new(7, ErrorModel::noiseless(), &mut rng);
+        ex.inject(2, Pauli::X);
+        ex.inject(5, Pauli::Y);
+        let block = [0, 1, 2, 3, 4, 5, 6];
+        assert_eq!(ex.x_mask(&block), 0b010_0100);
+        assert_eq!(ex.z_mask(&block), 0b010_0000);
+    }
+
+    #[test]
+    fn serial_latency_adds_up() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ex = Executor::new(2, ErrorModel::noiseless(), &mut rng);
+        ex.prep(0); // 51
+        ex.cx(0, 1); // 10
+        let _ = ex.measure_z(1); // 50
+        assert_eq!(ex.serial_latency_us(&LatencyTable::ion_trap()), 111.0);
+    }
+}

@@ -1,0 +1,63 @@
+//! # qods-steane — the [[7,1,3]] Steane code and ancilla preparation
+//!
+//! This crate implements §2 of "Running a Quantum Circuit at the Speed
+//! of Data": the Steane CSS code, its encoding circuit (Fig 3b),
+//! cat-state verification and bit/phase correction, the four
+//! encoded-zero preparation strategies of Fig 4, the pi/8-ancilla
+//! gadget of Fig 5, and the Monte-Carlo evaluation methodology (§2.2)
+//! that produces the paper's logical-error-rate hierarchy:
+//!
+//! | circuit | paper error rate |
+//! |---|---|
+//! | basic prepare (Fig 3b) | 1.8e-3 |
+//! | verify only (Fig 4a) | 3.7e-4 |
+//! | correct only (Fig 4b) | 1.1e-3 |
+//! | verify and correct (Fig 4c) | 2.9e-5 |
+//!
+//! plus the 0.2% verification failure rate used for factory throughput
+//! derating in §4.4.
+//!
+//! ## Modeling note (documented substitution)
+//!
+//! The paper's numbers come from the authors' internal layout tool; we
+//! rebuild the circuits from the published descriptions. For the
+//! "verify and correct" pipeline, an encoded-zero ancilla is in a
+//! *known* state, and §2.3 notes such blocks "may be discarded if
+//! necessary". We therefore treat a nonzero syndrome observed during
+//! the bit/phase-correction stage of the verify-and-correct pipeline as
+//! a discard (the factory recycles failures, Fig 12), which makes the
+//! delivered error second-order in the fault rate — reproducing the
+//! paper's ~2 orders of magnitude spread between basic and
+//! verify-and-correct. "Correct only" (Fig 4b) applies corrections
+//! unconditionally, as the paper's weaker result for it suggests.
+//!
+//! # Example
+//!
+//! ```
+//! use qods_steane::code::SteaneCode;
+//!
+//! let code = SteaneCode::new();
+//! // A single bit flip is always corrected.
+//! let e = 0b0000100u8; // X error on qubit 2
+//! let c = code.decode(e);
+//! assert_eq!(e ^ c, 0);
+//! ```
+
+pub mod cat;
+pub mod code;
+pub mod correct;
+pub mod encoder;
+pub mod eval;
+pub mod executor;
+pub mod faults;
+pub mod pi8;
+pub mod prep;
+pub mod qec;
+pub mod tableau;
+pub mod threshold;
+pub mod verify;
+
+pub use code::SteaneCode;
+pub use eval::{evaluate_prep, PrepEvaluation};
+pub use executor::{Executor, OpCounts};
+pub use prep::PrepStrategy;

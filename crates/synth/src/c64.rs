@@ -1,0 +1,99 @@
+//! A minimal complex-number type.
+//!
+//! Hand-rolled (about forty lines) instead of pulling in `num-complex`,
+//! which is outside the approved offline dependency set; see DESIGN.md.
+
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A complex number with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// Zero.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+
+    /// `re + i*im`.
+    pub const fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    /// `e^{i theta}`.
+    pub fn cis(theta: f64) -> Self {
+        C64::new(theta.cos(), theta.sin())
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        C64::new(self.re, -self.im)
+    }
+
+    /// Squared magnitude.
+    pub fn abs2(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.abs2().sqrt()
+    }
+
+    /// Scalar multiple.
+    pub fn scale(self, s: f64) -> Self {
+        C64::new(self.re * s, self.im * s)
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    fn add(self, o: C64) -> C64 {
+        C64::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    fn sub(self, o: C64) -> C64 {
+        C64::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    fn mul(self, o: C64) -> C64 {
+        C64::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(3.0, -1.0);
+        assert_eq!(a + b, C64::new(4.0, 1.0));
+        assert_eq!(a * b, C64::new(5.0, 5.0));
+        assert_eq!(a.conj(), C64::new(1.0, -2.0));
+        assert!((C64::cis(std::f64::consts::PI).re + 1.0).abs() < 1e-15);
+        assert!((a.abs2() - 5.0).abs() < 1e-15);
+    }
+}

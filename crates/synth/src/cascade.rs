@@ -1,0 +1,136 @@
+//! The recursive exact pi/2^k construction of Fig 6 and its §4.4.2
+//! critical-path analysis.
+//!
+//! If physical pi/2^k rotations are available, an exact fault-tolerant
+//! pi/2^k gate can be built from a cascade of pi/2^i ancilla factories
+//! (i = 3..k) with k-2 CX and X gates: each stage teleports the
+//! rotation onto the data; the measurement picks the "correct" branch
+//! with probability 1/2, and the "wrong" branch needs a larger
+//! follow-up rotation from the next factory in the cascade. The
+//! expected number of CX gates on the data's critical path is therefore
+//! `sum_{i=0}^{k-3} 2^-i` (< 2), with one fewer X gate — the paper
+//! states this sum (with a typo'd exponent) in §4.4.2.
+//!
+//! The paper is deliberately conservative and does *not* assume such
+//! physical rotations exist; this module quantifies what they would buy
+//! relative to synthesized H/T sequences.
+
+use crate::search::Sequence;
+use qods_phys::latency::LatencyTable;
+
+/// Critical-path analysis of one cascade gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CascadeAnalysis {
+    /// The target rotation exponent (pi/2^k).
+    pub k: u8,
+    /// Number of pi/2^i ancilla factories required (i = 3..=k).
+    pub factories: u32,
+    /// Expected CX gates on the data critical path.
+    pub expected_cx: f64,
+    /// Expected conditional X gates on the data critical path.
+    pub expected_x: f64,
+    /// Worst-case CX count (every measurement lands "wrong").
+    pub worst_cx: u32,
+}
+
+impl CascadeAnalysis {
+    /// Expected data-path latency of the cascade under a latency
+    /// table: CX interactions, measurements (one per consumed
+    /// ancilla), and conditional X corrections.
+    pub fn expected_latency_us(&self, t: &LatencyTable) -> f64 {
+        self.expected_cx * (t.t_2q + t.t_meas) + self.expected_x * t.t_1q
+    }
+}
+
+/// Analyzes the Fig 6 cascade for a pi/2^k target.
+///
+/// # Panics
+///
+/// Panics for `k < 3` (pi/2^2 = T has its own gadget; larger angles
+/// are transversal).
+pub fn analyze_cascade(k: u8) -> CascadeAnalysis {
+    assert!(k >= 3, "cascades start at pi/8 precision (k >= 3), got k = {k}");
+    let stages = u32::from(k) - 2;
+    // Stage i (0-indexed) is reached with probability 2^-i.
+    let expected_cx: f64 = (0..stages).map(|i| 0.5f64.powi(i as i32)).sum();
+    CascadeAnalysis {
+        k,
+        factories: stages,
+        expected_cx,
+        expected_x: expected_cx - 1.0 + 0.5f64.powi(stages as i32 - 1) * 0.5,
+        worst_cx: stages,
+    }
+}
+
+/// Compares the cascade's expected data-path latency against a
+/// synthesized sequence's (T gates pay the pi/8-gadget interaction,
+/// Cliffords are transversal). Returns (cascade_us, synthesis_us).
+pub fn compare_with_synthesis(k: u8, seq: &Sequence, t: &LatencyTable) -> (f64, f64) {
+    let cascade = analyze_cascade(k).expected_latency_us(t);
+    let pi8_interact = t.t_2q + t.t_meas + t.t_1q;
+    let mut synth_us = 0.0;
+    for g in &seq.gates {
+        synth_us += match g {
+            crate::search::HtGate::T => pi8_interact,
+            _ => t.t_1q,
+        };
+    }
+    (cascade, synth_us)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_cx_approaches_two() {
+        // sum 2^-i over i=0.. -> 2; finite cascades stay below.
+        for k in 3..=16u8 {
+            let a = analyze_cascade(k);
+            assert!(a.expected_cx < 2.0);
+            assert!(a.expected_cx >= 1.0);
+            assert_eq!(a.factories, u32::from(k) - 2);
+            assert_eq!(a.worst_cx, u32::from(k) - 2);
+        }
+        assert!((analyze_cascade(3).expected_cx - 1.0).abs() < 1e-12);
+        assert!((analyze_cascade(4).expected_cx - 1.5).abs() < 1e-12);
+        let deep = analyze_cascade(16);
+        assert!((deep.expected_cx - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn latency_grows_slowly_with_k() {
+        let t = LatencyTable::ion_trap();
+        let l3 = analyze_cascade(3).expected_latency_us(&t);
+        let l10 = analyze_cascade(10).expected_latency_us(&t);
+        assert!(l10 < 2.0 * l3 + 1.0, "cascade latency must stay bounded");
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 3")]
+    fn shallow_k_rejected() {
+        let _ = analyze_cascade(2);
+    }
+
+    #[test]
+    fn cascade_beats_long_synthesis() {
+        // A synthesized sequence with several T gates pays the pi/8
+        // gadget per T; the cascade pays ~2 CX+measure rounds total.
+        use crate::search::{HtGate, Sequence};
+        let seq = Sequence {
+            gates: vec![
+                HtGate::H,
+                HtGate::T,
+                HtGate::H,
+                HtGate::T,
+                HtGate::H,
+                HtGate::T,
+            ],
+            t_count: 3,
+            distance: 0.01,
+        };
+        let t = LatencyTable::ion_trap();
+        let (cascade, synth) = compare_with_synthesis(6, &seq, &t);
+        assert!(cascade < synth, "cascade {cascade} !< synthesis {synth}");
+    }
+}

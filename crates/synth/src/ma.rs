@@ -1,0 +1,182 @@
+//! Enumeration of Clifford+T unitaries in Matsumoto-Amano order.
+//!
+//! Every single-qubit Clifford+T operator has a unique normal form
+//! `(T | eps) (HT | SHT)* C` (matrix product, rightmost factor applied
+//! first), with `C` a Clifford. Enumerating these forms visits each
+//! distinct unitary of T-count `t` exactly once — about `3 * 2^(t-1)`
+//! non-Clifford cores per T-count — which is what makes Fowler-style
+//! exhaustive search tractable at useful depths.
+
+use crate::su2::U2;
+
+/// A visited core: its matrix and the path that built it.
+#[derive(Debug, Clone)]
+pub struct Core {
+    /// Product of the T/HT/SHT factors (no trailing Clifford).
+    pub matrix: U2,
+    /// True when the form starts with a lone `T` factor.
+    pub leading_t: bool,
+    /// Syllable choices left-to-right: `false` = HT, `true` = SHT.
+    pub syllables: Vec<bool>,
+    /// Number of T gates in the core.
+    pub t_count: u32,
+}
+
+impl Core {
+    /// The circuit-order gate names realizing this core, *excluding*
+    /// the trailing Clifford. Matrix factors apply right-to-left, so
+    /// the circuit order is the reverse of the factor order.
+    pub fn circuit_gates(&self) -> Vec<crate::search::HtGate> {
+        use crate::search::HtGate;
+        // Matrix = [T?] * syl_1 * syl_2 * ... * syl_m, where each
+        // syllable is H*T or S*H*T. Circuit order: syl_m first
+        // (its T first), then ..., then the leading T last.
+        let mut gates = Vec::new();
+        for &s in self.syllables.iter().rev() {
+            gates.push(HtGate::T);
+            gates.push(HtGate::H);
+            if s {
+                gates.push(HtGate::S);
+            }
+        }
+        if self.leading_t {
+            gates.push(HtGate::T);
+        }
+        gates
+    }
+}
+
+/// Depth-first enumeration of all cores with `t_count <= max_t`,
+/// invoking `visit` on each (including the identity core). The `prune`
+/// callback is consulted before descending: returning `false` for a
+/// prospective child T-count skips that subtree (used to stop once a
+/// satisfactory shorter sequence is known).
+pub fn enumerate_cores(
+    max_t: u32,
+    mut visit: impl FnMut(&Core),
+    mut prune: impl FnMut(u32) -> bool,
+) {
+    // Identity core (pure Clifford).
+    let id = Core {
+        matrix: U2::identity(),
+        leading_t: false,
+        syllables: Vec::new(),
+        t_count: 0,
+    };
+    visit(&id);
+    if max_t == 0 {
+        return;
+    }
+
+    let t = U2::t();
+    let ht = U2::h().mul(&t);
+    let sht = U2::s().mul(&ht);
+
+    // Two DFS roots: leading T, and a first syllable (HT or SHT).
+    let mut stack: Vec<Core> = Vec::new();
+    if prune(1) {
+        stack.push(Core {
+            matrix: t,
+            leading_t: true,
+            syllables: Vec::new(),
+            t_count: 1,
+        });
+        stack.push(Core {
+            matrix: ht,
+            leading_t: false,
+            syllables: vec![false],
+            t_count: 1,
+        });
+        stack.push(Core {
+            matrix: sht,
+            leading_t: false,
+            syllables: vec![true],
+            t_count: 1,
+        });
+    }
+    while let Some(core) = stack.pop() {
+        visit(&core);
+        let next_t = core.t_count + 1;
+        if next_t <= max_t && prune(next_t) {
+            for (m, s) in [(&ht, false), (&sht, true)] {
+                let mut syl = core.syllables.clone();
+                syl.push(s);
+                stack.push(Core {
+                    matrix: core.matrix.mul(m),
+                    leading_t: core.leading_t,
+                    syllables: syl,
+                    t_count: next_t,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::HtGate;
+    use std::collections::HashSet;
+
+    #[test]
+    fn core_counts_match_normal_form_theory() {
+        // Cores with t_count = t: 3 * 2^(t-1) for t >= 1, plus the
+        // identity at t = 0.
+        let mut by_t = std::collections::HashMap::new();
+        enumerate_cores(6, |c| *by_t.entry(c.t_count).or_insert(0u64) += 1, |_| true);
+        assert_eq!(by_t[&0], 1);
+        for t in 1..=6u32 {
+            assert_eq!(by_t[&t], 3 * (1 << (t - 1)), "t = {t}");
+        }
+    }
+
+    #[test]
+    fn cores_are_distinct_unitaries() {
+        // The normal form is unique, so all core matrices (even before
+        // the trailing Clifford) must be pairwise distinct up to phase.
+        let mut keys = HashSet::new();
+        let mut dup = 0;
+        enumerate_cores(
+            7,
+            |c| {
+                if !keys.insert(c.matrix.phase_key()) {
+                    dup += 1;
+                }
+            },
+            |_| true,
+        );
+        assert_eq!(dup, 0, "duplicate cores found");
+    }
+
+    #[test]
+    fn circuit_gates_realize_core_matrices() {
+        enumerate_cores(
+            5,
+            |c| {
+                let mut m = U2::identity();
+                for g in c.circuit_gates() {
+                    let u = match g {
+                        HtGate::H => U2::h(),
+                        HtGate::S => U2::s(),
+                        HtGate::T => U2::t(),
+                    };
+                    m = u.mul(&m);
+                }
+                assert!(
+                    m.distance(&c.matrix) < 1e-9,
+                    "core gates do not rebuild matrix (t={})",
+                    c.t_count
+                );
+            },
+            |_| true,
+        );
+    }
+
+    #[test]
+    fn pruning_cuts_subtrees() {
+        let mut visited = 0u64;
+        enumerate_cores(8, |_| visited += 1, |t| t <= 3);
+        // 1 + 3 + 6 + 12 = 22 cores with t <= 3.
+        assert_eq!(visited, 22);
+    }
+}

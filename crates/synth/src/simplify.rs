@@ -1,0 +1,145 @@
+//! Peephole simplification of H/S/T sequences.
+//!
+//! The exhaustive search emits normal-form sequences whose trailing
+//! Clifford words can create local redundancies when sequences are
+//! concatenated inside a larger circuit (e.g. a QFT lowering two
+//! adjacent rotations on the same qubit). This pass cancels and fuses:
+//!
+//! * `H H -> (nothing)`
+//! * `T T -> S`, `S S -> Z -> (tracked as S S S S -> nothing)`
+//! * `S T -> T S` is *not* applied (they commute as diagonal gates;
+//!   fusion handles it): adjacent diagonal gates fuse by phase count.
+//!
+//! Diagonal bookkeeping: T = 1 eighth-turn, S = 2, Z = 4 (mod 8).
+
+use crate::search::HtGate;
+
+/// Simplifies a gate sequence, returning an equivalent one (up to
+/// global phase) with no adjacent `H H` and all runs of diagonal gates
+/// fused to a minimal `Z?/S?/T?` tail.
+pub fn simplify(gates: &[HtGate]) -> Vec<HtGate> {
+    // First fuse diagonal runs and cancel HH, iterating to fixpoint.
+    let mut cur: Vec<HtGate> = gates.to_vec();
+    loop {
+        let next = one_pass(&cur);
+        if next.len() == cur.len() {
+            return next;
+        }
+        cur = next;
+    }
+}
+
+fn one_pass(gates: &[HtGate]) -> Vec<HtGate> {
+    let mut out: Vec<HtGate> = Vec::with_capacity(gates.len());
+    let mut eighths: u32 = 0; // pending diagonal phase (mod 8)
+
+    let flush = |out: &mut Vec<HtGate>, eighths: &mut u32| {
+        let e = *eighths % 8;
+        // Emit minimal realization of diag(1, e^{i pi e / 4}).
+        // 4 -> Z is not in the alphabet; use S S (cost 2, still
+        // transversal). 1..3, 5..7 decompose greedily into S (2) and
+        // T (1) steps; 7 = S S S T (e^{i7pi/4} = Z S T up to phase) —
+        // greedy is fine for a peephole pass.
+        let mut rem = e;
+        while rem >= 2 {
+            out.push(HtGate::S);
+            rem -= 2;
+        }
+        if rem == 1 {
+            out.push(HtGate::T);
+        }
+        *eighths = 0;
+    };
+
+    for &g in gates {
+        match g {
+            HtGate::T => eighths += 1,
+            HtGate::S => eighths += 2,
+            HtGate::H => {
+                flush(&mut out, &mut eighths);
+                if out.last() == Some(&HtGate::H) {
+                    out.pop(); // H H cancels
+                } else {
+                    out.push(HtGate::H);
+                }
+            }
+        }
+    }
+    flush(&mut out, &mut eighths);
+    out
+}
+
+/// T-count of a sequence (the fault-tolerance cost metric).
+pub fn t_count(gates: &[HtGate]) -> usize {
+    gates.iter().filter(|g| matches!(g, HtGate::T)).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::su2::U2;
+
+    fn matrix(gates: &[HtGate]) -> U2 {
+        let mut m = U2::identity();
+        for g in gates {
+            let u = match g {
+                HtGate::H => U2::h(),
+                HtGate::S => U2::s(),
+                HtGate::T => U2::t(),
+            };
+            m = u.mul(&m);
+        }
+        m
+    }
+
+    #[test]
+    fn hh_cancels() {
+        assert!(simplify(&[HtGate::H, HtGate::H]).is_empty());
+    }
+
+    #[test]
+    fn tt_fuses_to_s() {
+        assert_eq!(simplify(&[HtGate::T, HtGate::T]), vec![HtGate::S]);
+    }
+
+    #[test]
+    fn full_turn_vanishes() {
+        // 8 T gates = identity up to phase.
+        assert!(simplify(&[HtGate::T; 8]).is_empty());
+    }
+
+    #[test]
+    fn preserves_unitary_on_random_words() {
+        // Deterministic pseudo-random words; semantic equality checked
+        // against the 2x2 matrices.
+        let mut x = 0x243f6a8885a308d3u64;
+        for _ in 0..200 {
+            let mut word = Vec::new();
+            for _ in 0..12 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                word.push(match x % 3 {
+                    0 => HtGate::H,
+                    1 => HtGate::S,
+                    _ => HtGate::T,
+                });
+            }
+            let simp = simplify(&word);
+            assert!(
+                matrix(&word).distance(&matrix(&simp)) < 1e-9,
+                "simplification changed semantics of {word:?} -> {simp:?}"
+            );
+            assert!(simp.len() <= word.len());
+            assert!(t_count(&simp) <= t_count(&word));
+        }
+    }
+
+    #[test]
+    fn idempotent() {
+        let word = [HtGate::H, HtGate::T, HtGate::T, HtGate::H, HtGate::H, HtGate::S];
+        let once = simplify(&word);
+        let twice = simplify(&once);
+        assert_eq!(once, twice);
+    }
+}

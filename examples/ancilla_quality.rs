@@ -1,0 +1,54 @@
+//! The §2 Monte-Carlo study: error rates of the four encoded-zero
+//! preparation circuits (Fig 4) and their downstream effect on data
+//! (the ablation motivating high-fidelity ancillae).
+//!
+//! ```text
+//! cargo run --release --example ancilla_quality           # paper rates
+//! cargo run --release --example ancilla_quality -- fast   # 10x noise
+//! ```
+
+use speed_of_data::prelude::*;
+use speed_of_data::steane::qec::data_error_per_qec;
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "fast");
+    let (model, trials) = if fast {
+        (ErrorModel::paper().scaled(10.0), 100_000u64)
+    } else {
+        (ErrorModel::paper(), 1_000_000u64)
+    };
+    println!(
+        "noise: gate {:.0e}, movement {:.0e}; {trials} trials per circuit\n",
+        model.p_gate, model.p_move
+    );
+
+    println!(
+        "{:<22} {:>14} {:>13} {:>9} {:>10}",
+        "circuit", "uncorrectable", "any-residual", "discard", "paper"
+    );
+    for e in evaluate_all(model, trials, 42, 8) {
+        println!(
+            "{:<22} {:>14.3e} {:>13.3e} {:>9.4} {:>10.1e}",
+            e.strategy.name(),
+            e.error_rate(),
+            e.dirty_rate(),
+            e.discard_rate(),
+            e.strategy.paper_error_rate()
+        );
+    }
+
+    // Downstream ablation: what the ancilla quality does to the data
+    // qubit being corrected.
+    println!("\nlogical error added to a clean data block per QEC step:");
+    let abl_model = ErrorModel::paper().scaled(10.0);
+    let abl_trials = if fast { 20_000 } else { 50_000 };
+    for strategy in [PrepStrategy::Basic, PrepStrategy::VerifyAndCorrect] {
+        let stats = data_error_per_qec(strategy, abl_model, abl_trials, 7, 8);
+        println!(
+            "  {:<22} {:.3e} (at 10x noise, {} trials)",
+            strategy.name(),
+            stats.error_rate(),
+            abl_trials
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! The §5 experiment: execution time vs factory area for QLA, CQLA,
+//! Fully-Multiplexed and Qalypso (Fig 15), plus Table 9.
+//!
+//! ```text
+//! cargo run --release --example architecture_comparison
+//! ```
+
+use speed_of_data::prelude::*;
+
+fn main() {
+    let synth = SynthAdapter::with_budget(12, 1e-2);
+    let circuits = vec![
+        qrca_lowered(32),
+        qcla_lowered(32),
+        qft_lowered(32, &synth),
+    ];
+
+    println!("Table 9 (from measured bandwidths):");
+    for c in &circuits {
+        let row = table9_row(&characterize(c));
+        println!(
+            "  {:<8} data {:>6.0} MB ({:>4.1}%)   QEC factories {:>8.1} MB ({:>4.1}%)   pi/8 {:>8.1} MB ({:>4.1}%)",
+            row.name,
+            row.data_area,
+            100.0 * row.data_share(),
+            row.qec_factory_area,
+            100.0 * row.qec_share(),
+            row.pi8_factory_area,
+            100.0 * row.pi8_share()
+        );
+    }
+
+    println!("\nFig 15 sweeps (execution us by area):");
+    let areas = log_areas(200.0, 3e6, 9);
+    for c in &circuits {
+        println!("== {} ==", c.name);
+        print!("{:<20}", "area ->");
+        for a in &areas {
+            print!(" {:>9.1e}", a);
+        }
+        println!();
+        let archs = [
+            Arch::FullyMultiplexed,
+            Arch::Qla,
+            Arch::default_cqla(c.n_qubits()),
+            Arch::default_qalypso(),
+        ];
+        for curve in area_sweep(c, &archs, &areas) {
+            print!("{:<20}", curve.arch);
+            for p in &curve.points {
+                print!(" {:>9.2e}", p.exec_us);
+            }
+            println!();
+        }
+        let s = speedup_summary(c, &areas);
+        println!(
+            "headline: {:.1}x max equal-area speedup; QLA area penalty {:.0}x; CQLA plateau {:.1}x FM\n",
+            s.max_speedup,
+            s.qla_area_penalty,
+            s.cqla_plateau_us / s.fm_plateau_us
+        );
+    }
+
+    // Qalypso tile-size ablation (the open problem of §5.3).
+    println!("Qalypso tile-size ablation (QCLA-32, area 1e5):");
+    let qcla = &circuits[1];
+    for tile in [8, 16, 32, 64, 128] {
+        let out = simulate(qcla, Arch::Qalypso { tile_qubits: tile }, 1e5);
+        println!(
+            "  tile {:>4}: {:>9.2e} us, {} teleports",
+            tile, out.makespan_us, out.teleports
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Explore the ancilla-factory design space of §4: simple vs pipelined
+//! zero factories, the pi/8 chain, and technology sensitivity.
+//!
+//! ```text
+//! cargo run --release --example factory_design_space
+//! ```
+
+use speed_of_data::prelude::*;
+
+fn main() {
+    // The three published designs.
+    let simple = SimpleFactory::paper();
+    let zero = ZeroFactory::paper().bandwidth_matched();
+    let pi8 = Pi8Factory::paper().bandwidth_matched();
+    println!("design             area(MB)  throughput(/ms)  bw density(/ms/MB)");
+    println!(
+        "simple (Fig 11)    {:>8}  {:>15.2}  {:>18.4}",
+        simple.area(),
+        simple.throughput_per_ms(),
+        simple.throughput_per_area()
+    );
+    println!(
+        "pipelined zero     {:>8}  {:>15.2}  {:>18.4}",
+        zero.total_area(),
+        zero.throughput_per_ms,
+        zero.throughput_per_area()
+    );
+    println!(
+        "pi/8 encoder       {:>8}  {:>15.2}  {:>18.4}",
+        pi8.total_area(),
+        pi8.throughput_per_ms,
+        pi8.throughput_per_area()
+    );
+    println!(
+        "\n§5.3's observation: pipelining leaves bandwidth-per-area roughly unchanged\n(the win is concentrated output ports, which Qalypso exploits).\n"
+    );
+
+    // Farm sizing for each benchmark's Table 3 bandwidth.
+    println!("farm sizing (pipelined zeros + pi/8 chains):");
+    for (name, zbw, pbw) in [
+        ("32-bit QRCA", 34.8, 7.0),
+        ("32-bit QCLA", 306.1, 62.7),
+        ("32-bit QFT", 36.8, 8.6),
+    ] {
+        let farm = FactoryFarm::size_for(zbw, pbw, ZeroFactoryKind::Pipelined);
+        println!(
+            "  {name}: QEC factories {:>8.1} MB + pi/8 chain {:>7.1} MB = {:>8.1} MB",
+            farm.qec_factory_area,
+            farm.pi8_factory_area,
+            farm.total_factory_area()
+        );
+    }
+
+    // Technology sensitivity: what if measurement gets 10x faster, or
+    // movement 10x slower? (The paper keeps results symbolic for
+    // exactly this reason.)
+    println!("\ntechnology sensitivity of the pipelined zero factory:");
+    let base = LatencyTable::ion_trap();
+    let variants: Vec<(&str, LatencyTable)> = vec![
+        ("ion trap (paper)", base),
+        ("10x faster measurement", LatencyTable { t_meas: 5.0, ..base }),
+        ("10x slower turns", LatencyTable { t_turn: 100.0, ..base }),
+        ("5x faster zero prep", LatencyTable { t_prep: 10.2, ..base }),
+    ];
+    for (label, t) in variants {
+        let f = ZeroFactory::with_latencies(t).bandwidth_matched();
+        println!(
+            "  {label:<24} {:>4} MB, {:>6.2} anc/ms, density {:>7.4}",
+            f.total_area(),
+            f.throughput_per_ms,
+            f.throughput_per_area()
+        );
+    }
+}

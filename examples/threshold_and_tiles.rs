@@ -1,0 +1,64 @@
+//! Extension experiments beyond the paper's published figures:
+//!
+//! 1. error-rate scaling of the preparation circuits (pseudo-threshold
+//!    structure — the basic circuit degrades linearly in p, the
+//!    verify-and-correct circuit quadratically);
+//! 2. the Qalypso tile-size optimization that §5.3 leaves as future
+//!    work;
+//! 3. Draper's ancilla-free QFT adder (the paper's reference [18]) as
+//!    a fourth kernel with a very different ancilla-demand profile.
+//!
+//! ```text
+//! cargo run --release --example threshold_and_tiles
+//! ```
+
+use speed_of_data::kernels::{draper_adder_lowered, qrca_lowered};
+use speed_of_data::prelude::*;
+use speed_of_data::steane::threshold::{scaling_exponent, threshold_sweep};
+
+fn main() {
+    // 1. Threshold structure.
+    println!("error-rate scaling (uncorrectable rate vs noise scale):");
+    let scales = [5.0, 20.0, 80.0];
+    for strategy in [PrepStrategy::Basic, PrepStrategy::VerifyAndCorrect] {
+        let pts = threshold_sweep(strategy, &scales, 60_000, 11, 8);
+        print!("  {:<20}", strategy.name());
+        for p in &pts {
+            print!(" p={:.0e}: {:>9.2e}", p.p_gate, p.eval.error_rate());
+        }
+        if let Some(alpha) = scaling_exponent(&pts[0], &pts[2]) {
+            print!("   (exponent ~{alpha:.1})");
+        }
+        println!();
+    }
+    println!("  -> verification + correction suppresses errors super-linearly;\n");
+
+    // 2. Tile-size optimization for Qalypso.
+    println!("Qalypso tile-size sweep (QRCA-32, 1e5 macroblocks of factories):");
+    let qrca = qrca_lowered(32);
+    for p in speed_of_data::arch::tiling::tile_sweep(&qrca, 1e5) {
+        println!(
+            "  tile {:>4}: {:>10.3e} us, {:>5} teleports",
+            p.tile_qubits, p.exec_us, p.teleports
+        );
+    }
+    let best = speed_of_data::arch::tiling::best_tile(&qrca, 1e5);
+    println!("  best tile: {} qubits\n", best.tile_qubits);
+
+    // 3. Draper adder characterization next to the ripple-carry adder.
+    println!("Draper QFT adder vs ripple-carry adder (n = 16):");
+    let synth = SynthAdapter::with_budget(10, 2e-2);
+    for c in [qrca_lowered(16), draper_adder_lowered(16, &synth)] {
+        let r = characterize(&c);
+        println!(
+            "  {:<12} {:>3} qubits, {:>5} gates, zero bw {:>7.1}/ms, pi/8 bw {:>6.1}/ms, runtime {:>7.1} ms",
+            r.name,
+            r.n_qubits,
+            r.gate_count,
+            r.bandwidth.zero_per_ms,
+            r.bandwidth.pi8_per_ms,
+            r.bandwidth.runtime_ms
+        );
+    }
+    println!("  -> the ancilla-free adder trades data qubits for pi/8 bandwidth.");
+}

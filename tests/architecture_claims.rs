@@ -1,0 +1,119 @@
+//! Integration tests for the §5 architectural claims (Fig 15 and the
+//! paper's headline).
+
+use speed_of_data::prelude::*;
+
+fn sweep_areas() -> Vec<f64> {
+    log_areas(200.0, 3e6, 11)
+}
+
+#[test]
+fn fully_multiplexed_dominates_everywhere() {
+    let c = qrca_lowered(16);
+    for &area in &sweep_areas() {
+        let fm = simulate(&c, Arch::FullyMultiplexed, area).makespan_us;
+        let qla = simulate(&c, Arch::Qla, area).makespan_us;
+        let cqla = simulate(&c, Arch::default_cqla(c.n_qubits()), area).makespan_us;
+        assert!(fm <= qla * 1.001, "area {area}: FM {fm} vs QLA {qla}");
+        assert!(fm <= cqla * 1.001, "area {area}: FM {fm} vs CQLA {cqla}");
+    }
+}
+
+#[test]
+fn qla_needs_far_more_area_but_plateaus_similarly() {
+    // §5.2: "QLA requires two orders of magnitude more area ... QLA
+    // eventually plateaus at a similar execution time". Our model
+    // reproduces a >=8x area penalty (see EXPERIMENTS.md for the
+    // paper-vs-measured discussion) and a plateau within 2x.
+    let c = qrca_lowered(32);
+    let s = speedup_summary(&c, &sweep_areas());
+    assert!(
+        s.qla_area_penalty >= 8.0,
+        "QLA area penalty only {}x",
+        s.qla_area_penalty
+    );
+    assert!(
+        s.qla_plateau_us < 2.0 * s.fm_plateau_us,
+        "QLA plateau {} vs FM {}",
+        s.qla_plateau_us,
+        s.fm_plateau_us
+    );
+}
+
+#[test]
+fn cqla_plateaus_half_an_order_or_more_above_fm() {
+    // §5.2: CQLA plateaus half an order to an order of magnitude
+    // higher than Fully-Multiplexed.
+    for c in [qrca_lowered(32), qcla_lowered(32)] {
+        let s = speedup_summary(&c, &sweep_areas());
+        let ratio = s.cqla_plateau_us / s.fm_plateau_us;
+        assert!(
+            ratio > 2.0,
+            "{}: CQLA plateau only {ratio}x above FM",
+            c.name
+        );
+        assert!(ratio < 60.0, "{}: CQLA ratio {ratio} implausible", c.name);
+    }
+}
+
+#[test]
+fn headline_speedup_exceeds_five_x() {
+    // §1/§6: "more than five times speedup over previous proposals".
+    // The parallel benchmark shows it most clearly.
+    let c = qcla_lowered(32);
+    let s = speedup_summary(&c, &sweep_areas());
+    assert!(
+        s.max_speedup > 5.0,
+        "max equal-area speedup only {:.2}x",
+        s.max_speedup
+    );
+}
+
+#[test]
+fn qalypso_tracks_fully_multiplexed() {
+    // Qalypso is the tiled realization of fully-multiplexed
+    // distribution; at generous area they must agree closely.
+    let c = qcla_lowered(16);
+    let fm = simulate(&c, Arch::FullyMultiplexed, 1e6).makespan_us;
+    let qa = simulate(&c, Arch::default_qalypso(), 1e6).makespan_us;
+    assert!(
+        (qa / fm) < 1.25,
+        "Qalypso {qa} strays from FM {fm}"
+    );
+}
+
+#[test]
+fn qalypso_tile_size_tradeoff_exists() {
+    // Small tiles keep ballistic movement cheap but force inter-tile
+    // teleports; huge tiles do the reverse (§5.3's open problem).
+    let c = qcla_lowered(32);
+    let tiny = simulate(&c, Arch::Qalypso { tile_qubits: 2 }, 1e6);
+    let huge = simulate(&c, Arch::Qalypso { tile_qubits: 1024 }, 1e6);
+    assert!(tiny.teleports > 0);
+    assert_eq!(huge.teleports, 0);
+    // Neither extreme beats a moderate tile.
+    let mid = simulate(&c, Arch::Qalypso { tile_qubits: 16 }, 1e6);
+    assert!(mid.makespan_us <= tiny.makespan_us);
+}
+
+#[test]
+fn more_area_never_hurts_any_architecture() {
+    let c = qft_lowered(16, &SynthAdapter::with_budget(6, 5e-2));
+    for arch in [
+        Arch::FullyMultiplexed,
+        Arch::Qla,
+        Arch::default_cqla(16),
+        Arch::default_qalypso(),
+    ] {
+        let mut prev = f64::INFINITY;
+        for &area in &sweep_areas() {
+            let t = simulate(&c, arch, area).makespan_us;
+            assert!(
+                t <= prev * 1.0001,
+                "{}: non-monotone at area {area}",
+                arch.name()
+            );
+            prev = t;
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Integration tests for the extension features (threshold sweeps,
+//! tile optimization, the Draper adder, sequence simplification).
+
+use speed_of_data::arch::tiling::{best_tile, tile_sweep};
+use speed_of_data::kernels::{draper_adder, draper_adder_lowered};
+use speed_of_data::prelude::*;
+use speed_of_data::steane::threshold::threshold_sweep;
+use speed_of_data::synth::search::HtGate;
+use speed_of_data::synth::simplify::{simplify, t_count};
+
+#[test]
+fn draper_adder_adds_via_statevector() {
+    use speed_of_data::circuit::sim::statevector::State;
+    let n = 3;
+    for a in 0..(1usize << n) {
+        for b in 0..(1usize << n) {
+            let mut s = State::basis(2 * n, a | (b << n));
+            s.run(&draper_adder(n));
+            let want = a | (((a + b) % (1 << n)) << n);
+            assert!(
+                s.amps()[want].norm_sq() > 1.0 - 1e-9,
+                "{a}+{b} failed"
+            );
+        }
+    }
+}
+
+#[test]
+fn draper_adder_characterizes_with_fewer_qubits_than_qrca() {
+    let synth = SynthAdapter::with_budget(6, 5e-2);
+    let d = characterize(&draper_adder_lowered(16, &synth));
+    let r = characterize(&qrca_lowered(16));
+    assert_eq!(d.n_qubits, 32);
+    assert_eq!(r.n_qubits, 49);
+    assert!(d.breakdown.ancilla_prep_share() > 0.5);
+}
+
+#[test]
+fn threshold_sweep_rates_increase_with_noise() {
+    let pts = threshold_sweep(PrepStrategy::Basic, &[5.0, 50.0], 8_000, 3, 2);
+    assert!(pts[1].eval.error_rate() > pts[0].eval.error_rate());
+    assert!(pts[1].p_gate > pts[0].p_gate);
+}
+
+#[test]
+fn tile_optimizer_returns_a_swept_size() {
+    let c = qcla_lowered(16);
+    let sweep = tile_sweep(&c, 5e4);
+    let best = best_tile(&c, 5e4);
+    assert!(sweep.iter().any(|p| p.tile_qubits == best.tile_qubits));
+    assert!(sweep.iter().all(|p| best.exec_us <= p.exec_us + 1e-9));
+}
+
+#[test]
+fn simplification_reduces_qft_gate_counts() {
+    // Lowering with simplification must not increase length and must
+    // preserve the T-count accounting.
+    let word = vec![
+        HtGate::H,
+        HtGate::H,
+        HtGate::T,
+        HtGate::T,
+        HtGate::S,
+        HtGate::S,
+        HtGate::S,
+        HtGate::S,
+    ];
+    let simp = simplify(&word);
+    assert!(simp.len() < word.len());
+    assert_eq!(t_count(&simp), 0); // TT SSSS = S + 2 full turns -> S
+    assert_eq!(simp, vec![HtGate::S]);
+}
+
+#[test]
+fn simplified_qft_is_still_physical_and_correct_shape() {
+    let synth = SynthAdapter::with_budget(8, 2e-2);
+    let c = qft_lowered(16, &synth);
+    assert!(c.gates().iter().all(|g| g.is_physical()));
+    let r = characterize(&c);
+    assert!(r.breakdown.ancilla_prep_share() > 0.6);
+}

@@ -1,0 +1,124 @@
+//! Exact-number integration tests: every value the paper publishes
+//! that is derivable from its own constants must reproduce.
+
+use speed_of_data::prelude::*;
+
+#[test]
+fn table1_and_table4_latencies() {
+    let t = LatencyTable::ion_trap();
+    assert_eq!(
+        (t.t_1q, t.t_2q, t.t_meas, t.t_prep, t.t_move, t.t_turn),
+        (1.0, 10.0, 50.0, 51.0, 1.0, 10.0)
+    );
+}
+
+#[test]
+fn fig11_simple_factory() {
+    let f = SimpleFactory::paper();
+    assert_eq!(f.prep_latency_us(), 323.0);
+    assert_eq!(f.area(), 90);
+    assert!((f.throughput_per_ms() - 3.1).abs() < 0.01);
+}
+
+#[test]
+fn table5_table6_zero_factory() {
+    let f = ZeroFactory::paper().bandwidth_matched();
+    let counts: Vec<u32> = f.stages.iter().map(|s| s.count).collect();
+    assert_eq!(counts, vec![24, 1, 1, 3, 2]);
+    assert_eq!(f.functional_area(), 130);
+    assert_eq!(f.crossbar_area(), 168);
+    assert_eq!(f.total_area(), 298);
+    assert!((f.throughput_per_ms - 10.5).abs() < 0.05);
+}
+
+#[test]
+fn table7_table8_pi8_factory() {
+    let f = Pi8Factory::paper().bandwidth_matched();
+    let counts: Vec<u32> = f.stages.iter().map(|s| s.count).collect();
+    assert_eq!(counts, vec![4, 1, 4, 2]);
+    assert_eq!(f.functional_area(), 147);
+    assert_eq!(f.crossbar_area(), 256);
+    assert_eq!(f.total_area(), 403);
+    assert!((f.throughput_per_ms - 18.3).abs() < 0.1);
+}
+
+#[test]
+fn table9_reproduces_from_paper_bandwidths() {
+    // Row: (name, qubits, zero bw, pi8 bw, data, qec area, pi8 area).
+    let rows = [
+        ("QRCA", 97usize, 34.8, 7.0, 679.0, 986.9, 354.7),
+        ("QCLA", 123, 306.1, 62.7, 861.0, 8682.2, 3154.4),
+        ("QFT", 32, 36.8, 8.6, 224.0, 1043.5, 433.7),
+    ];
+    for (name, nq, zbw, pbw, data, qec, pi8) in rows {
+        let row = table9_row_from_bandwidths(name, nq, zbw, pbw);
+        assert_eq!(row.data_area, data, "{name} data");
+        assert!(
+            (row.qec_factory_area - qec).abs() / qec < 0.01,
+            "{name} qec area {} vs paper {qec}",
+            row.qec_factory_area
+        );
+        assert!(
+            (row.pi8_factory_area - pi8).abs() / pi8 < 0.015,
+            "{name} pi8 area {} vs paper {pi8}",
+            row.pi8_factory_area
+        );
+    }
+}
+
+#[test]
+fn benchmark_qubit_budgets_match_table9_data_areas() {
+    assert_eq!(qrca(32).n_qubits(), 97); // 679 = 7 x 97
+    assert_eq!(qcla(32).n_qubits(), 123); // 861 = 7 x 123
+    assert_eq!(qft(32).n_qubits(), 32); // 224 = 7 x 32
+}
+
+#[test]
+fn characterization_model_constants() {
+    let m = CharacterizationModel::ion_trap();
+    assert_eq!(m.qec_interact(), 122.0);
+    assert_eq!(m.zero_prep(), 323.0);
+    assert_eq!(m.pi8_interact(), 61.0);
+    assert_eq!(m.pi8_prep(), 668.0);
+}
+
+#[test]
+fn factory_and_characterization_models_agree() {
+    // qods-circuit's latency constants must equal what qods-factory
+    // derives from its own unit specs.
+    let m = CharacterizationModel::ion_trap();
+    let simple = SimpleFactory::paper();
+    assert_eq!(m.zero_prep(), simple.prep_latency_us());
+    // pi/8 prep tail = Table 7 stage latencies.
+    let t = LatencyTable::ion_trap();
+    let stages: f64 = Pi8Factory::units()
+        .iter()
+        .skip(1) // stage 1 runs concurrently with the zero prep
+        .map(|u| u.latency_us(&t))
+        .sum();
+    assert_eq!(m.pi8_prep(), simple.prep_latency_us() + stages);
+}
+
+#[test]
+fn section_3_3_non_transversal_fractions() {
+    // Paper: QRCA 40.5%, QCLA 41.0%, QFT 46.9%. Ours use the standard
+    // Toffoli decomposition and our synthesis budget; the fractions
+    // must land in the same band.
+    let f_rca = qrca_lowered(32).non_transversal_fraction();
+    let f_cla = qcla_lowered(32).non_transversal_fraction();
+    assert!((0.35..0.50).contains(&f_rca), "QRCA {f_rca}");
+    assert!((0.35..0.50).contains(&f_cla), "QCLA {f_cla}");
+    let synth = SynthAdapter::with_budget(10, 2e-2);
+    let f_qft = qft_lowered(32, &synth).non_transversal_fraction();
+    assert!((0.25..0.60).contains(&f_qft), "QFT {f_qft}");
+}
+
+#[test]
+fn section_5_3_bandwidth_density_parity() {
+    // "They produce virtually the same encoded zero ancilla bandwidth
+    // per unit area."
+    let simple = SimpleFactory::paper();
+    let pipelined = ZeroFactory::paper().bandwidth_matched();
+    let ratio = pipelined.throughput_per_area() / simple.throughput_per_area();
+    assert!((0.9..1.15).contains(&ratio), "density ratio {ratio}");
+}
