@@ -12,7 +12,12 @@ fn main() {
         let t0 = Instant::now();
         let curves = area_sweep(
             c,
-            &[Arch::FullyMultiplexed, Arch::Qla, Arch::default_cqla(c.n_qubits()), Arch::default_qalypso()],
+            &[
+                Arch::FullyMultiplexed,
+                Arch::Qla,
+                Arch::default_cqla(c.n_qubits()),
+                Arch::default_qalypso(),
+            ],
             &areas,
         );
         println!("== {} ==", c.name);

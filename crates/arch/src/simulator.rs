@@ -226,8 +226,7 @@ pub fn simulate(circuit: &Circuit, arch: Arch, factory_area: f64) -> SimOutcome 
             // memory-side and its products must cross the hierarchy
             // port to reach the data.
             let local_area = ((cache_slots as f64) * 90.0).min(factory_area);
-            let local =
-                FactoryFarm::bandwidth_for_area(local_area, ratio, ZeroFactoryKind::Simple);
+            let local = FactoryFarm::bandwidth_for_area(local_area, ratio, ZeroFactoryKind::Simple);
             let remote_area = (factory_area - local_area).max(0.0);
             let remote = FactoryFarm::bandwidth_for_area(
                 remote_area.max(1e-9),
@@ -305,8 +304,8 @@ pub fn simulate(circuit: &Circuit, arch: Arch, factory_area: f64) -> SimOutcome 
     // would serialize independent chains through shared resources).
     let mut indegree = vec![0usize; gates.len()];
     let mut succs: Vec<Vec<usize>> = vec![Vec::new(); gates.len()];
-    for i in 0..gates.len() {
-        indegree[i] = dag.preds(i).len();
+    for (i, slot) in indegree.iter_mut().enumerate() {
+        *slot = dag.preds(i).len();
         for &p in dag.preds(i) {
             succs[p].push(i);
         }
@@ -317,8 +316,8 @@ pub fn simulate(circuit: &Circuit, arch: Arch, factory_area: f64) -> SimOutcome 
     let mut heap: BinaryHeap<(Reverse<u64>, usize)> = BinaryHeap::new();
     let key = |t: f64| Reverse(t.to_bits()); // non-negative floats sort by bits
     let mut ready_time = vec![0.0f64; gates.len()];
-    for i in 0..gates.len() {
-        if indegree[i] == 0 {
+    for (i, &deg) in indegree.iter().enumerate() {
+        if deg == 0 {
             heap.push((key(0.0), i));
         }
     }
@@ -394,8 +393,7 @@ pub fn simulate(circuit: &Circuit, arch: Arch, factory_area: f64) -> SimOutcome 
                 // this gate's encoded zeros crosses the hierarchy port
                 // (one teleport per block pair), serialized with all
                 // other transfers.
-                let remote_zeros =
-                    remote_fraction * 2.0 * operands.len() as f64;
+                let remote_zeros = remote_fraction * 2.0 * operands.len() as f64;
                 if remote_zeros > 0.0 {
                     let transfer = remote_zeros / 2.0 * link.teleport_us();
                     let start = ready.max(hierarchy_port_free);

@@ -88,9 +88,36 @@ mod tests {
     fn paper_rows_reproduce_within_one_percent() {
         // (name, qubits, zero bw, pi8 bw, data, qec, pi8, shares)
         let rows = [
-            ("QRCA", 97, 34.8, 7.0, 679.0, 986.9, 354.7, (0.336, 0.488, 0.176)),
-            ("QCLA", 123, 306.1, 62.7, 861.0, 8682.2, 3154.4, (0.068, 0.684, 0.248)),
-            ("QFT", 32, 36.8, 8.6, 224.0, 1043.5, 433.7, (0.132, 0.613, 0.255)),
+            (
+                "QRCA",
+                97,
+                34.8,
+                7.0,
+                679.0,
+                986.9,
+                354.7,
+                (0.336, 0.488, 0.176),
+            ),
+            (
+                "QCLA",
+                123,
+                306.1,
+                62.7,
+                861.0,
+                8682.2,
+                3154.4,
+                (0.068, 0.684, 0.248),
+            ),
+            (
+                "QFT",
+                32,
+                36.8,
+                8.6,
+                224.0,
+                1043.5,
+                433.7,
+                (0.132, 0.613, 0.255),
+            ),
         ];
         for (name, nq, zbw, pbw, data, qec, pi8, shares) in rows {
             let row = table9_row_from_bandwidths(name, nq, zbw, pbw);
@@ -105,9 +132,18 @@ mod tests {
                 "{name} pi8 {}",
                 row.pi8_factory_area
             );
-            assert!((row.data_share() - shares.0).abs() < 0.005, "{name} data share");
-            assert!((row.qec_share() - shares.1).abs() < 0.005, "{name} qec share");
-            assert!((row.pi8_share() - shares.2).abs() < 0.005, "{name} pi8 share");
+            assert!(
+                (row.data_share() - shares.0).abs() < 0.005,
+                "{name} data share"
+            );
+            assert!(
+                (row.qec_share() - shares.1).abs() < 0.005,
+                "{name} qec share"
+            );
+            assert!(
+                (row.pi8_share() - shares.2).abs() < 0.005,
+                "{name} pi8 share"
+            );
         }
     }
 

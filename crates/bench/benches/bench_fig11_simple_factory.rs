@@ -7,7 +7,9 @@ fn bench(c: &mut Criterion) {
     let f = SimpleFactory::paper();
     println!(
         "[fig11] latency {:.0} us, area {} MB, {:.2} anc/ms  [paper: 323, 90, 3.1]",
-        f.prep_latency_us(), f.area(), f.throughput_per_ms()
+        f.prep_latency_us(),
+        f.area(),
+        f.throughput_per_ms()
     );
     assert_eq!(f.area(), 90);
     c.bench_function("fig11_layout_generation", |b| {

@@ -11,7 +11,10 @@ fn bench(c: &mut Criterion) {
     for e in evaluate_all(model, 50_000, 7, 8) {
         println!(
             "[fig4] {:<20} uncorrectable {:.3e} dirty {:.3e} discard {:.4} (paper at 1x: {:.1e})",
-            e.strategy.name(), e.error_rate(), e.dirty_rate(), e.discard_rate(),
+            e.strategy.name(),
+            e.error_rate(),
+            e.dirty_rate(),
+            e.discard_rate(),
             e.strategy.paper_error_rate()
         );
     }
@@ -20,8 +23,14 @@ fn bench(c: &mut Criterion) {
     });
     c.bench_function("fig4_verify_and_correct_1k_trials", |b| {
         b.iter(|| {
-            evaluate_prep(PrepStrategy::VerifyAndCorrect, black_box(model), 1_000, 7, 1)
-                .error_rate()
+            evaluate_prep(
+                PrepStrategy::VerifyAndCorrect,
+                black_box(model),
+                1_000,
+                7,
+                1,
+            )
+            .error_rate()
         })
     });
 }

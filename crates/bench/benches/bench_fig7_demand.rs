@@ -11,7 +11,10 @@ fn bench(c: &mut Criterion) {
         let prof = demand_profile(&circ, &model, 512);
         let peak = prof.iter().map(|p| p.zeros_in_flight).fold(0.0, f64::max);
         let avg = prof.iter().map(|p| p.zeros_in_flight).sum::<f64>() / prof.len() as f64;
-        println!("[fig7] {}: avg in-flight {:.1}, peak {:.0}", circ.name, avg, peak);
+        println!(
+            "[fig7] {}: avg in-flight {:.1}, peak {:.0}",
+            circ.name, avg, peak
+        );
     }
     let qrca = qrca_lowered(32);
     c.bench_function("fig7_demand_profile_qrca32", |b| {

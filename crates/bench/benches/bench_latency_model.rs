@@ -10,7 +10,13 @@ fn bench(c: &mut Criterion) {
         "[table1/table4] t_1q={} t_2q={} t_meas={} t_prep={} t_move={} t_turn={}",
         t.t_1q, t.t_2q, t.t_meas, t.t_prep, t.t_move, t.t_turn
     );
-    let lat = SymbolicLatency::new().prep(1).meas(2).two_q(6).one_q(2).turn(8).mov(30);
+    let lat = SymbolicLatency::new()
+        .prep(1)
+        .meas(2)
+        .two_q(6)
+        .one_q(2)
+        .turn(8)
+        .mov(30);
     assert_eq!(lat.eval(&t), 323.0);
     c.bench_function("table1_symbolic_eval", |b| {
         b.iter(|| black_box(lat).eval(black_box(&t)))

@@ -1,0 +1,48 @@
+//! Registry `run_all`: parallel vs sequential wall-clock on the smoke
+//! config (each iteration uses a fresh context, so benchmark lowering
+//! is included in both paths).
+use criterion::{criterion_group, criterion_main, Criterion};
+use qods_core::experiment::StudyContext;
+use qods_core::registry::Registry;
+use qods_core::study::StudyConfig;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let registry = Registry::paper();
+    let seq = {
+        let ctx = StudyContext::new(StudyConfig::smoke());
+        let t0 = std::time::Instant::now();
+        let records = registry.run_all_sequential(&ctx);
+        (t0.elapsed(), records.len())
+    };
+    let par = {
+        let ctx = StudyContext::new(StudyConfig::smoke());
+        let t0 = std::time::Instant::now();
+        let records = registry.run_all(&ctx);
+        (t0.elapsed(), records.len())
+    };
+    println!(
+        "[run_all] smoke config, cold context: sequential {:?} vs parallel {:?} ({} experiments)",
+        seq.0, par.0, seq.1
+    );
+    c.bench_function("run_all_sequential_smoke", |b| {
+        b.iter(|| {
+            let ctx = StudyContext::new(black_box(StudyConfig::smoke()));
+            registry.run_all_sequential(&ctx).len()
+        })
+    });
+    c.bench_function("run_all_parallel_smoke", |b| {
+        b.iter(|| {
+            let ctx = StudyContext::new(black_box(StudyConfig::smoke()));
+            registry.run_all(&ctx).len()
+        })
+    });
+    c.bench_function("run_all_parallel_smoke_warm_context", |b| {
+        let ctx = StudyContext::new(StudyConfig::smoke());
+        ctx.benchmarks();
+        b.iter(|| registry.run_all(&ctx).len())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

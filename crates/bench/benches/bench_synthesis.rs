@@ -8,7 +8,10 @@ fn bench(c: &mut Criterion) {
     for max_t in [6u32, 10, 12] {
         let synth = Synthesizer::with_budget(max_t, 0.0);
         let seq = synth.rz_pi_over_2k(4, false);
-        println!("[synth] max_t={max_t}: distance {:.3e}, T-count {}", seq.distance, seq.t_count);
+        println!(
+            "[synth] max_t={max_t}: distance {:.3e}, T-count {}",
+            seq.distance, seq.t_count
+        );
         group.bench_with_input(BenchmarkId::from_parameter(max_t), &max_t, |b, _| {
             b.iter(|| synth.rz_pi_over_2k(black_box(4), false).distance)
         });

@@ -9,7 +9,12 @@ fn bench(c: &mut Criterion) {
     for u in ZeroFactory::units() {
         println!(
             "[table5] {:<16} {} = {:.0} us, bw in {:.1} out {:.1} /ms, area {}",
-            u.name, u.latency, u.latency_us(&t), u.bw_in_per_ms(&t), u.bw_out_per_ms(&t), u.area
+            u.name,
+            u.latency,
+            u.latency_us(&t),
+            u.bw_in_per_ms(&t),
+            u.bw_out_per_ms(&t),
+            u.area
         );
     }
     c.bench_function("table5_unit_bandwidths", |b| {

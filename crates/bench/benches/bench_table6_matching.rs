@@ -4,7 +4,11 @@ use qods_core::factory::zero::ZeroFactory;
 
 fn bench(c: &mut Criterion) {
     let f = ZeroFactory::paper().bandwidth_matched();
-    let counts: Vec<String> = f.stages.iter().map(|s| format!("{} x{}", s.unit.name, s.count)).collect();
+    let counts: Vec<String> = f
+        .stages
+        .iter()
+        .map(|s| format!("{} x{}", s.unit.name, s.count))
+        .collect();
     println!(
         "[table6] {}; functional {} + crossbar {} = {} MB; {:.2} anc/ms  [paper: 130+168=298, 10.5]",
         counts.join(", "), f.functional_area(), f.crossbar_area(), f.total_area(), f.throughput_per_ms

@@ -9,7 +9,12 @@ fn bench(c: &mut Criterion) {
     for u in Pi8Factory::units() {
         println!(
             "[table7] {:<26} {} = {:.0} us, bw in {:.1} out {:.1} /ms, area {}",
-            u.name, u.latency, u.latency_us(&t), u.bw_in_per_ms(&t), u.bw_out_per_ms(&t), u.area
+            u.name,
+            u.latency,
+            u.latency_us(&t),
+            u.bw_in_per_ms(&t),
+            u.bw_out_per_ms(&t),
+            u.area
         );
     }
     c.bench_function("table7_unit_bandwidths", |b| {

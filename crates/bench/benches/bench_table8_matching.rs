@@ -4,7 +4,11 @@ use qods_core::factory::pi8::Pi8Factory;
 
 fn bench(c: &mut Criterion) {
     let f = Pi8Factory::paper().bandwidth_matched();
-    let counts: Vec<String> = f.stages.iter().map(|s| format!("{} x{}", s.unit.name, s.count)).collect();
+    let counts: Vec<String> = f
+        .stages
+        .iter()
+        .map(|s| format!("{} x{}", s.unit.name, s.count))
+        .collect();
     println!(
         "[table8] {}; functional {} + crossbar {} = {} MB; {:.2} anc/ms  [paper: 147+256=403, 18.3]",
         counts.join(", "), f.functional_area(), f.crossbar_area(), f.total_area(), f.throughput_per_ms

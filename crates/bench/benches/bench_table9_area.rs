@@ -4,7 +4,11 @@ use qods_core::arch::table9::table9_row_from_bandwidths;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    for (name, nq, zbw, pbw) in [("QRCA", 97, 34.8, 7.0), ("QCLA", 123, 306.1, 62.7), ("QFT", 32, 36.8, 8.6)] {
+    for (name, nq, zbw, pbw) in [
+        ("QRCA", 97, 34.8, 7.0),
+        ("QCLA", 123, 306.1, 62.7),
+        ("QFT", 32, 36.8, 8.6),
+    ] {
         let r = table9_row_from_bandwidths(name, nq, zbw, pbw);
         println!(
             "[table9] {name}: data {:.0} ({:.1}%) qec {:.1} ({:.1}%) pi8 {:.1} ({:.1}%)  [paper: e.g. QRCA 679 (33.6%) 986.9 (48.8%) 354.7 (17.6%)]",

@@ -1,148 +1,135 @@
-//! Regenerates every table and figure of "Running a Quantum Circuit at
-//! the Speed of Data".
+//! Regenerates tables and figures of "Running a Quantum Circuit at
+//! the Speed of Data" through the experiment registry.
 //!
 //! ```text
-//! cargo run -p qods-bench --bin repro --release            # everything
-//! cargo run -p qods-bench --bin repro --release -- quick   # smoke config
-//! cargo run -p qods-bench --bin repro --release -- fig4    # one experiment
+//! cargo run -p qods-bench --bin repro --release                  # everything, in parallel
+//! cargo run -p qods-bench --bin repro --release -- --list       # enumerate experiments
+//! cargo run -p qods-bench --bin repro --release -- quick        # smoke config
+//! cargo run -p qods-bench --bin repro --release -- fig15 table9 # a selection
+//! cargo run -p qods-bench --bin repro --release -- --json fig4  # machine-readable output
+//! cargo run -p qods-bench --bin repro --release -- --sequential # timing baseline
 //! ```
 //!
-//! Output: the paper-layout report on stdout, plus `results/repro.json`
-//! and per-figure CSVs under `results/`.
+//! Full runs print the paper-layout report on stdout and write
+//! `results/repro.json` plus per-figure CSVs under `results/`.
+//! Dispatch is entirely data-driven: ids resolve through
+//! [`Registry::get`], so adding an experiment to the registry makes it
+//! addressable here with no changes to this file.
 
-use qods_bench::{write_json, write_series_csv};
-use qods_core::report::render;
-use qods_core::study::{Study, StudyConfig};
+use qods_bench::{write_json, write_record_csvs};
+use qods_core::experiment::StudyContext;
+use qods_core::registry::Registry;
+use qods_core::report::Render;
+use qods_core::study::{PaperReproduction, StudyConfig};
 use std::path::Path;
+use std::process::ExitCode;
 
-fn main() {
+fn usage() -> &'static str {
+    "usage: repro [--list] [--json] [--sequential] [quick] [EXPERIMENT_ID ...]\n\
+     \n\
+     With no ids: runs every experiment (in parallel unless --sequential),\n\
+     prints the paper-layout report, and writes results/repro.json + CSVs.\n\
+     With ids: runs exactly those experiments and prints each one.\n\
+     `repro --list` shows every addressable id."
+}
+
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "quick");
-    let filter: Vec<&String> = args.iter().filter(|a| a.as_str() != "quick").collect();
+    let mut quick = false;
+    let mut list = false;
+    let mut json = false;
+    let mut sequential = false;
+    let mut ids: Vec<String> = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "quick" | "--quick" => quick = true,
+            "--list" => list = true,
+            "--json" => json = true,
+            "--sequential" => sequential = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag `{other}`\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+
+    let registry = Registry::paper();
+
+    if list {
+        println!("{:<10} {:<22} title", "id", "aliases");
+        for info in registry.list() {
+            println!(
+                "{:<10} {:<22} {}",
+                info.id,
+                info.aliases.join(", "),
+                info.title
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
 
     let config = if quick {
         StudyConfig::smoke()
     } else {
         StudyConfig::default()
     };
-    let study = Study::new(config);
+    let ctx = StudyContext::new(config.clone());
 
-    if filter.is_empty() {
+    if ids.is_empty() {
         let t0 = std::time::Instant::now();
-        let out = study.run_all();
-        println!("{}", render(&out));
+        let records = if sequential {
+            registry.run_all_sequential(&ctx)
+        } else {
+            registry.run_all(&ctx)
+        };
+        let wall = t0.elapsed();
+        let out = PaperReproduction::from_records(config, &records);
+        if json {
+            println!("{}", serde_json::to_string_pretty(&out).expect("serialize"));
+        } else {
+            println!("{}", out.render());
+        }
         let results = Path::new("results");
         write_json(&results.join("repro.json"), &out).expect("write results/repro.json");
-        write_series_csv(results, "fig7", &out.fig7).expect("write fig7 csv");
-        write_series_csv(results, "fig8", &out.fig8).expect("write fig8 csv");
-        for panel in &out.fig15 {
-            let name: String = panel
-                .name
-                .chars()
-                .map(|c| if c.is_alphanumeric() { c } else { '_' })
-                .collect();
-            write_series_csv(results, &format!("fig15_{name}"), &panel.curves)
-                .expect("write fig15 csv");
-        }
+        write_json(&results.join("experiments.json"), &records)
+            .expect("write results/experiments.json");
+        write_record_csvs(results, &records).expect("write figure CSVs");
+        let cpu: f64 = records.iter().map(|r| r.seconds).sum();
         eprintln!(
-            "wrote results/repro.json and figure CSVs in {:?}",
-            t0.elapsed()
+            "ran {} experiments ({}) in {:.2?} wall / {:.2?} summed; wrote results/",
+            records.len(),
+            if sequential { "sequential" } else { "parallel" },
+            wall,
+            std::time::Duration::from_secs_f64(cpu),
         );
-        return;
+        return ExitCode::SUCCESS;
     }
 
-    // Single-experiment mode.
-    let benchmarks = study.benchmarks();
-    for id in filter {
-        match id.as_str() {
-            "table1" | "table4" => {
-                let t = study.latency_table();
+    // Single-experiment mode: resolve every id through the registry —
+    // no per-experiment dispatch lives here.
+    let id_refs: Vec<&str> = ids.iter().map(String::as_str).collect();
+    match registry.run_selected(&id_refs, &ctx) {
+        Ok(records) => {
+            if json {
                 println!(
-                    "t_1q={} t_2q={} t_meas={} t_prep={} t_move={} t_turn={} (us)",
-                    t.t_1q, t.t_2q, t.t_meas, t.t_prep, t.t_move, t.t_turn
+                    "{}",
+                    serde_json::to_string_pretty(&records).expect("serialize")
                 );
-            }
-            "table2" | "table3" => {
-                let (t2, t3, nt) = study.run_characterization(&benchmarks);
-                for r in t2 {
-                    println!(
-                        "{}: data {:.0} ({:.1}%) interact {:.0} ({:.1}%) prep {:.0} ({:.1}%)",
-                        r.name,
-                        r.data_op_us,
-                        100.0 * r.shares.0,
-                        r.qec_interact_us,
-                        100.0 * r.shares.1,
-                        r.ancilla_prep_us,
-                        100.0 * r.shares.2
-                    );
-                }
-                for r in t3 {
-                    println!("{}: zero {:.1}/ms pi8 {:.1}/ms", r.name, r.zero_per_ms, r.pi8_per_ms);
-                }
-                for (n, f) in nt {
-                    println!("{n}: {:.1}% non-transversal", 100.0 * f);
+            } else {
+                for r in &records {
+                    print!("{}", r.output.render());
                 }
             }
-            "table5" | "table6" | "table7" | "table8" | "fig11" => {
-                let f = study.run_factories();
-                println!(
-                    "simple: {:.0} us, {} MB, {:.1}/ms | zero: {} MB @ {:.1}/ms | pi8: {} MB @ {:.1}/ms",
-                    f.simple.0, f.simple.1, f.simple.2, f.zero.2, f.zero.3, f.pi8.2, f.pi8.3
-                );
-            }
-            "table9" => {
-                for r in study.run_table9(&benchmarks) {
-                    println!(
-                        "{}: data {:.0} ({:.1}%) qec {:.1} ({:.1}%) pi8 {:.1} ({:.1}%)",
-                        r.name,
-                        r.data.0,
-                        100.0 * r.data.1,
-                        r.qec.0,
-                        100.0 * r.qec.1,
-                        r.pi8.0,
-                        100.0 * r.pi8.1
-                    );
-                }
-            }
-            "fig4" => {
-                for r in study.run_fig4() {
-                    println!(
-                        "{}: uncorrectable {:.3e} dirty {:.3e} discard {:.4} (paper {:.1e})",
-                        r.strategy, r.uncorrectable_rate, r.dirty_rate, r.discard_rate, r.paper_rate
-                    );
-                }
-            }
-            "fig6" => {
-                for k in 3..=12u8 {
-                    let a = qods_core::synth::cascade::analyze_cascade(k);
-                    println!("k={k}: E[CX]={:.3} factories={}", a.expected_cx, a.factories);
-                }
-            }
-            "fig7" => {
-                for s in study.run_fig7(&benchmarks) {
-                    let peak = s.points.iter().map(|p| p.1).fold(0.0, f64::max);
-                    println!("{}: peak in-flight zeros {:.0}", s.label, peak);
-                }
-            }
-            "fig8" => {
-                for s in study.run_fig8(&benchmarks) {
-                    let lo = s.points.first().expect("points");
-                    let hi = s.points.last().expect("points");
-                    println!(
-                        "{}: {:.2e} us @ {:.1}/ms -> {:.2e} us @ {:.1}/ms",
-                        s.label, lo.1, lo.0, hi.1, hi.0
-                    );
-                }
-            }
-            "fig15" | "headline" => {
-                for p in study.run_fig15(&benchmarks) {
-                    println!(
-                        "{}: speedup {:.1}x, QLA area penalty {:.0}x, CQLA plateau {:.1}x",
-                        p.name, p.max_speedup, p.qla_area_penalty, p.cqla_plateau_ratio
-                    );
-                }
-            }
-            other => eprintln!("unknown experiment id: {other}"),
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}\n{}", usage());
+            ExitCode::FAILURE
         }
     }
 }

@@ -3,17 +3,23 @@
 //! Two entry points:
 //!
 //! * the **`repro` binary** (`cargo run -p qods-bench --bin repro --release`)
-//!   regenerates every table and figure of the paper, prints them in
-//!   the paper's layout, and writes machine-readable results (JSON and
-//!   per-figure CSV) under `results/`;
+//!   drives the experiment registry: `--list` enumerates experiments,
+//!   bare ids run them individually, and a full run regenerates every
+//!   table and figure in parallel, prints them in the paper's layout,
+//!   and writes machine-readable results (JSON and per-figure CSV)
+//!   under `results/`;
 //! * the **Criterion benches** (`cargo bench`), one per table/figure,
 //!   measure how long each regeneration takes and print the headline
 //!   reproduced numbers once per run.
 //!
-//! Experiment ids match DESIGN.md §3: `table1`..`table9`, `fig4`,
-//! `fig6`, `fig7`, `fig8`, `fig11`, `fig15`, `headline`.
+//! Experiment ids match the table in [`qods_core`]'s crate docs:
+//! `table1`..`table9`, `sec33`, `fig4`, `fig6`, `fig7`, `fig8`,
+//! `fig11`, `fig15`, plus aliases like `headline`.
 
-use qods_core::study::{PaperReproduction, Series};
+use qods_core::experiment::ExperimentRecord;
+use qods_core::output::Series;
+
+use serde::Serialize;
 use std::fs;
 use std::io::Write as _;
 use std::path::Path;
@@ -27,37 +33,50 @@ use std::path::Path;
 pub fn write_series_csv(dir: &Path, figure: &str, series: &[Series]) -> std::io::Result<()> {
     fs::create_dir_all(dir)?;
     for s in series {
-        let safe: String = s
-            .label
-            .chars()
-            .map(|c| if c.is_alphanumeric() { c } else { '_' })
-            .collect();
+        let safe = qods_core::output::csv_safe_stem(&s.label);
         let mut f = fs::File::create(dir.join(format!("{figure}_{safe}.csv")))?;
         writeln!(f, "x,y")?;
-        for (x, y) in &s.points {
-            writeln!(f, "{x},{y}")?;
+        for p in &s.points {
+            writeln!(f, "{},{}", p.x, p.y)?;
         }
     }
     Ok(())
 }
 
-/// Writes the full reproduction as pretty JSON.
+/// Writes any serializable result (the full
+/// [`qods_core::study::PaperReproduction`], a single
+/// [`ExperimentRecord`], or a whole record list) as pretty JSON.
 ///
 /// # Errors
 ///
 /// Returns I/O or serialization errors.
-pub fn write_json(path: &Path, out: &PaperReproduction) -> std::io::Result<()> {
+pub fn write_json<T: Serialize>(path: &Path, out: &T) -> std::io::Result<()> {
     if let Some(dir) = path.parent() {
         fs::create_dir_all(dir)?;
     }
-    let json = serde_json::to_string_pretty(out)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::Other, e))?;
+    let json = serde_json::to_string_pretty(out).map_err(std::io::Error::other)?;
     fs::write(path, json)
+}
+
+/// Writes every figure CSV a set of records exports.
+///
+/// # Errors
+///
+/// Returns I/O errors from file creation or writing.
+pub fn write_record_csvs(dir: &Path, records: &[ExperimentRecord]) -> std::io::Result<()> {
+    for r in records {
+        for (figure, series) in r.output.csv_series(&r.id) {
+            write_series_csv(dir, &figure, series)?;
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qods_core::experiment::StudyContext;
+    use qods_core::registry::Registry;
     use qods_core::study::{Study, StudyConfig};
 
     #[test]
@@ -68,5 +87,27 @@ mod tests {
         write_json(&dir.join("repro.json"), &out).expect("json");
         let json = std::fs::read_to_string(dir.join("repro.json")).expect("read");
         assert!(json.contains("table9"));
+    }
+
+    #[test]
+    fn record_csvs_cover_all_figures() {
+        let ctx = StudyContext::new(StudyConfig::smoke());
+        let registry = Registry::paper();
+        let records = registry
+            .run_selected(&["fig7", "fig8", "fig15"], &ctx)
+            .expect("known ids");
+        let dir = std::env::temp_dir().join("qods_bench_csv_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_record_csvs(&dir, &records).expect("csvs");
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .expect("dir")
+            .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+            .collect();
+        for prefix in ["fig7_", "fig8_", "fig15_"] {
+            assert!(
+                names.iter().any(|n| n.starts_with(prefix)),
+                "no CSV with prefix {prefix} in {names:?}"
+            );
+        }
     }
 }

@@ -100,8 +100,7 @@ pub fn characterize_with(circuit: &Circuit, model: &CharacterizationModel) -> Ci
     let gates = circuit.gates();
 
     // Critical path weighted by occupied time (data + QEC interact).
-    let weight =
-        |i: usize| model.data_latency(&gates[i]) + model.qec_interact();
+    let weight = |i: usize| model.data_latency(&gates[i]) + model.qec_interact();
     let path = dag.critical_path(weight);
 
     let mut data_op = 0.0;

@@ -213,11 +213,31 @@ fn lower_gate(g: Gate, synth: &impl RotationSynthesizer, out: &mut Circuit) {
             // §2.5 counts "a CX gate and 3 single qubit pi/2^{k+1}
             // gates"; the standard identity needs two CX — the extra CX
             // is transversal and cheap, and we use the exact network.)
-            lower_gate(Gate::PhaseRot { q: c, k: k + 1, dagger }, synth, out);
-            lower_gate(Gate::PhaseRot { q: t, k: k + 1, dagger }, synth, out);
+            lower_gate(
+                Gate::PhaseRot {
+                    q: c,
+                    k: k + 1,
+                    dagger,
+                },
+                synth,
+                out,
+            );
+            lower_gate(
+                Gate::PhaseRot {
+                    q: t,
+                    k: k + 1,
+                    dagger,
+                },
+                synth,
+                out,
+            );
             out.push(Gate::Cx(c, t));
             lower_gate(
-                Gate::PhaseRot { q: t, k: k + 1, dagger: !dagger },
+                Gate::PhaseRot {
+                    q: t,
+                    k: k + 1,
+                    dagger: !dagger,
+                },
                 synth,
                 out,
             );
@@ -251,10 +271,7 @@ mod tests {
         let l = c.lower(&NoSynth);
         assert_eq!(l.len(), 15);
         assert_eq!(l.count_where(|g| matches!(g, Gate::Cx(..))), 6);
-        assert_eq!(
-            l.count_where(|g| matches!(g, Gate::T(_) | Gate::Tdg(_))),
-            7
-        );
+        assert_eq!(l.count_where(|g| matches!(g, Gate::T(_) | Gate::Tdg(_))), 7);
         assert_eq!(l.count_where(|g| matches!(g, Gate::H(_))), 2);
         // 7 of 15 gates are non-transversal: 46.7%.
         assert!((l.non_transversal_fraction() - 7.0 / 15.0).abs() < 1e-12);
@@ -267,10 +284,7 @@ mod tests {
         let l = c.lower(&NoSynth);
         // 3 T-type rotations + 2 CX.
         assert_eq!(l.len(), 5);
-        assert_eq!(
-            l.count_where(|g| matches!(g, Gate::T(_) | Gate::Tdg(_))),
-            3
-        );
+        assert_eq!(l.count_where(|g| matches!(g, Gate::T(_) | Gate::Tdg(_))), 3);
         assert!(l.gates().iter().all(|g| g.is_physical()));
     }
 

@@ -129,9 +129,24 @@ mod tests {
         assert!(Gate::T(0).needs_pi8_ancilla());
         assert!(Gate::T(0).is_physical());
         assert!(!Gate::Toffoli(0, 1, 2).is_physical());
-        assert!(!Gate::PhaseRot { q: 0, k: 5, dagger: false }.is_physical());
-        assert!(Gate::PhaseRot { q: 0, k: 1, dagger: false }.is_transversal());
-        assert!(Gate::PhaseRot { q: 0, k: 2, dagger: true }.needs_pi8_ancilla());
+        assert!(!Gate::PhaseRot {
+            q: 0,
+            k: 5,
+            dagger: false
+        }
+        .is_physical());
+        assert!(Gate::PhaseRot {
+            q: 0,
+            k: 1,
+            dagger: false
+        }
+        .is_transversal());
+        assert!(Gate::PhaseRot {
+            q: 0,
+            k: 2,
+            dagger: true
+        }
+        .needs_pi8_ancilla());
     }
 
     #[test]
@@ -139,7 +154,13 @@ mod tests {
         assert_eq!(Gate::Cx(3, 5).qubits(), vec![3, 5]);
         assert_eq!(Gate::Toffoli(1, 2, 3).qubits(), vec![1, 2, 3]);
         assert_eq!(
-            Gate::CPhaseRot { c: 0, t: 9, k: 4, dagger: false }.qubits(),
+            Gate::CPhaseRot {
+                c: 0,
+                t: 9,
+                k: 4,
+                dagger: false
+            }
+            .qubits(),
             vec![0, 9]
         );
     }

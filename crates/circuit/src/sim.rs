@@ -22,7 +22,10 @@ pub mod permutation {
     /// Panics if the circuit contains a non-classical gate (anything
     /// other than X, CX, Toffoli).
     pub fn apply(circuit: &Circuit, input: u128) -> u128 {
-        assert!(circuit.n_qubits() <= 128, "permutation sim supports <= 128 qubits");
+        assert!(
+            circuit.n_qubits() <= 128,
+            "permutation sim supports <= 128 qubits"
+        );
         let mut s = input;
         for g in circuit.gates() {
             match *g {

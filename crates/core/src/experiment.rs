@@ -1,0 +1,199 @@
+//! The experiment abstraction: every table and figure of the paper is
+//! an independent, individually-addressable [`Experiment`] running over
+//! a shared [`StudyContext`].
+//!
+//! The context owns the expensive shared substrate — the three lowered
+//! benchmark circuits and their characterizations — behind
+//! [`std::sync::OnceLock`], so any number of experiments (including all
+//! of them at once, on parallel threads) lower the benchmarks exactly
+//! once. Concrete experiments live in [`crate::experiments`]; the
+//! [`crate::registry::Registry`] lists, resolves, and runs them.
+
+use crate::output::{
+    CascadeOut, Fig15Out, Fig4Out, LatencyOut, NonTransversalOut, PipelinedFactoryOut, Series,
+    SeriesOut, SimpleFactoryOut, Table2Out, Table3Out, Table9Out,
+};
+use crate::study::StudyConfig;
+use qods_circuit::characterize::{characterize, CircuitReport};
+use qods_circuit::circuit::Circuit;
+use qods_kernels::{qcla_lowered, qft_lowered, qrca_lowered, SynthAdapter};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Shared, memoized substrate for a study run.
+///
+/// Cheap to create; the benchmark circuits are lowered lazily on first
+/// use and at most once per context, no matter how many experiments
+/// run over it or from how many threads.
+#[derive(Debug)]
+pub struct StudyContext {
+    config: StudyConfig,
+    benchmarks: OnceLock<Vec<Circuit>>,
+    reports: OnceLock<Vec<CircuitReport>>,
+    lowering_runs: AtomicUsize,
+}
+
+impl StudyContext {
+    /// A context for the given configuration.
+    pub fn new(config: StudyConfig) -> Self {
+        StudyContext {
+            config,
+            benchmarks: OnceLock::new(),
+            reports: OnceLock::new(),
+            lowering_runs: AtomicUsize::new(0),
+        }
+    }
+
+    /// The configuration this context runs under.
+    pub fn config(&self) -> &StudyConfig {
+        &self.config
+    }
+
+    /// The three lowered benchmark circuits (QRCA, QCLA, QFT), lowered
+    /// on first call and memoized for every caller after that.
+    pub fn benchmarks(&self) -> &[Circuit] {
+        self.benchmarks.get_or_init(|| {
+            self.lowering_runs.fetch_add(1, Ordering::Relaxed);
+            let synth =
+                SynthAdapter::with_budget(self.config.synth_max_t, self.config.synth_target);
+            vec![
+                qrca_lowered(self.config.n_bits),
+                qcla_lowered(self.config.n_bits),
+                qft_lowered(self.config.n_bits, &synth),
+            ]
+        })
+    }
+
+    /// Characterization reports for [`Self::benchmarks`], memoized the
+    /// same way (Tables 2, 3, 9 and §3.3 all consume these).
+    pub fn characterizations(&self) -> &[CircuitReport] {
+        self.reports
+            .get_or_init(|| self.benchmarks().iter().map(characterize).collect())
+    }
+
+    /// How many times benchmark lowering actually ran (0 or 1); lets
+    /// tests assert the memoization contract.
+    pub fn lowering_runs(&self) -> usize {
+        self.lowering_runs.load(Ordering::Relaxed)
+    }
+}
+
+/// One independently runnable paper artifact.
+///
+/// Implementations are stateless values: everything expensive lives in
+/// the shared [`StudyContext`], which is why a whole registry of
+/// experiments can run in parallel over one context.
+pub trait Experiment: Send + Sync {
+    /// Stable identifier (`"table9"`, `"fig15"`, …) used on the command
+    /// line and in result files.
+    fn id(&self) -> &'static str;
+
+    /// Human-readable one-line title.
+    fn title(&self) -> &'static str;
+
+    /// Alternate identifiers that resolve to this experiment (the paper
+    /// sometimes splits one computation across two tables).
+    fn aliases(&self) -> &'static [&'static str] {
+        &[]
+    }
+
+    /// Runs the experiment over the shared context.
+    fn run(&self, ctx: &StudyContext) -> ExperimentOutput;
+}
+
+/// The typed result of one experiment run.
+///
+/// Externally tagged in JSON (`{"Table9": {...}}`), so archived results
+/// are self-describing and round-trip through serde.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ExperimentOutput {
+    /// Tables 1 and 4.
+    Latency(LatencyOut),
+    /// Fig 4.
+    Fig4(Fig4Out),
+    /// Table 2.
+    Table2(Table2Out),
+    /// Table 3.
+    Table3(Table3Out),
+    /// §3.3.
+    NonTransversal(NonTransversalOut),
+    /// Fig 11 / §4.3.
+    SimpleFactory(SimpleFactoryOut),
+    /// Tables 5–6.
+    ZeroFactory(PipelinedFactoryOut),
+    /// Tables 7–8.
+    Pi8Factory(PipelinedFactoryOut),
+    /// Table 9.
+    Table9(Table9Out),
+    /// Fig 7.
+    Fig7(SeriesOut),
+    /// Fig 8.
+    Fig8(SeriesOut),
+    /// Fig 15.
+    Fig15(Fig15Out),
+    /// Fig 6 / §4.4.2.
+    Cascade(CascadeOut),
+}
+
+impl ExperimentOutput {
+    /// The figure series this output exports as CSV, if any, as
+    /// `(file stem, series)` pairs. Generic consumers (the `repro`
+    /// binary) call this instead of matching on variants.
+    pub fn csv_series(&self, id: &str) -> Vec<(String, &[Series])> {
+        match self {
+            ExperimentOutput::Fig7(s) | ExperimentOutput::Fig8(s) => {
+                vec![(id.to_string(), &s.series[..])]
+            }
+            ExperimentOutput::Fig15(f) => f
+                .panels
+                .iter()
+                .map(|p| {
+                    let safe = crate::output::csv_safe_stem(&p.name);
+                    (format!("{id}_{safe}"), &p.curves[..])
+                })
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// The result of running one registered experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    /// The experiment's primary id.
+    pub id: String,
+    /// The experiment's title.
+    pub title: String,
+    /// Wall-clock seconds this experiment took.
+    pub seconds: f64,
+    /// The typed output.
+    pub output: ExperimentOutput,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_lowers_benchmarks_exactly_once() {
+        let ctx = StudyContext::new(StudyConfig::smoke());
+        assert_eq!(ctx.lowering_runs(), 0);
+        let a = ctx.benchmarks().len();
+        let b = ctx.benchmarks().len();
+        let reports = ctx.characterizations().len();
+        assert_eq!((a, b, reports), (3, 3, 3));
+        assert_eq!(ctx.lowering_runs(), 1);
+    }
+
+    #[test]
+    fn context_is_shareable_across_threads() {
+        let ctx = StudyContext::new(StudyConfig::smoke());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| ctx.benchmarks().len());
+            }
+        });
+        assert_eq!(ctx.lowering_runs(), 1);
+    }
+}

@@ -3,14 +3,19 @@
 //! This crate is the public face of the reproduction of *"Running a
 //! Quantum Circuit at the Speed of Data"* (Isailovic, Whitney, Patel,
 //! Kubiatowicz — ISCA 2008). It re-exports the substrate crates and
-//! provides [`study::Study`], which regenerates every table and figure
-//! of the paper as serializable data plus paper-style text renderings.
+//! provides the **experiment registry**: every table and figure of the
+//! paper is an independent [`experiment::Experiment`], addressable by
+//! id, runnable alone or all together — in parallel — over a shared,
+//! memoized [`experiment::StudyContext`]. [`study::Study`] survives as
+//! a compatibility wrapper that reassembles the classic
+//! [`study::PaperReproduction`] struct from a full registry run.
 //!
 //! | artifact | experiment id | source |
 //! |---|---|---|
 //! | Table 1/4 | `table1`/`table4` | [`qods_phys::latency`] |
 //! | Table 2 | `table2` | [`qods_circuit::characterize`] |
 //! | Table 3 | `table3` | [`qods_circuit::characterize`] |
+//! | §3.3 | `sec33`/`nontransversal` | [`qods_circuit::characterize`] |
 //! | Table 5/6 | `table5`/`table6` | [`qods_factory::zero`] |
 //! | Table 7/8 | `table7`/`table8` | [`qods_factory::pi8`] |
 //! | Table 9 | `table9` | [`qods_arch::table9`] |
@@ -19,7 +24,7 @@
 //! | Fig 7 | `fig7` | [`qods_circuit::characterize`] |
 //! | Fig 8 | `fig8` | [`qods_circuit::throughput`] |
 //! | Fig 11 | `fig11` | [`qods_factory::simple`] |
-//! | Fig 15 | `fig15` | [`qods_arch::sweep`] |
+//! | Fig 15 | `fig15`/`headline` | [`qods_arch::sweep`] |
 //!
 //! # Quickstart
 //!
@@ -35,6 +40,10 @@
 //! assert!(report.breakdown.ancilla_prep_share() > 0.5);
 //! ```
 
+pub mod experiment;
+pub mod experiments;
+pub mod output;
+pub mod registry;
 pub mod report;
 pub mod study;
 
@@ -47,11 +56,17 @@ pub use qods_phys as phys;
 pub use qods_steane as steane;
 pub use qods_synth as synth;
 
-pub use study::{Study, StudyConfig};
+pub use experiment::{Experiment, ExperimentOutput, ExperimentRecord, StudyContext};
+pub use registry::{ExperimentInfo, Registry, UnknownExperiment};
+pub use report::Render;
+pub use study::{PaperReproduction, Study, StudyConfig};
 
 /// One-stop imports for typical use.
 pub mod prelude {
-    pub use crate::study::{Study, StudyConfig};
+    pub use crate::experiment::{Experiment, ExperimentOutput, ExperimentRecord, StudyContext};
+    pub use crate::registry::{ExperimentInfo, Registry, UnknownExperiment};
+    pub use crate::report::Render;
+    pub use crate::study::{PaperReproduction, Study, StudyConfig, SweepRange};
     pub use qods_arch::machine::Arch;
     pub use qods_arch::simulator::simulate;
     pub use qods_arch::sweep::{area_sweep, log_areas, speedup_summary};
@@ -64,7 +79,9 @@ pub mod prelude {
     pub use qods_factory::simple::SimpleFactory;
     pub use qods_factory::supply::{FactoryFarm, ZeroFactoryKind};
     pub use qods_factory::zero::ZeroFactory;
-    pub use qods_kernels::{qcla, qcla_lowered, qft, qft_lowered, qrca, qrca_lowered, SynthAdapter};
+    pub use qods_kernels::{
+        qcla, qcla_lowered, qft, qft_lowered, qrca, qrca_lowered, SynthAdapter,
+    };
     pub use qods_phys::error_model::ErrorModel;
     pub use qods_phys::latency::LatencyTable;
     pub use qods_steane::eval::{evaluate_all, evaluate_prep};

@@ -1,0 +1,283 @@
+//! The experiment registry: list, resolve, and run paper artifacts —
+//! sequentially or in parallel over one shared [`StudyContext`].
+
+use crate::experiment::{Experiment, ExperimentRecord, StudyContext};
+use crate::experiments::{
+    CascadeExperiment, Fig15Experiment, Fig4Experiment, Fig7Experiment, Fig8Experiment,
+    LatencyExperiment, NonTransversalExperiment, Pi8FactoryExperiment, SimpleFactoryExperiment,
+    Table2Experiment, Table3Experiment, Table9Experiment, ZeroFactoryExperiment,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// A row of `Registry::list()`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentInfo {
+    /// Primary id.
+    pub id: &'static str,
+    /// One-line title.
+    pub title: &'static str,
+    /// Alternate ids resolving to the same experiment.
+    pub aliases: &'static [&'static str],
+}
+
+/// An id that no registered experiment (or alias) matches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownExperiment {
+    /// The id that failed to resolve.
+    pub id: String,
+}
+
+impl std::fmt::Display for UnknownExperiment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown experiment id `{}` (try `repro --list`)",
+            self.id
+        )
+    }
+}
+
+impl std::error::Error for UnknownExperiment {}
+
+/// An ordered collection of registered experiments.
+///
+/// [`Registry::paper`] registers every artifact of the paper in
+/// presentation order; custom registries can be assembled with
+/// [`Registry::register`].
+pub struct Registry {
+    entries: Vec<Box<dyn Experiment>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::paper()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry {
+            entries: Vec::new(),
+        }
+    }
+
+    /// The full paper: every table and figure, in the paper's order.
+    pub fn paper() -> Self {
+        let mut r = Registry::new();
+        r.register(Box::new(LatencyExperiment));
+        r.register(Box::new(Fig4Experiment));
+        r.register(Box::new(Table2Experiment));
+        r.register(Box::new(Table3Experiment));
+        r.register(Box::new(NonTransversalExperiment));
+        r.register(Box::new(SimpleFactoryExperiment));
+        r.register(Box::new(ZeroFactoryExperiment));
+        r.register(Box::new(Pi8FactoryExperiment));
+        r.register(Box::new(Table9Experiment));
+        r.register(Box::new(Fig7Experiment));
+        r.register(Box::new(Fig8Experiment));
+        r.register(Box::new(Fig15Experiment));
+        r.register(Box::new(CascadeExperiment));
+        r
+    }
+
+    /// Adds an experiment at the end of the run order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the experiment's id or an alias collides with an
+    /// already-registered id — ids are the public addressing scheme,
+    /// so a collision is a programming error.
+    pub fn register(&mut self, exp: Box<dyn Experiment>) {
+        for id in std::iter::once(exp.id()).chain(exp.aliases().iter().copied()) {
+            assert!(
+                self.get(id).is_none(),
+                "duplicate experiment id `{id}` registered"
+            );
+        }
+        self.entries.push(exp);
+    }
+
+    /// How many experiments are registered.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The registered experiments, in run order.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn Experiment> {
+        self.entries.iter().map(AsRef::as_ref)
+    }
+
+    /// Id, title, and aliases of every registered experiment.
+    pub fn list(&self) -> Vec<ExperimentInfo> {
+        self.entries
+            .iter()
+            .map(|e| ExperimentInfo {
+                id: e.id(),
+                title: e.title(),
+                aliases: e.aliases(),
+            })
+            .collect()
+    }
+
+    /// Resolves an id or alias to its experiment.
+    pub fn get(&self, id: &str) -> Option<&dyn Experiment> {
+        self.entries
+            .iter()
+            .find(|e| e.id() == id || e.aliases().contains(&id))
+            .map(AsRef::as_ref)
+    }
+
+    /// Runs one experiment by id over the shared context.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownExperiment`] when the id does not resolve.
+    pub fn run_one(
+        &self,
+        id: &str,
+        ctx: &StudyContext,
+    ) -> Result<ExperimentRecord, UnknownExperiment> {
+        let exp = self
+            .get(id)
+            .ok_or_else(|| UnknownExperiment { id: id.to_string() })?;
+        Ok(record(exp, ctx))
+    }
+
+    /// Runs a selection of experiments (ids or aliases) sequentially,
+    /// in the order given.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownExperiment`] on the first id that does not
+    /// resolve; nothing runs in that case.
+    pub fn run_selected(
+        &self,
+        ids: &[&str],
+        ctx: &StudyContext,
+    ) -> Result<Vec<ExperimentRecord>, UnknownExperiment> {
+        let exps: Vec<&dyn Experiment> = ids
+            .iter()
+            .map(|id| {
+                self.get(id).ok_or_else(|| UnknownExperiment {
+                    id: (*id).to_string(),
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(exps.into_iter().map(|e| record(e, ctx)).collect())
+    }
+
+    /// Runs every registered experiment in parallel over `ctx` and
+    /// returns the records in registration order.
+    ///
+    /// Experiments are drained from a shared queue by a bounded pool of
+    /// scoped worker threads — `min(experiments, available cores)` of
+    /// them — so a many-core host runs the heavy experiments (Fig 4's
+    /// Monte Carlo, Fig 15's sweeps) concurrently while a single-core
+    /// host degrades to the sequential path with no oversubscription.
+    /// The shared context memoizes benchmark lowering behind a
+    /// `OnceLock`, so the substrate is built exactly once no matter
+    /// which experiment's thread gets there first.
+    pub fn run_all(&self, ctx: &StudyContext) -> Vec<ExperimentRecord> {
+        let n = self.entries.len();
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .clamp(1, n.max(1));
+        if workers <= 1 {
+            return self.run_all_sequential(ctx);
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<OnceLock<ExperimentRecord>> = (0..n).map(|_| OnceLock::new()).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(e) = self.entries.get(i) else { break };
+                    let filled = slots[i].set(record(e.as_ref(), ctx));
+                    assert!(filled.is_ok(), "result slot {i} claimed twice");
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("every queued experiment ran"))
+            .collect()
+    }
+
+    /// Runs every registered experiment on the calling thread, in
+    /// registration order (the baseline [`Registry::run_all`] is
+    /// measured against).
+    pub fn run_all_sequential(&self, ctx: &StudyContext) -> Vec<ExperimentRecord> {
+        self.entries
+            .iter()
+            .map(|e| record(e.as_ref(), ctx))
+            .collect()
+    }
+}
+
+fn record(exp: &dyn Experiment, ctx: &StudyContext) -> ExperimentRecord {
+    let t0 = Instant::now();
+    let output = exp.run(ctx);
+    ExperimentRecord {
+        id: exp.id().to_string(),
+        title: exp.title().to_string(),
+        seconds: t0.elapsed().as_secs_f64(),
+        output,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::StudyConfig;
+
+    #[test]
+    fn registry_lists_and_resolves_all_ids() {
+        let r = Registry::paper();
+        assert_eq!(r.len(), 13);
+        for info in r.list() {
+            assert_eq!(r.get(info.id).map(|e| e.id()), Some(info.id));
+            for alias in info.aliases {
+                assert_eq!(r.get(alias).map(|e| e.id()), Some(info.id), "alias {alias}");
+            }
+        }
+        assert!(r.get("fig99").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate experiment id")]
+    fn duplicate_registration_panics() {
+        let mut r = Registry::paper();
+        r.register(Box::new(crate::experiments::Table9Experiment));
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree_and_lower_once() {
+        let r = Registry::paper();
+        let ctx = StudyContext::new(StudyConfig::smoke());
+        let par = r.run_all(&ctx);
+        assert_eq!(ctx.lowering_runs(), 1, "parallel run must lower once");
+        let seq = r.run_all_sequential(&ctx);
+        assert_eq!(par.len(), seq.len());
+        for (p, s) in par.iter().zip(&seq) {
+            assert_eq!(p.id, s.id);
+            assert_eq!(p.output, s.output, "{} outputs differ", p.id);
+        }
+    }
+
+    #[test]
+    fn unknown_id_is_a_clean_error() {
+        let r = Registry::paper();
+        let ctx = StudyContext::new(StudyConfig::smoke());
+        let err = r.run_selected(&["table9", "nope"], &ctx).unwrap_err();
+        assert_eq!(err.id, "nope");
+    }
+}

@@ -1,27 +1,36 @@
-//! The full-paper reproduction study: one call regenerates every table
-//! and figure as serializable data.
+//! The full-paper study: configuration plus a compatibility wrapper
+//! that regenerates every table and figure in one call.
+//!
+//! [`Study`] is now a thin veneer over the experiment registry: it
+//! builds a [`StudyContext`](crate::experiment::StudyContext), runs
+//! [`Registry::run_all`](crate::registry::Registry::run_all) (parallel,
+//! benchmarks lowered once), and reassembles the records into the
+//! [`PaperReproduction`] struct existing consumers expect. New code
+//! should address experiments individually through the registry.
 
-use qods_arch::machine::Arch;
-use qods_arch::sweep::{area_sweep, log_areas, speedup_summary};
-use qods_arch::table9::table9_row;
-use qods_circuit::characterize::{characterize, demand_profile};
+use crate::experiment::{ExperimentOutput, ExperimentRecord, StudyContext};
+use crate::output::{
+    CascadeRow, FactorySummary, Fig15Panel, Fig4Row, NonTransversalRow, Series, Table2Row,
+    Table3Row, Table9Entry,
+};
+use crate::registry::Registry;
 use qods_circuit::circuit::Circuit;
-use qods_circuit::latency_model::CharacterizationModel;
-use qods_circuit::throughput::throughput_sweep;
-use qods_factory::pi8::Pi8Factory;
-use qods_factory::simple::SimpleFactory;
-use qods_factory::zero::ZeroFactory;
-use qods_kernels::{qcla_lowered, qft_lowered, qrca_lowered, SynthAdapter};
-use qods_phys::error_model::ErrorModel;
 use qods_phys::latency::LatencyTable;
-use qods_steane::eval::evaluate_all;
-use qods_synth::cascade::analyze_cascade;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
+
+/// The Fig 15 factory-area sweep range (macroblocks).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepRange {
+    /// Smallest area swept.
+    pub min_area: f64,
+    /// Largest area swept.
+    pub max_area: f64,
+}
 
 /// Knobs for the study. Defaults run the paper's full configuration at
 /// a Monte-Carlo size suitable for minutes-scale runs; tests shrink
 /// `n_bits` and `mc_trials`.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StudyConfig {
     /// Benchmark operand width (paper: 32).
     pub n_bits: usize,
@@ -40,7 +49,7 @@ pub struct StudyConfig {
     /// Fig 15 sweep: number of area points.
     pub sweep_points: usize,
     /// Fig 15 sweep range (macroblocks).
-    pub sweep_area_range: (f64, f64),
+    pub sweep_area_range: SweepRange,
     /// Fig 7/8 sample counts.
     pub profile_samples: usize,
 }
@@ -56,7 +65,10 @@ impl Default for StudyConfig {
             synth_max_t: 12,
             synth_target: 1e-2,
             sweep_points: 13,
-            sweep_area_range: (200.0, 3e6),
+            sweep_area_range: SweepRange {
+                min_area: 200.0,
+                max_area: 3e6,
+            },
             profile_samples: 256,
         }
     }
@@ -78,103 +90,9 @@ impl StudyConfig {
     }
 }
 
-/// Fig 4 result row.
-#[derive(Debug, Clone, Serialize)]
-pub struct Fig4Row {
-    /// Strategy label.
-    pub strategy: String,
-    /// Measured uncorrectable-residual rate.
-    pub uncorrectable_rate: f64,
-    /// Measured any-residual rate.
-    pub dirty_rate: f64,
-    /// Measured verification discard rate.
-    pub discard_rate: f64,
-    /// The paper's reported number.
-    pub paper_rate: f64,
-}
-
-/// Table 2 result row.
-#[derive(Debug, Clone, Serialize)]
-pub struct Table2Row {
-    /// Benchmark name.
-    pub name: String,
-    /// Useful data-op latency (us) and share of total.
-    pub data_op_us: f64,
-    /// QEC interaction latency (us).
-    pub qec_interact_us: f64,
-    /// Ancilla preparation latency (us).
-    pub ancilla_prep_us: f64,
-    /// Shares of the total (fractions).
-    pub shares: (f64, f64, f64),
-}
-
-/// Table 3 result row.
-#[derive(Debug, Clone, Serialize)]
-pub struct Table3Row {
-    /// Benchmark name.
-    pub name: String,
-    /// Encoded zeros per ms for QEC.
-    pub zero_per_ms: f64,
-    /// Encoded pi/8 ancillae per ms.
-    pub pi8_per_ms: f64,
-}
-
-/// Factory summary (Tables 5-8, Fig 11).
-#[derive(Debug, Clone, Serialize)]
-pub struct FactorySummary {
-    /// Simple factory: latency (us), area, throughput/ms (Fig 11).
-    pub simple: (f64, u32, f64),
-    /// Zero factory: functional area, crossbar area, total, throughput.
-    pub zero: (u32, u32, u32, f64),
-    /// pi/8 factory: functional area, crossbar area, total, throughput.
-    pub pi8: (u32, u32, u32, f64),
-    /// Zero factory unit counts (Table 6).
-    pub zero_counts: Vec<(String, u32)>,
-    /// pi/8 factory unit counts (Table 8).
-    pub pi8_counts: Vec<(String, u32)>,
-}
-
-/// Table 9 serializable row.
-#[derive(Debug, Clone, Serialize)]
-pub struct Table9Out {
-    /// Benchmark name.
-    pub name: String,
-    /// Encoded-zero bandwidth (per ms).
-    pub zero_bandwidth: f64,
-    /// Data area and share.
-    pub data: (f64, f64),
-    /// QEC factory area and share.
-    pub qec: (f64, f64),
-    /// pi/8 chain area and share.
-    pub pi8: (f64, f64),
-}
-
-/// A figure series of (x, y) points.
-#[derive(Debug, Clone, Serialize)]
-pub struct Series {
-    /// Series label.
-    pub label: String,
-    /// Points.
-    pub points: Vec<(f64, f64)>,
-}
-
-/// Fig 15 panel: one benchmark, one curve per architecture.
-#[derive(Debug, Clone, Serialize)]
-pub struct Fig15Panel {
-    /// Benchmark name.
-    pub name: String,
-    /// One curve per architecture.
-    pub curves: Vec<Series>,
-    /// Headline numbers for this panel.
-    pub max_speedup: f64,
-    /// QLA knee-area penalty relative to Fully-Multiplexed.
-    pub qla_area_penalty: f64,
-    /// CQLA plateau / FM plateau.
-    pub cqla_plateau_ratio: f64,
-}
-
-/// Everything the paper reports, in one struct.
-#[derive(Debug, Clone, Serialize)]
+/// Everything the paper reports, in one struct (the compatibility
+/// shape assembled from the individual experiment outputs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PaperReproduction {
     /// The configuration that produced this run.
     pub config: StudyConfig,
@@ -185,22 +103,79 @@ pub struct PaperReproduction {
     /// Table 3 rows.
     pub table3: Vec<Table3Row>,
     /// Non-transversal gate fractions (§3.3).
-    pub non_transversal: Vec<(String, f64)>,
+    pub non_transversal: Vec<NonTransversalRow>,
     /// Tables 5-8 and Fig 11 summary.
     pub factories: FactorySummary,
     /// Table 9 rows.
-    pub table9: Vec<Table9Out>,
+    pub table9: Vec<Table9Entry>,
     /// Fig 7 series (one per benchmark).
     pub fig7: Vec<Series>,
     /// Fig 8 series (one per benchmark).
     pub fig8: Vec<Series>,
     /// Fig 15 panels (one per benchmark).
     pub fig15: Vec<Fig15Panel>,
-    /// Fig 6 / §4.4.2 cascade expected CX counts by k.
-    pub cascade: Vec<(u8, f64)>,
+    /// Fig 6 / §4.4.2 cascade rows.
+    pub cascade: Vec<CascadeRow>,
 }
 
-/// The study driver.
+impl PaperReproduction {
+    /// Assembles the compatibility struct from registry records.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a paper artifact is missing from `records` — the
+    /// full [`Registry::paper`] run always produces all of them.
+    pub fn from_records(config: StudyConfig, records: &[ExperimentRecord]) -> Self {
+        let mut fig4 = None;
+        let mut table2 = None;
+        let mut table3 = None;
+        let mut non_transversal = None;
+        let mut simple = None;
+        let mut zero = None;
+        let mut pi8 = None;
+        let mut table9 = None;
+        let mut fig7 = None;
+        let mut fig8 = None;
+        let mut fig15 = None;
+        let mut cascade = None;
+        for r in records {
+            match &r.output {
+                ExperimentOutput::Latency(_) => {}
+                ExperimentOutput::Fig4(o) => fig4 = Some(o.rows.clone()),
+                ExperimentOutput::Table2(o) => table2 = Some(o.rows.clone()),
+                ExperimentOutput::Table3(o) => table3 = Some(o.rows.clone()),
+                ExperimentOutput::NonTransversal(o) => non_transversal = Some(o.rows.clone()),
+                ExperimentOutput::SimpleFactory(o) => simple = Some(*o),
+                ExperimentOutput::ZeroFactory(o) => zero = Some(o.clone()),
+                ExperimentOutput::Pi8Factory(o) => pi8 = Some(o.clone()),
+                ExperimentOutput::Table9(o) => table9 = Some(o.rows.clone()),
+                ExperimentOutput::Fig7(o) => fig7 = Some(o.series.clone()),
+                ExperimentOutput::Fig8(o) => fig8 = Some(o.series.clone()),
+                ExperimentOutput::Fig15(o) => fig15 = Some(o.panels.clone()),
+                ExperimentOutput::Cascade(o) => cascade = Some(o.rows.clone()),
+            }
+        }
+        PaperReproduction {
+            config,
+            fig4: fig4.expect("fig4 record"),
+            table2: table2.expect("table2 record"),
+            table3: table3.expect("table3 record"),
+            non_transversal: non_transversal.expect("sec33 record"),
+            factories: FactorySummary {
+                simple: simple.expect("fig11 record"),
+                zero: zero.expect("table5 record"),
+                pi8: pi8.expect("table7 record"),
+            },
+            table9: table9.expect("table9 record"),
+            fig7: fig7.expect("fig7 record"),
+            fig8: fig8.expect("fig8 record"),
+            fig15: fig15.expect("fig15 record"),
+            cascade: cascade.expect("fig6 record"),
+        }
+    }
+}
+
+/// The study driver (compatibility wrapper over the registry).
 #[derive(Debug, Clone, Default)]
 pub struct Study {
     /// Configuration.
@@ -208,211 +183,27 @@ pub struct Study {
 }
 
 impl Study {
-    /// A study with the paper's configuration.
+    /// A study with the given configuration.
     pub fn new(config: StudyConfig) -> Self {
         Study { config }
     }
 
+    /// A fresh shared context for this study's configuration.
+    pub fn context(&self) -> StudyContext {
+        StudyContext::new(self.config.clone())
+    }
+
     /// Builds the three lowered benchmark circuits.
     pub fn benchmarks(&self) -> Vec<Circuit> {
-        let synth = SynthAdapter::with_budget(self.config.synth_max_t, self.config.synth_target);
-        vec![
-            qrca_lowered(self.config.n_bits),
-            qcla_lowered(self.config.n_bits),
-            qft_lowered(self.config.n_bits, &synth),
-        ]
+        self.context().benchmarks().to_vec()
     }
 
-    /// Runs the Fig 4 Monte-Carlo panel.
-    pub fn run_fig4(&self) -> Vec<Fig4Row> {
-        let model = ErrorModel::paper().scaled(self.config.noise_scale);
-        evaluate_all(model, self.config.mc_trials, self.config.seed, self.config.threads)
-            .into_iter()
-            .map(|e| Fig4Row {
-                strategy: e.strategy.name().to_string(),
-                uncorrectable_rate: e.error_rate(),
-                dirty_rate: e.dirty_rate(),
-                discard_rate: e.discard_rate(),
-                paper_rate: e.strategy.paper_error_rate(),
-            })
-            .collect()
-    }
-
-    /// Runs Tables 2-3 and the §3.3 fractions.
-    pub fn run_characterization(
-        &self,
-        benchmarks: &[Circuit],
-    ) -> (Vec<Table2Row>, Vec<Table3Row>, Vec<(String, f64)>) {
-        let mut t2 = Vec::new();
-        let mut t3 = Vec::new();
-        let mut nt = Vec::new();
-        for c in benchmarks {
-            let r = characterize(c);
-            t2.push(Table2Row {
-                name: r.name.clone(),
-                data_op_us: r.breakdown.data_op_us,
-                qec_interact_us: r.breakdown.qec_interact_us,
-                ancilla_prep_us: r.breakdown.ancilla_prep_us,
-                shares: (
-                    r.breakdown.data_op_share(),
-                    r.breakdown.qec_interact_share(),
-                    r.breakdown.ancilla_prep_share(),
-                ),
-            });
-            t3.push(Table3Row {
-                name: r.name.clone(),
-                zero_per_ms: r.bandwidth.zero_per_ms,
-                pi8_per_ms: r.bandwidth.pi8_per_ms,
-            });
-            nt.push((r.name.clone(), r.non_transversal_fraction));
-        }
-        (t2, t3, nt)
-    }
-
-    /// Computes the factory summary (Tables 5-8, Fig 11).
-    pub fn run_factories(&self) -> FactorySummary {
-        let simple = SimpleFactory::paper();
-        let zero = ZeroFactory::paper().bandwidth_matched();
-        let pi8 = Pi8Factory::paper().bandwidth_matched();
-        FactorySummary {
-            simple: (
-                simple.prep_latency_us(),
-                simple.area(),
-                simple.throughput_per_ms(),
-            ),
-            zero: (
-                zero.functional_area(),
-                zero.crossbar_area(),
-                zero.total_area(),
-                zero.throughput_per_ms,
-            ),
-            pi8: (
-                pi8.functional_area(),
-                pi8.crossbar_area(),
-                pi8.total_area(),
-                pi8.throughput_per_ms,
-            ),
-            zero_counts: zero
-                .stages
-                .iter()
-                .map(|s| (s.unit.name.to_string(), s.count))
-                .collect(),
-            pi8_counts: pi8
-                .stages
-                .iter()
-                .map(|s| (s.unit.name.to_string(), s.count))
-                .collect(),
-        }
-    }
-
-    /// Runs Table 9 from measured bandwidths.
-    pub fn run_table9(&self, benchmarks: &[Circuit]) -> Vec<Table9Out> {
-        benchmarks
-            .iter()
-            .map(|c| {
-                let row = table9_row(&characterize(c));
-                Table9Out {
-                    name: row.name.clone(),
-                    zero_bandwidth: row.zero_bandwidth,
-                    data: (row.data_area, row.data_share()),
-                    qec: (row.qec_factory_area, row.qec_share()),
-                    pi8: (row.pi8_factory_area, row.pi8_share()),
-                }
-            })
-            .collect()
-    }
-
-    /// Runs the Fig 7 demand profiles.
-    pub fn run_fig7(&self, benchmarks: &[Circuit]) -> Vec<Series> {
-        let model = CharacterizationModel::ion_trap();
-        benchmarks
-            .iter()
-            .map(|c| Series {
-                label: c.name.clone(),
-                points: demand_profile(c, &model, self.config.profile_samples)
-                    .into_iter()
-                    .map(|p| (p.t_us, p.zeros_in_flight))
-                    .collect(),
-            })
-            .collect()
-    }
-
-    /// Runs the Fig 8 throughput sweeps.
-    pub fn run_fig8(&self, benchmarks: &[Circuit]) -> Vec<Series> {
-        let model = CharacterizationModel::ion_trap();
-        benchmarks
-            .iter()
-            .map(|c| {
-                let avg = characterize(c).bandwidth.zero_per_ms.max(1.0);
-                Series {
-                    label: c.name.clone(),
-                    points: throughput_sweep(c, &model, avg / 30.0, avg * 30.0, 25)
-                        .into_iter()
-                        .map(|p| (p.zeros_per_ms, p.execution_us))
-                        .collect(),
-                }
-            })
-            .collect()
-    }
-
-    /// Runs the Fig 15 architecture sweeps.
-    pub fn run_fig15(&self, benchmarks: &[Circuit]) -> Vec<Fig15Panel> {
-        let (lo, hi) = self.config.sweep_area_range;
-        let areas = log_areas(lo, hi, self.config.sweep_points);
-        benchmarks
-            .iter()
-            .map(|c| {
-                let archs = [
-                    Arch::FullyMultiplexed,
-                    Arch::Qla,
-                    Arch::default_cqla(c.n_qubits()),
-                    Arch::default_qalypso(),
-                ];
-                let curves = area_sweep(c, &archs, &areas);
-                let s = speedup_summary(c, &areas);
-                Fig15Panel {
-                    name: c.name.clone(),
-                    curves: curves
-                        .into_iter()
-                        .map(|cv| Series {
-                            label: cv.arch.to_string(),
-                            points: cv.points.iter().map(|p| (p.area, p.exec_us)).collect(),
-                        })
-                        .collect(),
-                    max_speedup: s.max_speedup,
-                    qla_area_penalty: s.qla_area_penalty,
-                    cqla_plateau_ratio: s.cqla_plateau_us / s.fm_plateau_us,
-                }
-            })
-            .collect()
-    }
-
-    /// Runs everything.
+    /// Runs every experiment (in parallel, benchmarks lowered once) and
+    /// reassembles the paper-shaped result.
     pub fn run_all(&self) -> PaperReproduction {
-        let benchmarks = self.benchmarks();
-        let fig4 = self.run_fig4();
-        let (table2, table3, non_transversal) = self.run_characterization(&benchmarks);
-        let factories = self.run_factories();
-        let table9 = self.run_table9(&benchmarks);
-        let fig7 = self.run_fig7(&benchmarks);
-        let fig8 = self.run_fig8(&benchmarks);
-        let fig15 = self.run_fig15(&benchmarks);
-        let cascade = (3..=12u8)
-            .map(|k| (k, analyze_cascade(k).expected_cx))
-            .collect();
-        PaperReproduction {
-            config: self.config.clone(),
-            fig4,
-            table2,
-            table3,
-            non_transversal,
-            factories,
-            table9,
-            fig7,
-            fig8,
-            fig15,
-            cascade,
-        }
+        let ctx = self.context();
+        let records = Registry::paper().run_all(&ctx);
+        PaperReproduction::from_records(self.config.clone(), &records)
     }
 
     /// The ion-trap latency model in use (Tables 1 and 4).
@@ -434,8 +225,8 @@ mod tests {
         assert_eq!(out.table3.len(), 3);
         assert_eq!(out.table9.len(), 3);
         assert_eq!(out.fig15.len(), 3);
-        assert_eq!(out.factories.zero.2, 298);
-        assert_eq!(out.factories.pi8.2, 403);
+        assert_eq!(out.factories.zero.total_area, 298);
+        assert_eq!(out.factories.pi8.total_area, 403);
         // Serializes cleanly.
         let json = serde_json::to_string(&out).expect("serialize");
         assert!(json.contains("QRCA"));
@@ -451,5 +242,13 @@ mod tests {
         assert_eq!(b[0].n_qubits(), 97);
         assert_eq!(b[1].n_qubits(), 123);
         assert_eq!(b[2].n_qubits(), 32);
+    }
+
+    #[test]
+    fn reproduction_round_trips_through_serde() {
+        let out = Study::new(StudyConfig::smoke()).run_all();
+        let json = serde_json::to_string(&out).expect("serialize");
+        let back: PaperReproduction = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, out);
     }
 }

@@ -124,10 +124,22 @@ impl Pi8Factory {
         SizedFactory {
             name: "pi/8 ancilla factory",
             stages: vec![
-                SizedStage { unit: cat, count: cat_count },
-                SizedStage { unit: trans, count: trans_count },
-                SizedStage { unit: decode, count: decode_count },
-                SizedStage { unit: readout, count: readout_count },
+                SizedStage {
+                    unit: cat,
+                    count: cat_count,
+                },
+                SizedStage {
+                    unit: trans,
+                    count: trans_count,
+                },
+                SizedStage {
+                    unit: decode,
+                    count: decode_count,
+                },
+                SizedStage {
+                    unit: readout,
+                    count: readout_count,
+                },
             ],
             stage_groups: vec![vec![0], vec![1], vec![2], vec![3]],
             crossbars: vec![

@@ -159,8 +159,14 @@ mod tests {
         let f = SizedFactory {
             name: "toy",
             stages: vec![
-                SizedStage { unit: toy_unit(1, 1, 1), count: 5 }, // h = 10
-                SizedStage { unit: toy_unit(1, 1, 1), count: 2 }, // h = 4
+                SizedStage {
+                    unit: toy_unit(1, 1, 1),
+                    count: 5,
+                }, // h = 10
+                SizedStage {
+                    unit: toy_unit(1, 1, 1),
+                    count: 2,
+                }, // h = 4
             ],
             stage_groups: vec![vec![0], vec![1]],
             crossbars: vec![CrossbarColumns::Double],

@@ -32,12 +32,11 @@ impl FactoryFarm {
     /// Sizes a farm for the requested bandwidths. Areas are fractional
     /// (factories can be shared between demands), exactly as Table 9
     /// reports them.
-    pub fn size_for(
-        zero_bandwidth: f64,
-        pi8_bandwidth: f64,
-        kind: ZeroFactoryKind,
-    ) -> FactoryFarm {
-        assert!(zero_bandwidth >= 0.0 && pi8_bandwidth >= 0.0, "bandwidths must be non-negative");
+    pub fn size_for(zero_bandwidth: f64, pi8_bandwidth: f64, kind: ZeroFactoryKind) -> FactoryFarm {
+        assert!(
+            zero_bandwidth >= 0.0 && pi8_bandwidth >= 0.0,
+            "bandwidths must be non-negative"
+        );
         let (zero_rate, zero_area) = match kind {
             ZeroFactoryKind::Simple => {
                 let f = SimpleFactory::paper();

@@ -165,11 +165,26 @@ impl ZeroFactory {
         SizedFactory {
             name: "pipelined encoded-zero factory",
             stages: vec![
-                SizedStage { unit: zp, count: zp_count },
-                SizedStage { unit: cx, count: cx_count },
-                SizedStage { unit: cat, count: cat_count },
-                SizedStage { unit: verify, count: verify_count },
-                SizedStage { unit: bp, count: bp_count },
+                SizedStage {
+                    unit: zp,
+                    count: zp_count,
+                },
+                SizedStage {
+                    unit: cx,
+                    count: cx_count,
+                },
+                SizedStage {
+                    unit: cat,
+                    count: cat_count,
+                },
+                SizedStage {
+                    unit: verify,
+                    count: verify_count,
+                },
+                SizedStage {
+                    unit: bp,
+                    count: bp_count,
+                },
             ],
             stage_groups: vec![vec![0], vec![1, 2], vec![3], vec![4]],
             crossbars: vec![
@@ -225,11 +240,7 @@ mod tests {
     #[test]
     fn table6_unit_counts() {
         let f = ZeroFactory::paper().bandwidth_matched();
-        let counts: Vec<(&str, u32)> = f
-            .stages
-            .iter()
-            .map(|s| (s.unit.name, s.count))
-            .collect();
+        let counts: Vec<(&str, u32)> = f.stages.iter().map(|s| (s.unit.name, s.count)).collect();
         assert_eq!(
             counts,
             vec![

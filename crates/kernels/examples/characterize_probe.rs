@@ -6,11 +6,7 @@ use std::time::Instant;
 fn main() {
     let t0 = Instant::now();
     let synth = SynthAdapter::with_budget(12, 1e-2);
-    let circuits = vec![
-        qrca_lowered(32),
-        qcla_lowered(32),
-        qft_lowered(32, &synth),
-    ];
+    let circuits = vec![qrca_lowered(32), qcla_lowered(32), qft_lowered(32, &synth)];
     println!("built in {:?}", t0.elapsed());
     for c in &circuits {
         let r = characterize(c);

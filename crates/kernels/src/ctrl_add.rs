@@ -73,8 +73,7 @@ mod tests {
 
     fn apply(n: usize, ctrl: bool, a: u64, b: u64) -> (u64, u64, u64, bool) {
         let circ = controlled_adder(n);
-        let input: u128 =
-            (u128::from(ctrl)) | (u128::from(a) << 1) | (u128::from(b) << (1 + n));
+        let input: u128 = (u128::from(ctrl)) | (u128::from(a) << 1) | (u128::from(b) << (1 + n));
         let out = permutation::apply(&circ, input);
         let mask = (1u128 << n) - 1;
         let a_out = (out >> 1) & mask;

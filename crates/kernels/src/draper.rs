@@ -70,10 +70,7 @@ mod tests {
                 s.run(&draper_adder(n));
                 let want = a | (((a + b) % (1 << n)) << n);
                 let amp = s.amps()[want].norm_sq();
-                assert!(
-                    amp > 1.0 - 1e-9,
-                    "{n}-bit {a}+{b}: |amp|^2 = {amp}"
-                );
+                assert!(amp > 1.0 - 1e-9, "{n}-bit {a}+{b}: |amp|^2 = {amp}");
             }
         }
     }

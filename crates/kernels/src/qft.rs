@@ -80,10 +80,7 @@ mod tests {
         for n in 1..=5 {
             for x in 0..(1usize << n) {
                 let f = fidelity_to_dft(n, x);
-                assert!(
-                    (f - 1.0).abs() < 1e-10,
-                    "QFT-{n} on |{x}>: fidelity {f}"
-                );
+                assert!((f - 1.0).abs() < 1e-10, "QFT-{n} on |{x}>: fidelity {f}");
             }
         }
     }

@@ -49,7 +49,10 @@ impl Grid {
     ///
     /// Panics if out of bounds or the cell is occupied.
     pub fn place(&mut self, row: usize, col: usize, block: Macroblock) {
-        assert!(row < self.rows && col < self.cols, "({row},{col}) out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "({row},{col}) out of bounds"
+        );
         let cell = &mut self.cells[row * self.cols + col];
         assert!(cell.is_none(), "cell ({row},{col}) already occupied");
         *cell = Some(block);

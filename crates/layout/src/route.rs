@@ -47,10 +47,7 @@ impl Eq for Node {}
 impl Ord for Node {
     fn cmp(&self, other: &Self) -> Ordering {
         // Min-heap by cost.
-        other
-            .cost
-            .partial_cmp(&self.cost)
-            .expect("finite costs")
+        other.cost.partial_cmp(&self.cost).expect("finite costs")
     }
 }
 
@@ -63,7 +60,12 @@ impl PartialOrd for Node {
 /// Finds the cheapest movement plan from `from` to `to` through open
 /// ports, or `None` when unreachable. The initial heading is free (the
 /// ion starts parked); every subsequent heading change is a turn.
-pub fn route(grid: &Grid, from: (usize, usize), to: (usize, usize), t: &LatencyTable) -> Option<MovementPlan> {
+pub fn route(
+    grid: &Grid,
+    from: (usize, usize),
+    to: (usize, usize),
+    t: &LatencyTable,
+) -> Option<MovementPlan> {
     if grid.at(from.0, from.1).is_none() || grid.at(to.0, to.1).is_none() {
         return None;
     }
@@ -159,8 +161,7 @@ mod tests {
         let mut placed = false;
         for q in 0..4 {
             let b = Macroblock::rotated(MacroblockKind::Turn, q);
-            if b.has_port(crate::macroblock::Dir::North)
-                && b.has_port(crate::macroblock::Dir::East)
+            if b.has_port(crate::macroblock::Dir::North) && b.has_port(crate::macroblock::Dir::East)
             {
                 g.place(2, 0, b);
                 placed = true;

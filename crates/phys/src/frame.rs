@@ -312,7 +312,7 @@ mod tests {
         let flip = f.apply(&PhysOp::measure_z(0), &mut r).unwrap();
         assert!(flip);
         assert_eq!(f.error_at(0), Pauli::I); // consumed
-        // Z error does not flip a Z-basis outcome.
+                                             // Z error does not flip a Z-basis outcome.
         f.inject(0, Pauli::Z);
         let flip = f.apply(&PhysOp::measure_z(0), &mut r).unwrap();
         assert!(!flip);

@@ -235,17 +235,33 @@ mod tests {
     fn table5_unit_latencies() {
         let t = LatencyTable::ion_trap();
         // CX Stage: 3 t_2q + 6 t_turn + 5 t_move = 95.
-        assert_eq!(SymbolicLatency::new().two_q(3).turn(6).mov(5).eval(&t), 95.0);
+        assert_eq!(
+            SymbolicLatency::new().two_q(3).turn(6).mov(5).eval(&t),
+            95.0
+        );
         // Cat State Prep: 2 t_2q + 4 t_turn + 2 t_move = 62.
-        assert_eq!(SymbolicLatency::new().two_q(2).turn(4).mov(2).eval(&t), 62.0);
+        assert_eq!(
+            SymbolicLatency::new().two_q(2).turn(4).mov(2).eval(&t),
+            62.0
+        );
         // Verification: t_meas + t_2q + 2 t_turn + 2 t_move = 82.
         assert_eq!(
-            SymbolicLatency::new().meas(1).two_q(1).turn(2).mov(2).eval(&t),
+            SymbolicLatency::new()
+                .meas(1)
+                .two_q(1)
+                .turn(2)
+                .mov(2)
+                .eval(&t),
             82.0
         );
         // B/P Correction: t_meas + 2 t_2q + 6 t_turn + 8 t_move = 138.
         assert_eq!(
-            SymbolicLatency::new().meas(1).two_q(2).turn(6).mov(8).eval(&t),
+            SymbolicLatency::new()
+                .meas(1)
+                .two_q(2)
+                .turn(6)
+                .mov(8)
+                .eval(&t),
             138.0
         );
     }

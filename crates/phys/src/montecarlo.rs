@@ -181,7 +181,9 @@ where
             let quota = per + u64::from((t as u64) < extra);
             let trial = &trial;
             handles.push(scope.spawn(move || {
-                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(t as u64 + 1)));
+                let mut rng = StdRng::seed_from_u64(
+                    seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(t as u64 + 1)),
+                );
                 let mut stats = MonteCarloStats::default();
                 for _ in 0..quota {
                     stats.record(trial(&mut rng));

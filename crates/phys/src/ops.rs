@@ -197,7 +197,11 @@ impl PhysCircuit {
     /// Panics if the op references a qubit outside the circuit.
     pub fn push(&mut self, op: PhysOp) {
         for q in op.qubits() {
-            assert!(q < self.n_qubits, "op {op:?} references qubit {q} >= {}", self.n_qubits);
+            assert!(
+                q < self.n_qubits,
+                "op {op:?} references qubit {q} >= {}",
+                self.n_qubits
+            );
         }
         self.ops.push(op);
     }

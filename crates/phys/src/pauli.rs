@@ -22,9 +22,10 @@ use std::fmt;
 /// assert!(Pauli::X.anticommutes_with(Pauli::Z));
 /// assert!(!Pauli::X.anticommutes_with(Pauli::X));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub enum Pauli {
     /// Identity.
+    #[default]
     I,
     /// Bit flip.
     X,
@@ -78,12 +79,6 @@ impl Pauli {
     #[inline]
     pub fn has_z(self) -> bool {
         self.bits().1
-    }
-}
-
-impl Default for Pauli {
-    fn default() -> Self {
-        Pauli::I
     }
 }
 
@@ -234,7 +229,7 @@ impl PauliString {
     /// True when `self` and `other` commute as operators.
     pub fn commutes_with(&self, other: &PauliString) -> bool {
         let cross = (self.x & other.z).count_ones() + (self.z & other.x).count_ones();
-        cross % 2 == 0
+        cross.is_multiple_of(2)
     }
 }
 

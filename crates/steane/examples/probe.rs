@@ -6,7 +6,11 @@ use qods_steane::eval::evaluate_all;
 
 fn main() {
     for (label, model, trials) in [
-        ("10x paper noise", ErrorModel::paper().scaled(10.0), 200_000u64),
+        (
+            "10x paper noise",
+            ErrorModel::paper().scaled(10.0),
+            200_000u64,
+        ),
         ("paper noise (1x)", ErrorModel::paper(), 2_000_000u64),
     ] {
         println!("== {label} ==");

@@ -154,7 +154,7 @@ impl SteaneCode {
     /// (the paper's basic-prep rate of 1.8e-3 tracks this notion —
     /// it is close to the circuit's entire fault budget).
     pub fn ancilla_dirty(&self, x_error: u8, z_error: u8) -> bool {
-        let x_benign = self.syndrome(x_error) == 0 && x_error.count_ones() % 2 == 0;
+        let x_benign = self.syndrome(x_error) == 0 && x_error.count_ones().is_multiple_of(2);
         let z_benign = self.syndrome(z_error) == 0;
         !(x_benign && z_benign)
     }
@@ -168,9 +168,9 @@ mod tests {
     fn checks_pairwise_even_overlap() {
         // CSS condition: X and Z stabilizers share supports, so every
         // pair of checks must overlap evenly for them to commute.
-        for i in 0..3 {
-            for j in 0..3 {
-                let overlap = (CHECKS[i] & CHECKS[j]).count_ones();
+        for (i, &ci) in CHECKS.iter().enumerate() {
+            for (j, &cj) in CHECKS.iter().enumerate() {
+                let overlap = (ci & cj).count_ones();
                 if i != j {
                     assert_eq!(overlap % 2, 0, "checks {i},{j} anticommute");
                 } else {

@@ -55,7 +55,11 @@ impl Default for EncoderMovement {
 ///
 /// After this call, `block` holds |0_L> up to the accumulated Pauli
 /// frame errors.
-pub fn encode_zero<R: Rng>(ex: &mut Executor<'_, R>, block: &[usize; 7], movement: EncoderMovement) {
+pub fn encode_zero<R: Rng>(
+    ex: &mut Executor<'_, R>,
+    block: &[usize; 7],
+    movement: EncoderMovement,
+) {
     for &q in block {
         ex.prep(q);
     }

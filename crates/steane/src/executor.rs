@@ -177,12 +177,14 @@ impl<'r, R: Rng> Executor<'r, R> {
     /// Z-basis measurement; returns true when the outcome is flipped
     /// relative to ideal execution.
     pub fn measure_z(&mut self, q: usize) -> bool {
-        self.apply(PhysOp::measure_z(q)).expect("measurement returns")
+        self.apply(PhysOp::measure_z(q))
+            .expect("measurement returns")
     }
 
     /// X-basis measurement flip.
     pub fn measure_x(&mut self, q: usize) -> bool {
-        self.apply(PhysOp::measure_x(q)).expect("measurement returns")
+        self.apply(PhysOp::measure_x(q))
+            .expect("measurement returns")
     }
 
     /// Conditional Pauli correction (costed as a one-qubit gate).

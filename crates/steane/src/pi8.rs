@@ -93,8 +93,8 @@ pub fn run_pi8_prep<R: Rng>(model: ErrorModel, rng: &mut R) -> (Pi8Outcome, Pi8S
     for i in 0..7 {
         ex.cx(CAT[i], BLOCK[i]);
     }
-    for i in 0..7 {
-        ex.t(BLOCK[i]);
+    for &b in &BLOCK {
+        ex.t(b);
     }
     stages.transversal = diff(before, ex.counts());
 
@@ -165,7 +165,7 @@ mod tests {
         // Stage 2: three transversal rounds of 7.
         assert_eq!(stages.transversal.two_qubit_gates, 21);
         assert_eq!(stages.transversal.one_qubit_gates, 7); // transversal T
-        // Stage 3: decode chain.
+                                                           // Stage 3: decode chain.
         assert_eq!(stages.decode.two_qubit_gates, 6);
         // Stage 4: one H + one measurement (+ conditional Z's).
         assert_eq!(stages.readout.measurements, 1);

@@ -121,10 +121,7 @@ const BLOCK_C: [usize; 7] = [14, 15, 16, 17, 18, 19, 20];
 /// Cat registers (recycled across checks) and the end-check auxiliary.
 fn cats_for(base: usize) -> ([[usize; 3]; 2], usize) {
     (
-        [
-            [base, base + 1, base + 2],
-            [base + 3, base + 4, base + 5],
-        ],
+        [[base, base + 1, base + 2], [base + 3, base + 4, base + 5]],
         base + 6,
     )
 }

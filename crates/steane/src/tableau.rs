@@ -29,7 +29,10 @@ impl Tableau {
 
     /// An empty tableau (rows added manually).
     pub fn empty(n: usize) -> Self {
-        Tableau { n, rows: Vec::new() }
+        Tableau {
+            n,
+            rows: Vec::new(),
+        }
     }
 
     /// Adds a generator row.
@@ -118,12 +121,12 @@ fn reduced(t: &Tableau) -> Vec<u128> {
     }
     // Back-substitute for a canonical reduced form.
     let snapshot = basis.clone();
-    for i in 0..basis.len() {
+    for (i, row) in basis.iter_mut().enumerate() {
         for (j, &b) in snapshot.iter().enumerate() {
             if i != j {
                 let lead = 127 - b.leading_zeros();
-                if (basis[i] >> lead) & 1 == 1 && basis[i] != b {
-                    basis[i] ^= b;
+                if (*row >> lead) & 1 == 1 && *row != b {
+                    *row ^= b;
                 }
             }
         }

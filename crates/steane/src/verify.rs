@@ -55,9 +55,9 @@ pub fn measure_check<R: Rng>(
     // Cat qubits travel from the cat-prep unit to the block's gate row.
     cat::shuttle_cat(ex, cat, 2, 1);
     let mut cat_i = 0;
-    for q in 0..7 {
+    for (q, &b) in block.iter().enumerate() {
         if support & (1 << q) != 0 {
-            ex.cz(cat[cat_i], block[q]);
+            ex.cz(cat[cat_i], b);
             cat_i += 1;
         }
     }
@@ -176,9 +176,9 @@ mod tests {
         ex.cx(cat[1], cat[2]);
         let mut cat_i = 0;
         let mut parity = false;
-        for q in 0..7 {
+        for (q, &b) in BLOCK.iter().enumerate() {
             if LOGICAL_SUPPORT & (1 << q) != 0 {
-                ex.cz(cat[cat_i], BLOCK[q]);
+                ex.cz(cat[cat_i], b);
                 cat_i += 1;
             }
         }

@@ -49,7 +49,10 @@ impl CascadeAnalysis {
 /// Panics for `k < 3` (pi/2^2 = T has its own gadget; larger angles
 /// are transversal).
 pub fn analyze_cascade(k: u8) -> CascadeAnalysis {
-    assert!(k >= 3, "cascades start at pi/8 precision (k >= 3), got k = {k}");
+    assert!(
+        k >= 3,
+        "cascades start at pi/8 precision (k >= 3), got k = {k}"
+    );
     let stages = u32::from(k) - 2;
     // Stage i (0-indexed) is reached with probability 2^-i.
     let expected_cx: f64 = (0..stages).map(|i| 0.5f64.powi(i as i32)).sum();

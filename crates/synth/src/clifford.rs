@@ -38,10 +38,10 @@ impl CliffordGroup {
                 // i.e. matrix = g * base.
                 let m = g.mul(&base.matrix);
                 let key = m.phase_key();
-                if !seen.contains_key(&key) {
+                if let std::collections::hash_map::Entry::Vacant(e) = seen.entry(key) {
                     let mut word = base.word.clone();
                     word.push(*name);
-                    seen.insert(key, elements.len());
+                    e.insert(elements.len());
                     frontier.push_back(elements.len());
                     elements.push(CliffordElement { matrix: m, word });
                 }
@@ -108,7 +108,9 @@ mod tests {
         let g = CliffordGroup::generate();
         for target in [U2::x(), U2::z(), U2::identity()] {
             assert!(
-                g.elements().iter().any(|e| e.matrix.distance(&target) < 1e-9),
+                g.elements()
+                    .iter()
+                    .any(|e| e.matrix.distance(&target) < 1e-9),
                 "missing a Pauli"
             );
         }

@@ -135,9 +135,7 @@ impl Synthesizer {
                     let d = u.distance(target);
                     let better = match &best {
                         None => true,
-                        Some(b) => {
-                            d + 1e-15 < b.dist || (d < b.dist + 1e-15 && core.t_count < b.t)
-                        }
+                        Some(b) => d + 1e-15 < b.dist || (d < b.dist + 1e-15 && core.t_count < b.t),
                     };
                     if better {
                         best = Some(Best {

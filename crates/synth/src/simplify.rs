@@ -137,7 +137,14 @@ mod tests {
 
     #[test]
     fn idempotent() {
-        let word = [HtGate::H, HtGate::T, HtGate::T, HtGate::H, HtGate::H, HtGate::S];
+        let word = [
+            HtGate::H,
+            HtGate::T,
+            HtGate::T,
+            HtGate::H,
+            HtGate::H,
+            HtGate::S,
+        ];
         let once = simplify(&word);
         let twice = simplify(&once);
         assert_eq!(once, twice);

@@ -9,11 +9,7 @@ use speed_of_data::prelude::*;
 
 fn main() {
     let synth = SynthAdapter::with_budget(12, 1e-2);
-    let circuits = vec![
-        qrca_lowered(32),
-        qcla_lowered(32),
-        qft_lowered(32, &synth),
-    ];
+    let circuits = vec![qrca_lowered(32), qcla_lowered(32), qft_lowered(32, &synth)];
 
     println!("Table 9 (from measured bandwidths):");
     for c in &circuits {

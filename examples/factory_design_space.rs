@@ -58,9 +58,27 @@ fn main() {
     let base = LatencyTable::ion_trap();
     let variants: Vec<(&str, LatencyTable)> = vec![
         ("ion trap (paper)", base),
-        ("10x faster measurement", LatencyTable { t_meas: 5.0, ..base }),
-        ("10x slower turns", LatencyTable { t_turn: 100.0, ..base }),
-        ("5x faster zero prep", LatencyTable { t_prep: 10.2, ..base }),
+        (
+            "10x faster measurement",
+            LatencyTable {
+                t_meas: 5.0,
+                ..base
+            },
+        ),
+        (
+            "10x slower turns",
+            LatencyTable {
+                t_turn: 100.0,
+                ..base
+            },
+        ),
+        (
+            "5x faster zero prep",
+            LatencyTable {
+                t_prep: 10.2,
+                ..base
+            },
+        ),
     ];
     for (label, t) in variants {
         let f = ZeroFactory::with_latencies(t).bandwidth_matched();

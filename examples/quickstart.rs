@@ -43,4 +43,12 @@ fn main() {
         qla.makespan_us / 1000.0,
         qla.makespan_us / fm.makespan_us
     );
+
+    // 4. Any paper artifact, addressed by id through the experiment
+    //    registry (see examples/experiment_registry.rs for the tour).
+    let ctx = StudyContext::new(StudyConfig::smoke());
+    let record = Registry::paper()
+        .run_one("table9", &ctx)
+        .expect("registered id");
+    print!("{}", record.output.render());
 }

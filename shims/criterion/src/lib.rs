@@ -1,0 +1,196 @@
+//! Offline shim for the subset of `criterion` this workspace uses.
+//!
+//! It keeps the macro surface (`criterion_group!`, `criterion_main!`)
+//! and the `Criterion` / `Bencher` / `BenchmarkGroup` / `BenchmarkId`
+//! types, but measures with a simple warmup-then-sample wall-clock loop
+//! and prints one `name ... mean time/iter` line per benchmark instead
+//! of criterion's statistical reports. Benches stay `harness = false`
+//! binaries, so `cargo bench` runs them unchanged.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// Wall-clock budget per benchmark's measurement phase.
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            budget: self.measurement_time,
+            result_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Overrides the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim does not subsample.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+}
+
+/// Runs the timed closure: a few warmup iterations, then as many timed
+/// iterations as fit the budget.
+pub struct Bencher {
+    budget: Duration,
+    result_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f` and records the mean per-iteration cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..3 {
+            black_box(f());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(f());
+            iters += 1;
+            if start.elapsed() >= self.budget && iters >= 10 {
+                break;
+            }
+        }
+        self.result_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks one parameterized case.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.0);
+        self.criterion.bench_function(&name, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks an unparameterized case inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id.into().0);
+        self.criterion.bench_function(&name, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (`name` or `name/parameter`).
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    let (scaled, unit) = if b.result_ns >= 1e9 {
+        (b.result_ns / 1e9, "s")
+    } else if b.result_ns >= 1e6 {
+        (b.result_ns / 1e6, "ms")
+    } else if b.result_ns >= 1e3 {
+        (b.result_ns / 1e3, "us")
+    } else {
+        (b.result_ns, "ns")
+    };
+    println!(
+        "bench: {name:<50} {scaled:>10.3} {unit}/iter ({} iters)",
+        b.iters
+    );
+}
+
+/// Declares a group function that runs each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main`, running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_positive_times() {
+        let mut c = Criterion::default();
+        c.measurement_time(Duration::from_millis(5));
+        c.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut group = c.benchmark_group("group");
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        group.finish();
+    }
+}

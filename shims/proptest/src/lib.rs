@@ -1,0 +1,248 @@
+//! Offline shim for the subset of `proptest` this workspace uses: the
+//! `proptest!` macro over range / tuple / `collection::vec` strategies,
+//! `prop_assert!` / `prop_assert_eq!`, `ProptestConfig::with_cases`,
+//! and `TestCaseError`.
+//!
+//! Sampling is deterministic: every test function draws from a fixed
+//! seed, so failures reproduce exactly. There is no shrinking — the
+//! failing case's number is reported instead.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases sampled per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed property case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property rejected this case with a message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure from any message.
+    pub fn fail<M: Into<String>>(msg: M) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => f.write_str(m),
+        }
+    }
+}
+
+/// A source of sampled values for one property run.
+pub struct Gen {
+    rng: StdRng,
+}
+
+impl Gen {
+    /// A deterministic generator for the named test.
+    pub fn new(test_name: &str) -> Self {
+        // FNV-1a over the test name gives each property its own
+        // deterministic stream.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Gen {
+            rng: StdRng::seed_from_u64(h),
+        }
+    }
+}
+
+/// A recipe for sampling values of one type.
+pub trait Strategy {
+    /// The sampled type.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, g: &mut Gen) -> Self::Value;
+}
+
+impl<T: rand::SampleUniform> Strategy for std::ops::Range<T> {
+    type Value = T;
+    fn sample(&self, g: &mut Gen) -> T {
+        g.rng.gen_range(self.start..self.end)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, g: &mut Gen) -> Self::Value {
+        (self.0.sample(g), self.1.sample(g))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, g: &mut Gen) -> Self::Value {
+        (self.0.sample(g), self.1.sample(g), self.2.sample(g))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+    fn sample(&self, g: &mut Gen) -> Self::Value {
+        (
+            self.0.sample(g),
+            self.1.sample(g),
+            self.2.sample(g),
+            self.3.sample(g),
+        )
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Gen, Strategy};
+
+    /// Samples vectors whose length is drawn from `len`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// A strategy for `Vec<S::Value>` with length in `len`.
+    pub fn vec<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, g: &mut Gen) -> Self::Value {
+            let n = self.len.clone().sample(g);
+            (0..n).map(|_| self.elem.sample(g)).collect()
+        }
+    }
+}
+
+/// Early-returns a [`TestCaseError`] when the condition fails.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Early-returns a [`TestCaseError`] when the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                l, r
+            )));
+        }
+    }};
+}
+
+/// Declares deterministic property tests.
+///
+/// Each `fn name(arg in strategy, ...) { body }` expands to a `#[test]`
+/// (the attribute is written inside the macro body, as with real
+/// proptest) sampling `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg); $($rest)*);
+    };
+    (@cfg ($cfg:expr);
+        $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut generator = $crate::Gen::new(stringify!($name));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut generator);)*
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest `{}` failed at case {}/{}: {}",
+                            stringify!($name), case + 1, config.cases, e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// One-stop imports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{Gen, ProptestConfig, Strategy, TestCaseError};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Range strategies stay in bounds.
+        #[test]
+        fn ranges_in_bounds(x in 3u64..17, i in 0usize..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(i < 5);
+        }
+
+        /// Tuple and vec strategies compose.
+        #[test]
+        fn composites_sample(pair in (0u8..4, 1usize..9),
+                             xs in crate::collection::vec(0u8..6, 1..12)) {
+            prop_assert!(pair.0 < 4);
+            prop_assert!((1..9).contains(&pair.1));
+            prop_assert!(!xs.is_empty() && xs.len() < 12);
+            prop_assert!(xs.iter().all(|&v| v < 6));
+        }
+
+        /// `?` works on results mapped into TestCaseError.
+        #[test]
+        fn question_mark_propagates(n in 1u32..5) {
+            let ok: Result<u32, String> = Ok(n);
+            let v = ok.map_err(TestCaseError::fail)?;
+            prop_assert_eq!(v, n);
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Offline shim for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` without `syn`/`quote` (the build has no
+//! crates.io access), parsing the item token stream by hand.
+//!
+//! Supported shapes — the only ones this workspace uses:
+//!
+//! * structs with named fields,
+//! * unit structs,
+//! * enums whose variants are unit or newtype (single unnamed field).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What the item parser found.
+enum Item {
+    /// `struct Name { field, ... }` (empty for unit structs).
+    Struct { name: String, fields: Vec<String> },
+    /// `enum Name { Variant, Newtype(T), ... }`.
+    Enum {
+        name: String,
+        variants: Vec<(String, bool)>,
+    },
+}
+
+/// Skips attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+fn skip_meta(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then the bracket group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_meta(&tokens, 0);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, found {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic types are not supported (type `{name}`)");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_named_fields(g.stream())
+                }
+                // Unit struct (`struct Name;`).
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Vec::new(),
+                other => panic!(
+                    "serde shim derive: only named-field or unit structs are supported \
+                     (type `{name}`, found {other:?})"
+                ),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde shim derive: malformed enum `{name}` ({other:?})"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Parses `ident: Type, ...` returning the field names.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_meta(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim derive: expected field name, found {other}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde shim derive: expected `:` after `{field}`, found {other}"),
+        }
+        // Consume the type: everything until a comma outside `<...>`.
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(field);
+    }
+    fields
+}
+
+/// Parses enum variants as `(name, is_newtype)`.
+fn parse_variants(body: TokenStream) -> Vec<(String, bool)> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_meta(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim derive: expected variant name, found {other}"),
+        };
+        i += 1;
+        let mut newtype = false;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    newtype = true;
+                    i += 1;
+                }
+                Delimiter::Brace => {
+                    panic!("serde shim derive: struct-like variant `{name}` is not supported")
+                }
+                _ => {}
+            }
+        }
+        // Skip to the comma separating variants (covers discriminants).
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push((name, newtype));
+    }
+    variants
+}
+
+/// `#[derive(Serialize)]` for the workspace serde shim.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let body: String = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})),"))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         serde::Value::Object(vec![{body}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, newtype)| {
+                    if *newtype {
+                        format!(
+                            "{name}::{v}(inner) => serde::Value::Object(vec![(\
+                                 \"{v}\".to_string(), serde::Serialize::to_value(inner))]),"
+                        )
+                    } else {
+                        format!("{name}::{v} => serde::Value::Str(\"{v}\".to_string()),")
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse()
+        .expect("serde shim derive: generated impl must parse")
+}
+
+/// `#[derive(Deserialize)]` for the workspace serde shim.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let body: String = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: serde::Deserialize::from_value(serde::field(fields, \"{f}\")?)?,")
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                         let fields = v.as_object().ok_or_else(|| \
+                             serde::Error::custom(\"expected object for {name}\"))?;\n\
+                         let _ = fields;\n\
+                         Ok({name} {{ {body} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let str_arms: String = variants
+                .iter()
+                .filter(|(_, newtype)| !newtype)
+                .map(|(v, _)| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect();
+            let obj_arms: String = variants
+                .iter()
+                .filter(|(_, newtype)| *newtype)
+                .map(|(v, _)| {
+                    format!("\"{v}\" => Ok({name}::{v}(serde::Deserialize::from_value(value)?)),")
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                         match v {{\n\
+                             serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {str_arms}\n\
+                                 other => Err(serde::Error::custom(format!(\
+                                     \"unknown variant `{{other}}` of {name}\"))),\n\
+                             }},\n\
+                             serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                                 let (tag, value) = &fields[0];\n\
+                                 let _ = value;\n\
+                                 match tag.as_str() {{\n\
+                                     {obj_arms}\n\
+                                     other => Err(serde::Error::custom(format!(\
+                                         \"unknown variant `{{other}}` of {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => Err(serde::Error::custom(\"expected variant of {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse()
+        .expect("serde shim derive: generated impl must parse")
+}

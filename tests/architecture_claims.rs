@@ -76,10 +76,7 @@ fn qalypso_tracks_fully_multiplexed() {
     let c = qcla_lowered(16);
     let fm = simulate(&c, Arch::FullyMultiplexed, 1e6).makespan_us;
     let qa = simulate(&c, Arch::default_qalypso(), 1e6).makespan_us;
-    assert!(
-        (qa / fm) < 1.25,
-        "Qalypso {qa} strays from FM {fm}"
-    );
+    assert!((qa / fm) < 1.25, "Qalypso {qa} strays from FM {fm}");
 }
 
 #[test]

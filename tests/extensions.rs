@@ -17,10 +17,7 @@ fn draper_adder_adds_via_statevector() {
             let mut s = State::basis(2 * n, a | (b << n));
             s.run(&draper_adder(n));
             let want = a | (((a + b) % (1 << n)) << n);
-            assert!(
-                s.amps()[want].norm_sq() > 1.0 - 1e-9,
-                "{a}+{b} failed"
-            );
+            assert!(s.amps()[want].norm_sq() > 1.0 - 1e-9, "{a}+{b} failed");
         }
     }
 }

@@ -50,7 +50,10 @@ fn table3_bandwidth_ratios_hold() {
     let rca = characterize(&qrca_lowered(32)).bandwidth;
     let cla = characterize(&qcla_lowered(32)).bandwidth;
     let ratio = cla.zero_per_ms / rca.zero_per_ms;
-    assert!((5.0..15.0).contains(&ratio), "QCLA/QRCA bandwidth ratio {ratio}");
+    assert!(
+        (5.0..15.0).contains(&ratio),
+        "QCLA/QRCA bandwidth ratio {ratio}"
+    );
     // pi/8 bandwidths scale similarly (paper: 62.7 vs 7.0).
     let pr = cla.pi8_per_ms / rca.pi8_per_ms;
     assert!((5.0..15.0).contains(&pr), "pi/8 ratio {pr}");
@@ -62,9 +65,11 @@ fn fig7_demand_profiles_are_positive_and_bounded() {
     let c = qrca_lowered(16);
     let profile = demand_profile(&c, &model, 200);
     assert_eq!(profile.len(), 200);
-    let peak = profile.iter().map(|p| p.zeros_in_flight).fold(0.0, f64::max);
-    let avg: f64 =
-        profile.iter().map(|p| p.zeros_in_flight).sum::<f64>() / profile.len() as f64;
+    let peak = profile
+        .iter()
+        .map(|p| p.zeros_in_flight)
+        .fold(0.0, f64::max);
+    let avg: f64 = profile.iter().map(|p| p.zeros_in_flight).sum::<f64>() / profile.len() as f64;
     assert!(peak > 0.0);
     assert!(avg > 0.0);
     assert!(peak < 10_000.0, "implausible peak {peak}");

@@ -4,19 +4,19 @@ use proptest::prelude::*;
 use qods_circuit::circuit::{Circuit, NoSynth};
 use qods_circuit::dag::Dag;
 use qods_circuit::sim::statevector::State;
+use qods_layout::grid::Grid;
+use qods_layout::macroblock::{Macroblock, MacroblockKind};
+use qods_layout::route::route;
 use qods_phys::error_model::ErrorModel;
 use qods_phys::pauli::{Pauli, PauliString};
 use qods_steane::code::SteaneCode;
 use qods_steane::encoder::{encode_zero, EncoderMovement};
 use qods_steane::executor::Executor;
+use qods_steane::tableau::Tableau;
 use qods_synth::search::Synthesizer;
 use qods_synth::su2::U2;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use qods_layout::grid::Grid;
-use qods_layout::macroblock::{Macroblock, MacroblockKind};
-use qods_layout::route::route;
-use qods_steane::tableau::Tableau;
 use speed_of_data::kernels::verify_adder;
 use speed_of_data::prelude::*;
 
@@ -33,7 +33,7 @@ proptest! {
         prop_assert!(a.product(&a).is_identity());
         prop_assert_eq!(a.commutes_with(&b), b.commutes_with(&a));
         // Commutation matches the symplectic form.
-        let form = ((a.x & b.z).count_ones() + (a.z & b.x).count_ones()) % 2 == 0;
+        let form = ((a.x & b.z).count_ones() + (a.z & b.x).count_ones()).is_multiple_of(2);
         prop_assert_eq!(a.commutes_with(&b), form);
     }
 
@@ -68,8 +68,8 @@ proptest! {
     #[test]
     fn adders_add(n in 1usize..7, a in 0u64..64, b in 0u64..64) {
         let mask = (1u64 << n) - 1;
-        verify_adder(&qrca(n), n, a & mask, b & mask).map_err(|e| TestCaseError::fail(e))?;
-        verify_adder(&qcla(n), n, a & mask, b & mask).map_err(|e| TestCaseError::fail(e))?;
+        verify_adder(&qrca(n), n, a & mask, b & mask).map_err(TestCaseError::fail)?;
+        verify_adder(&qcla(n), n, a & mask, b & mask).map_err(TestCaseError::fail)?;
     }
 
     /// Lowering preserves unitary semantics on random 3-qubit

@@ -1,0 +1,181 @@
+//! Integration tests for the experiment-registry API: id coverage
+//! against the documented table, serde round-trips, and agreement
+//! between individually-addressed runs and the full `run_all()`.
+
+use speed_of_data::prelude::*;
+use speed_of_data::study::PaperReproduction;
+
+/// Extracts every backticked experiment id from the artifact table in
+/// `qods-core`'s crate docs, so the docs and the registry can never
+/// drift apart silently.
+fn documented_ids() -> Vec<String> {
+    let docs = include_str!("../crates/core/src/lib.rs");
+    let mut ids = Vec::new();
+    for line in docs.lines() {
+        // Table rows look like `//! | Table 9 | `table9` | [...] |`.
+        let Some(row) = line.trim_start().strip_prefix("//! |") else {
+            continue;
+        };
+        let cols: Vec<&str> = row.split('|').collect();
+        if cols.len() < 2 {
+            continue;
+        }
+        let id_col = cols[1];
+        let mut rest = id_col;
+        while let Some(start) = rest.find('`') {
+            let after = &rest[start + 1..];
+            let Some(end) = after.find('`') else { break };
+            ids.push(after[..end].to_string());
+            rest = &after[end + 1..];
+        }
+    }
+    ids
+}
+
+#[test]
+fn registry_covers_every_documented_id() {
+    let registry = Registry::paper();
+    let ids = documented_ids();
+    assert!(
+        ids.len() >= 13,
+        "docs table lists only {} ids: {ids:?}",
+        ids.len()
+    );
+    for id in &ids {
+        assert!(
+            registry.get(id).is_some(),
+            "documented id `{id}` does not resolve in the registry"
+        );
+    }
+    // And the other direction: every registered id (and alias) is
+    // documented.
+    for info in registry.list() {
+        assert!(
+            ids.iter().any(|i| i == info.id),
+            "registered id `{}` missing from the docs table",
+            info.id
+        );
+        for alias in info.aliases {
+            assert!(
+                ids.iter().any(|i| i == *alias),
+                "alias `{alias}` missing from the docs table"
+            );
+        }
+    }
+}
+
+#[test]
+fn repro_list_shape_is_complete() {
+    let registry = Registry::paper();
+    let list = registry.list();
+    assert_eq!(list.len(), 13);
+    for info in &list {
+        assert!(!info.title.is_empty(), "{}: empty title", info.id);
+        assert!(
+            info.id.chars().all(|c| c.is_ascii_alphanumeric()),
+            "{}: ids must be bare alphanumeric tokens",
+            info.id
+        );
+    }
+}
+
+#[test]
+fn every_experiment_output_round_trips_through_serde() {
+    let registry = Registry::paper();
+    let ctx = StudyContext::new(StudyConfig::smoke());
+    for record in registry.run_all(&ctx) {
+        let json = serde_json::to_string(&record).expect("serialize record");
+        let back: ExperimentRecord = serde_json::from_str(&json).expect("deserialize record");
+        assert_eq!(
+            back, record,
+            "{}: JSON round-trip changed the record",
+            record.id
+        );
+        // The output is externally tagged, so archived files are
+        // self-describing.
+        let value: serde_json::Value = serde_json::from_str(&json).expect("parse as value");
+        assert!(
+            value
+                .get("output")
+                .and_then(|o| o.as_object())
+                .map(|o| o.len())
+                == Some(1),
+            "{}: output must be a single-variant tag object",
+            record.id
+        );
+    }
+}
+
+#[test]
+fn single_experiment_runs_agree_with_run_all() {
+    let config = StudyConfig::smoke();
+    let out = Study::new(config.clone()).run_all();
+
+    // Re-run a representative subset individually, each over its own
+    // fresh context, and compare against the corresponding run_all
+    // fields. Everything is seeded, so agreement is exact.
+    let registry = Registry::paper();
+    let ctx = StudyContext::new(config);
+    let records = registry
+        .run_selected(
+            &["fig4", "table2", "table9", "table5", "fig15", "fig6"],
+            &ctx,
+        )
+        .expect("known ids");
+    for record in records {
+        match record.output {
+            ExperimentOutput::Fig4(o) => assert_eq!(o.rows, out.fig4),
+            ExperimentOutput::Table2(o) => assert_eq!(o.rows, out.table2),
+            ExperimentOutput::Table9(o) => assert_eq!(o.rows, out.table9),
+            ExperimentOutput::ZeroFactory(o) => assert_eq!(o, out.factories.zero),
+            ExperimentOutput::Fig15(o) => assert_eq!(o.panels, out.fig15),
+            ExperimentOutput::Cascade(o) => assert_eq!(o.rows, out.cascade),
+            other => panic!("unexpected output variant {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn aliases_run_the_same_experiment() {
+    let registry = Registry::paper();
+    let ctx = StudyContext::new(StudyConfig::smoke());
+    let a = registry.run_one("table5", &ctx).expect("table5");
+    let b = registry.run_one("table6", &ctx).expect("table6");
+    assert_eq!(a.id, b.id);
+    assert_eq!(a.output, b.output);
+}
+
+#[test]
+fn run_all_lowers_benchmarks_exactly_once_across_parallel_experiments() {
+    let ctx = StudyContext::new(StudyConfig::smoke());
+    let records = Registry::paper().run_all(&ctx);
+    assert_eq!(records.len(), 13);
+    assert_eq!(ctx.lowering_runs(), 1);
+}
+
+#[test]
+fn paper_reproduction_round_trips_and_has_no_tuple_fields() {
+    let out = Study::new(StudyConfig::smoke()).run_all();
+    let json = serde_json::to_string_pretty(&out).expect("serialize");
+    let back: PaperReproduction = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, out);
+    // Named-struct spot checks on what used to be anonymous tuples.
+    let v: serde_json::Value = serde_json::from_str(&json).expect("value");
+    let factories = v.get("factories").expect("factories");
+    assert!(factories
+        .get("zero")
+        .and_then(|z| z.get("total_area"))
+        .is_some());
+    let t2 = v.get("table2").and_then(|t| t.as_array()).expect("table2");
+    assert!(t2[0]
+        .get("shares")
+        .and_then(|s| s.get("ancilla_prep"))
+        .is_some());
+    let t9 = v.get("table9").and_then(|t| t.as_array()).expect("table9");
+    assert!(t9[0].get("data").and_then(|d| d.get("share")).is_some());
+    let cascade = v
+        .get("cascade")
+        .and_then(|c| c.as_array())
+        .expect("cascade");
+    assert!(cascade[0].get("expected_cx").is_some());
+}
