@@ -16,7 +16,7 @@
 //! [`Registry::get`], so adding an experiment to the registry makes it
 //! addressable here with no changes to this file.
 
-use qods_bench::{write_json, write_record_csvs};
+use qods_bench::{perf, write_json, write_record_csvs};
 use qods_core::experiment::StudyContext;
 use qods_core::registry::Registry;
 use qods_core::report::Render;
@@ -30,7 +30,15 @@ fn usage() -> &'static str {
      With no ids: runs every experiment (in parallel unless --sequential),\n\
      prints the paper-layout report, and writes results/repro.json + CSVs.\n\
      With ids: runs exactly those experiments and prints each one.\n\
-     `repro --list` shows every addressable id."
+     `repro --list` shows every addressable id.\n\
+     \n\
+     Perf smoke:\n\
+     `repro --bench-json` times the Fig 4 Monte-Carlo panel and writes\n\
+     BENCH_montecarlo.json (with `quick`: fewer trials, written under\n\
+     results/ so the committed baseline is not clobbered).\n\
+     `repro --bench-check PATH` runs the quick smoke, writes\n\
+     results/BENCH_montecarlo.json, and exits nonzero when panel\n\
+     throughput regressed more than 2x against the baseline at PATH."
 }
 
 fn main() -> ExitCode {
@@ -39,13 +47,24 @@ fn main() -> ExitCode {
     let mut list = false;
     let mut json = false;
     let mut sequential = false;
+    let mut bench_json = false;
+    let mut bench_check: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
-    for a in args {
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
             "quick" | "--quick" => quick = true,
             "--list" => list = true,
             "--json" => json = true,
             "--sequential" => sequential = true,
+            "--bench-json" => bench_json = true,
+            "--bench-check" => match it.next() {
+                Some(path) => bench_check = Some(path),
+                None => {
+                    eprintln!("--bench-check needs a baseline path\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 println!("{}", usage());
                 return ExitCode::SUCCESS;
@@ -56,6 +75,10 @@ fn main() -> ExitCode {
             }
             other => ids.push(other.to_string()),
         }
+    }
+
+    if bench_json || bench_check.is_some() {
+        return run_bench_smoke(quick || bench_check.is_some(), bench_check.as_deref());
     }
 
     let registry = Registry::paper();
@@ -129,6 +152,54 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("{e}\n{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Runs the Monte-Carlo perf smoke (`--bench-json` / `--bench-check`).
+fn run_bench_smoke(quick: bool, baseline_path: Option<&str>) -> ExitCode {
+    let trials = if quick {
+        perf::QUICK_TRIALS
+    } else {
+        perf::SMOKE_TRIALS
+    };
+    let report = perf::montecarlo_smoke(trials, perf::SMOKE_REPS);
+    print!("{}", perf::render_report(&report));
+    let out = if quick {
+        Path::new("results/BENCH_montecarlo.json")
+    } else {
+        Path::new("BENCH_montecarlo.json")
+    };
+    if let Err(e) = write_json(out, &report) {
+        eprintln!("failed to write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {}", out.display());
+    let Some(path) = baseline_path else {
+        return ExitCode::SUCCESS;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read baseline {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline: perf::McBenchReport = match serde_json::from_str(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot parse baseline {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match perf::check_against(&report, &baseline, 2.0) {
+        Ok(verdict) => {
+            println!("perf gate OK: {verdict}");
+            ExitCode::SUCCESS
+        }
+        Err(verdict) => {
+            eprintln!("perf gate FAILED: {verdict}");
             ExitCode::FAILURE
         }
     }

@@ -12,9 +12,15 @@
 //!   measure how long each regeneration takes and print the headline
 //!   reproduced numbers once per run.
 //!
+//! The `repro --bench-json` / `--bench-check` perf smoke (module
+//! [`perf`]) times the Fig 4 Monte-Carlo panel and maintains the
+//! committed `BENCH_montecarlo.json` baseline that CI gates on.
+//!
 //! Experiment ids match the table in [`qods_core`]'s crate docs:
 //! `table1`..`table9`, `sec33`, `fig4`, `fig6`, `fig7`, `fig8`,
 //! `fig11`, `fig15`, plus aliases like `headline`.
+
+pub mod perf;
 
 use qods_core::experiment::ExperimentRecord;
 use qods_core::output::Series;

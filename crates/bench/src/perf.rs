@@ -1,0 +1,271 @@
+//! Machine-readable Monte-Carlo performance smoke: times the Fig 4
+//! `evaluate_prep` panel (the hot path of the whole study) and emits
+//! `BENCH_montecarlo.json`, so the perf trajectory is tracked across
+//! PRs instead of living in commit messages.
+//!
+//! The committed `BENCH_montecarlo.json` at the repo root doubles as
+//! the perf baseline: CI re-runs the smoke in quick mode and fails when
+//! per-trial throughput regresses more than 2x against it (see
+//! [`check_against`]). Numbers include a frozen `reference` block
+//! measured on the pre-rewrite engine with this same harness, so the
+//! before/after of the bit-packed + skip-sampling rewrite stays
+//! visible.
+
+use qods_core::prelude::{evaluate_prep, ErrorModel, PrepStrategy};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Trials per strategy for the full (committed-baseline) smoke.
+pub const SMOKE_TRIALS: u64 = 200_000;
+/// Trials per strategy for the quick (CI) smoke.
+pub const QUICK_TRIALS: u64 = 40_000;
+/// Timing repetitions; the best (minimum) wall time is kept, which is
+/// the standard noise filter on shared hosts.
+pub const SMOKE_REPS: u32 = 5;
+/// Seed for every timed run (results are deterministic per seed).
+pub const SMOKE_SEED: u64 = 7;
+
+/// One timed panel entry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct McBenchEntry {
+    /// Strategy name (paper's Fig 4 label).
+    pub strategy: String,
+    /// Trials run per repetition.
+    pub trials: u64,
+    /// Best wall time over the repetitions, in milliseconds.
+    pub wall_ms: f64,
+    /// Trials per second at the best wall time.
+    pub trials_per_sec: f64,
+    /// Measured uncorrectable rate (sanity anchor: must not drift when
+    /// only performance work happens).
+    pub error_rate: f64,
+    /// Measured discard rate.
+    pub discard_rate: f64,
+}
+
+/// Frozen numbers from the engine this one replaced, for before/after
+/// comparisons inside the same file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct McReference {
+    /// Provenance of the frozen numbers.
+    pub note: String,
+    /// Per-strategy best wall times (same harness shape), milliseconds.
+    pub per_strategy_ms: Vec<f64>,
+    /// Panel total (sum of per-strategy bests), milliseconds.
+    pub panel_total_ms: f64,
+}
+
+/// The full report written to `BENCH_montecarlo.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct McBenchReport {
+    /// Format tag.
+    pub schema: String,
+    /// Trials per strategy per repetition.
+    pub trials_per_strategy: u64,
+    /// Timing repetitions (best kept).
+    pub reps: u32,
+    /// Worker threads (1 = the single-thread speedup criterion).
+    pub threads: usize,
+    /// One entry per Fig 4 strategy, paper order.
+    pub panel: Vec<McBenchEntry>,
+    /// Sum of best wall times, milliseconds.
+    pub panel_total_ms: f64,
+    /// Panel throughput: total trials / panel_total, per second.
+    pub panel_trials_per_sec: f64,
+    /// Host-speed yardstick: best ns/op of a fixed reference-frame
+    /// workload timed in the same process (see [`calibration_ns_per_op`]).
+    /// The CI gate compares `panel_trials_per_sec * calibration_ns_per_op`
+    /// — a machine-normalized quantity — so a baseline from one host
+    /// remains meaningful on another.
+    pub calibration_ns_per_op: f64,
+    /// Pre-rewrite engine numbers (only meaningful next to full-smoke
+    /// trials; the quick smoke scales them by trial count).
+    pub reference: McReference,
+    /// `reference.panel_total_ms` over `panel_total_ms`, trial-count
+    /// normalized.
+    pub speedup_vs_reference: f64,
+}
+
+/// Best-of-3 × 200k-trial panel of the engine before this rewrite
+/// (`Vec<bool>` frames, one Bernoulli draw per op, fresh allocations
+/// per trial, static per-thread trial split), measured with this same
+/// harness on the host that produced the committed baseline.
+pub fn reference_baseline() -> McReference {
+    McReference {
+        note: "pre-rewrite engine (PR 1 state): Vec<bool> frames, per-op \
+               Bernoulli sampling, per-trial allocation; best of 3 reps, \
+               200000 trials/strategy, threads=1, same host as the \
+               committed baseline"
+            .to_string(),
+        per_strategy_ms: vec![38.4, 95.6, 133.2, 328.0],
+        panel_total_ms: 595.2,
+    }
+}
+
+/// Times a fixed, fully self-contained workload — a local xorshift
+/// generator driving branchy bit manipulation, defined entirely in
+/// this function so no engine code under test can perturb it — as a
+/// proxy for host speed. Its instruction mix (integer shifts, xors,
+/// popcounts, data-dependent branches) resembles the panel's, so
+/// dividing panel throughput by it cancels hardware differences to
+/// first order while remaining sensitive to genuine engine
+/// regressions.
+pub fn calibration_ns_per_op(reps: u32) -> f64 {
+    let rounds = 200_000u64;
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let mut s: u64 = 0x9e37_79b9_7f4a_7c15 ^ SMOKE_SEED;
+        let mut acc: u64 = 0;
+        let t0 = Instant::now();
+        for _ in 0..rounds {
+            // xorshift64* step + the kind of masked bit work the
+            // packed frame does, with a data-dependent branch.
+            s ^= s >> 12;
+            s ^= s << 25;
+            s ^= s >> 27;
+            let r = s.wrapping_mul(0x2545_f491_4f6c_dd1d);
+            let q = (r >> 58) as u32; // 0..64
+            acc ^= 1u64 << (q & 63);
+            if r & 0xff == 0 {
+                acc = acc.rotate_left(acc.count_ones());
+            }
+        }
+        std::hint::black_box(acc);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best * 1e9 / rounds as f64
+}
+
+/// Runs the timed panel: `reps` repetitions of `trials` Monte-Carlo
+/// trials per Fig 4 strategy, single-threaded, best time kept.
+pub fn montecarlo_smoke(trials: u64, reps: u32) -> McBenchReport {
+    let model = ErrorModel::paper();
+    // Warm the caches (and fault in the code paths) once.
+    for s in PrepStrategy::ALL {
+        let _ = evaluate_prep(s, model, trials.min(2_000), SMOKE_SEED, 1);
+    }
+    let mut panel = Vec::new();
+    for s in PrepStrategy::ALL {
+        let mut best = f64::INFINITY;
+        let mut eval = None;
+        for _ in 0..reps.max(1) {
+            let t0 = Instant::now();
+            let e = evaluate_prep(s, model, trials, SMOKE_SEED, 1);
+            best = best.min(t0.elapsed().as_secs_f64());
+            eval = Some(e);
+        }
+        let eval = eval.expect("at least one rep ran");
+        panel.push(McBenchEntry {
+            strategy: s.name().to_string(),
+            trials,
+            wall_ms: best * 1e3,
+            trials_per_sec: trials as f64 / best,
+            error_rate: eval.error_rate(),
+            discard_rate: eval.discard_rate(),
+        });
+    }
+    let panel_total_ms: f64 = panel.iter().map(|e| e.wall_ms).sum();
+    let total_trials = trials * PrepStrategy::ALL.len() as u64;
+    let reference = reference_baseline();
+    // Normalize by trial count so quick smokes still report a
+    // meaningful before/after ratio.
+    let ref_scaled = reference.panel_total_ms * (trials as f64 / SMOKE_TRIALS as f64);
+    McBenchReport {
+        schema: "qods-bench-montecarlo/v1".to_string(),
+        trials_per_strategy: trials,
+        reps,
+        threads: 1,
+        panel_total_ms,
+        panel_trials_per_sec: total_trials as f64 / (panel_total_ms / 1e3),
+        calibration_ns_per_op: calibration_ns_per_op(reps),
+        panel,
+        reference,
+        speedup_vs_reference: ref_scaled / panel_total_ms,
+    }
+}
+
+/// Renders the report as the human-readable side of the smoke.
+pub fn render_report(r: &McBenchReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Monte-Carlo perf smoke ({} trials/strategy, best of {}, {} thread):",
+        r.trials_per_strategy, r.reps, r.threads
+    );
+    for e in &r.panel {
+        let _ = writeln!(
+            out,
+            "  {:<20} {:>9.1} ms  {:>12.0} trials/s  err={:.3e} discard={:.3e}",
+            e.strategy, e.wall_ms, e.trials_per_sec, e.error_rate, e.discard_rate
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  panel total {:.1} ms ({:.0} trials/s); {:.1}x vs pre-rewrite engine",
+        r.panel_total_ms, r.panel_trials_per_sec, r.speedup_vs_reference
+    );
+    out
+}
+
+/// Compares a fresh smoke against a checked-in baseline report.
+/// Returns `Err` with a diagnostic when machine-normalized per-trial
+/// throughput — `panel_trials_per_sec * calibration_ns_per_op`, so
+/// the baseline host's raw speed cancels — regressed by more than
+/// `max_regression` (CI uses 2.0).
+pub fn check_against(
+    current: &McBenchReport,
+    baseline: &McBenchReport,
+    max_regression: f64,
+) -> Result<String, String> {
+    let normalize = |r: &McBenchReport| r.panel_trials_per_sec * r.calibration_ns_per_op;
+    let ratio = normalize(baseline) / normalize(current);
+    let verdict = format!(
+        "normalized panel throughput: current {:.0} trials/s x {:.2} ns calib \
+         vs baseline {:.0} trials/s x {:.2} ns calib \
+         (normalized slowdown {ratio:.2}, limit {max_regression:.2})",
+        current.panel_trials_per_sec,
+        current.calibration_ns_per_op,
+        baseline.panel_trials_per_sec,
+        baseline.calibration_ns_per_op,
+    );
+    if ratio > max_regression {
+        Err(verdict)
+    } else {
+        Ok(verdict)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_report_roundtrips_and_checks() {
+        let r = montecarlo_smoke(2_000, 1);
+        assert_eq!(r.panel.len(), 4);
+        assert!(r.panel_total_ms > 0.0);
+        assert!(r.panel_trials_per_sec > 0.0);
+        let json = serde_json::to_string_pretty(&r).expect("serialize");
+        let back: McBenchReport = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back.panel.len(), 4);
+        assert_eq!(back.trials_per_strategy, 2_000);
+        // A run can never regress >2x against itself.
+        let verdict = check_against(&back, &r, 2.0);
+        assert!(verdict.is_ok(), "{verdict:?}");
+        // And a 3x-slower run must fail the gate.
+        let mut slow = r.clone();
+        slow.panel_trials_per_sec /= 3.0;
+        assert!(check_against(&slow, &r, 2.0).is_err());
+    }
+
+    #[test]
+    fn smoke_rates_are_deterministic() {
+        let a = montecarlo_smoke(4_000, 1);
+        let b = montecarlo_smoke(4_000, 2);
+        for (x, y) in a.panel.iter().zip(&b.panel) {
+            assert_eq!(x.error_rate, y.error_rate, "{}", x.strategy);
+            assert_eq!(x.discard_rate, y.discard_rate, "{}", x.strategy);
+        }
+    }
+}

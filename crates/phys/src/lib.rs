@@ -13,12 +13,17 @@
 //!   formulas (Tables 5 and 7) and evaluate them numerically.
 //! * [`error_model`] — per-operation independent error probabilities
 //!   (gate error 1e-4, movement error 1e-6 in the paper).
-//! * [`frame`] — a Pauli-frame simulator: errors are injected
-//!   stochastically per operation and propagated through Clifford
-//!   conjugation, exactly the style of Monte-Carlo evaluation the paper
-//!   performs on its ancilla-preparation circuits.
-//! * [`montecarlo`] — a small harness for running many seeded trials and
-//!   aggregating acceptance/error statistics.
+//! * [`frame`] — a Pauli-frame simulator over word-packed symplectic
+//!   bitmasks: errors are injected stochastically per operation
+//!   (geometric skip-sampling at low rates) and propagated through
+//!   Clifford conjugation, exactly the style of Monte-Carlo evaluation
+//!   the paper performs on its ancilla-preparation circuits.
+//! * [`frame_ref`] — the boolean reference frame the packed simulator
+//!   is differentially tested against.
+//! * [`montecarlo`] — a harness for running many seeded trials
+//!   (allocation-free via [`montecarlo::TrialArena`], chunked
+//!   work-stealing in parallel) and aggregating acceptance/error
+//!   statistics.
 //!
 //! # Example
 //!
@@ -33,13 +38,15 @@
 
 pub mod error_model;
 pub mod frame;
+pub mod frame_ref;
 pub mod latency;
 pub mod montecarlo;
 pub mod ops;
 pub mod pauli;
 
-pub use error_model::ErrorModel;
+pub use error_model::{ErrorModel, FaultSampler, FaultSampling};
 pub use frame::PauliFrame;
 pub use latency::{LatencyTable, SymbolicLatency};
+pub use montecarlo::TrialArena;
 pub use ops::{PhysOp, PhysOpKind};
 pub use pauli::{Pauli, PauliString};

@@ -1,5 +1,6 @@
-//! A small Monte-Carlo harness: seeded, optionally multi-threaded
-//! trial runners with acceptance/error bookkeeping.
+//! A Monte-Carlo harness: seeded, optionally multi-threaded trial
+//! runners with acceptance/error bookkeeping and allocation-free
+//! per-trial state.
 //!
 //! The paper evaluates every ancilla-preparation circuit by Monte-Carlo
 //! simulation (§2.2). Circuits with verification can *discard* a trial
@@ -8,9 +9,119 @@
 //! errors only among accepted trials — matching how the paper separately
 //! reports error rates (per delivered ancilla) and the verification
 //! failure rate (0.2%).
+//!
+//! ## Allocation-free trials
+//!
+//! Every trial closure receives a [`TrialArena`] alongside its RNG: a
+//! bundle of reusable buffers (Pauli frame, measurement-flip vector,
+//! limb scratch) that the hot path borrows instead of allocating. A
+//! steady-state trial performs zero heap allocations.
+//!
+//! ## Work scheduling and determinism
+//!
+//! Trials are processed in fixed-size chunks ([`TRIAL_CHUNK`]); each
+//! chunk seeds its own RNG from `(seed, chunk index)`. The parallel
+//! runner hands chunks to a pool of scoped workers through an atomic
+//! cursor (chunked work-stealing), so discard-heavy or otherwise
+//! unbalanced trial loads cannot idle a thread the way the old static
+//! per-thread quota split could. Because the statistics of a chunk
+//! depend only on its index — never on which worker ran it — results
+//! are bit-identical for a fixed `(trials, seed)` across *any* thread
+//! count, including the sequential runner. (This is stronger than the
+//! old engine's per-`(seed, threads)` contract; the stream itself
+//! differs from the old engine by design — see DESIGN.md.)
 
+use crate::error_model::ErrorModel;
+use crate::frame::PauliFrame;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Trials per scheduling chunk. Large enough that the atomic cursor and
+/// per-chunk RNG seeding are noise (a chunk is ~10^5–10^6 ops), small
+/// enough that typical trial counts split into many more chunks than
+/// cores, which is what lets stealing balance discard-heavy loads.
+pub const TRIAL_CHUNK: u64 = 1024;
+
+/// Reusable per-trial buffers: a Pauli frame, a measurement-flip
+/// vector, and generic limb scratch. One arena lives per worker thread
+/// and is lent to every trial it runs, so steady-state trials allocate
+/// nothing.
+///
+/// # Example
+///
+/// ```
+/// use qods_phys::error_model::ErrorModel;
+/// use qods_phys::montecarlo::TrialArena;
+/// use qods_phys::ops::PhysOp;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut arena = TrialArena::new();
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let (frame, flips) = arena.frame_and_flips(3, ErrorModel::paper());
+/// frame.run(&[PhysOp::Prep(0), PhysOp::measure_z(0)], &mut rng, flips);
+/// assert_eq!(flips.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct TrialArena {
+    frame: PauliFrame,
+    flips: Vec<bool>,
+    scratch: Vec<u64>,
+}
+
+impl TrialArena {
+    /// An empty arena; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        TrialArena {
+            frame: PauliFrame::new(0, ErrorModel::noiseless()),
+            flips: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The arena's Pauli frame, reset for a fresh trial over `n` qubits
+    /// under `model` (reusing the existing allocation). The fault
+    /// sampler's geometric countdown carries across trials — exact by
+    /// memorylessness; the runners isolate it per chunk via
+    /// [`TrialArena::reset_sampling`].
+    pub fn frame(&mut self, n: usize, model: ErrorModel) -> &mut PauliFrame {
+        self.frame.reset(n, model);
+        &mut self.frame
+    }
+
+    /// Starts a fresh fault-sampling stream (called by the trial
+    /// runners at chunk boundaries so a chunk's results are a pure
+    /// function of its seed, wherever the arena ran before).
+    pub fn reset_sampling(&mut self) {
+        self.frame.reset_sampling();
+    }
+
+    /// The reset frame plus the reusable measurement-flip buffer, split
+    /// so both can be borrowed at once (e.g. for
+    /// [`PauliFrame::run`]'s out-parameter).
+    pub fn frame_and_flips(
+        &mut self,
+        n: usize,
+        model: ErrorModel,
+    ) -> (&mut PauliFrame, &mut Vec<bool>) {
+        self.frame.reset(n, model);
+        (&mut self.frame, &mut self.flips)
+    }
+
+    /// Reusable limb scratch, cleared and zero-filled to `limbs` words.
+    pub fn scratch(&mut self, limbs: usize) -> &mut Vec<u64> {
+        self.scratch.clear();
+        self.scratch.resize(limbs, 0);
+        &mut self.scratch
+    }
+}
+
+impl Default for TrialArena {
+    fn default() -> Self {
+        TrialArena::new()
+    }
+}
 
 /// Outcome of one Monte-Carlo trial.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,7 +153,7 @@ pub enum TrialOutcome {
 /// use qods_phys::montecarlo::{run_trials, TrialOutcome};
 ///
 /// // A fake experiment that errors 10% of the time and discards 50%.
-/// let stats = run_trials(10_000, 42, |rng| {
+/// let stats = run_trials(10_000, 42, |rng, _arena| {
 ///     use rand::Rng;
 ///     if rng.gen_bool(0.5) {
 ///         TrialOutcome::Discarded
@@ -69,7 +180,8 @@ pub struct MonteCarloStats {
 }
 
 impl MonteCarloStats {
-    /// Merges statistics from another run (used by the parallel runner).
+    /// Merges statistics from another run (used by the parallel runner;
+    /// counts are sums, so merge order never matters).
     pub fn merge(&mut self, other: &MonteCarloStats) {
         self.trials += other.trials;
         self.discarded += other.discarded;
@@ -117,6 +229,15 @@ impl MonteCarloStats {
         1.96 * (p * (1.0 - p) / self.accepted as f64).sqrt()
     }
 
+    /// A 95% confidence half-width for the discard rate.
+    pub fn discard_rate_ci95(&self) -> f64 {
+        if self.trials == 0 {
+            return f64::INFINITY;
+        }
+        let p = self.discard_rate();
+        1.96 * (p * (1.0 - p) / self.trials as f64).sqrt()
+    }
+
     fn record(&mut self, outcome: TrialOutcome) {
         self.trials += 1;
         match outcome {
@@ -143,59 +264,129 @@ impl MonteCarloStats {
     }
 }
 
-/// Runs `n` seeded trials sequentially.
-pub fn run_trials<F>(n: u64, seed: u64, mut trial: F) -> MonteCarloStats
+/// The RNG seed owned by chunk `c` of a run seeded with `seed`.
+/// Splitmix-style spreading; `StdRng::seed_from_u64` mixes further.
+#[inline]
+fn chunk_seed(seed: u64, c: u64) -> u64 {
+    seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(c.wrapping_add(1)))
+}
+
+/// Runs the trials of chunk `c` (global trial indices
+/// `[c * TRIAL_CHUNK, min(n, (c + 1) * TRIAL_CHUNK))`) into `stats`.
+fn run_chunk<F>(n: u64, seed: u64, c: u64, trial: &mut F, arena: &mut TrialArena) -> MonteCarloStats
 where
-    F: FnMut(&mut StdRng) -> TrialOutcome,
+    F: FnMut(&mut StdRng, &mut TrialArena) -> TrialOutcome,
 {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let lo = c * TRIAL_CHUNK;
+    let hi = n.min(lo + TRIAL_CHUNK);
+    let mut rng = StdRng::seed_from_u64(chunk_seed(seed, c));
+    arena.reset_sampling();
     let mut stats = MonteCarloStats::default();
-    for _ in 0..n {
-        stats.record(trial(&mut rng));
+    for _ in lo..hi {
+        stats.record(trial(&mut rng, arena));
     }
     stats
 }
 
-/// Runs `n` seeded trials across `threads` OS threads. Each thread gets
-/// a distinct seed derived from `seed`, so results are reproducible for
-/// a fixed `(seed, threads)` pair.
+/// Runs `n` seeded trials sequentially. Identical statistics to
+/// [`run_trials_parallel`] at any thread count (both walk the same
+/// per-chunk RNG streams).
+pub fn run_trials<F>(n: u64, seed: u64, mut trial: F) -> MonteCarloStats
+where
+    F: FnMut(&mut StdRng, &mut TrialArena) -> TrialOutcome,
+{
+    let mut arena = TrialArena::new();
+    let mut total = MonteCarloStats::default();
+    for c in 0..n.div_ceil(TRIAL_CHUNK) {
+        total.merge(&run_chunk(n, seed, c, &mut trial, &mut arena));
+    }
+    total
+}
+
+/// Runs `n` seeded trials across `threads` OS threads with chunked
+/// work-stealing: workers drain `TRIAL_CHUNK`-sized chunks from an
+/// atomic cursor, so a worker that lands on expensive (e.g.
+/// discard-and-retry-heavy) trials simply claims fewer chunks instead
+/// of gating the join. Results are bit-identical to [`run_trials`] for
+/// the same `(n, seed)`, whatever `threads` is.
 pub fn run_trials_parallel<F>(n: u64, seed: u64, threads: usize, trial: F) -> MonteCarloStats
 where
-    F: Fn(&mut StdRng) -> TrialOutcome + Sync,
+    F: Fn(&mut StdRng, &mut TrialArena) -> TrialOutcome + Sync,
 {
-    let threads = threads.max(1);
-    if threads == 1 {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut stats = MonteCarloStats::default();
-        for _ in 0..n {
-            stats.record(trial(&mut rng));
+    run_trials_multi(&[(n, seed)], threads, |_, rng, arena| trial(rng, arena))
+        .pop()
+        .expect("one stream in, one stats out")
+}
+
+/// Runs several independent trial streams — `jobs[i] = (n_i, seed_i)`,
+/// trial closures told their stream index — through **one** shared
+/// work-stealing pool. All streams' chunks feed a single atomic
+/// cursor, so a long stream overlaps a short one instead of the pool
+/// being statically split between them. Stream `i`'s statistics are
+/// bit-identical to `run_trials(n_i, seed_i, ...)` at any thread
+/// count.
+pub fn run_trials_multi<F>(jobs: &[(u64, u64)], threads: usize, trial: F) -> Vec<MonteCarloStats>
+where
+    F: Fn(usize, &mut StdRng, &mut TrialArena) -> TrialOutcome + Sync,
+{
+    // Global chunk index space: stream 0's chunks first, then stream
+    // 1's, ... mapped back through the prefix sums.
+    let chunk_counts: Vec<u64> = jobs.iter().map(|&(n, _)| n.div_ceil(TRIAL_CHUNK)).collect();
+    let total_chunks: u64 = chunk_counts.iter().sum();
+    let locate = |g: u64| -> (usize, u64) {
+        let mut base = 0u64;
+        for (i, &c) in chunk_counts.iter().enumerate() {
+            if g < base + c {
+                return (i, g - base);
+            }
+            base += c;
         }
-        return stats;
+        unreachable!("global chunk index out of range")
+    };
+    let threads = (threads.max(1) as u64).min(total_chunks.max(1)) as usize;
+    if threads <= 1 {
+        let mut arena = TrialArena::new();
+        let mut totals = vec![MonteCarloStats::default(); jobs.len()];
+        for g in 0..total_chunks {
+            let (i, c) = locate(g);
+            let (n, seed) = jobs[i];
+            let mut f = |rng: &mut StdRng, arena: &mut TrialArena| trial(i, rng, arena);
+            totals[i].merge(&run_chunk(n, seed, c, &mut f, &mut arena));
+        }
+        return totals;
     }
-    let per = n / threads as u64;
-    let extra = n % threads as u64;
-    let mut total = MonteCarloStats::default();
+    let cursor = AtomicU64::new(0);
+    let mut totals = vec![MonteCarloStats::default(); jobs.len()];
     std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..threads {
-            let quota = per + u64::from((t as u64) < extra);
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
             let trial = &trial;
+            let cursor = &cursor;
+            let locate = &locate;
             handles.push(scope.spawn(move || {
-                let mut rng = StdRng::seed_from_u64(
-                    seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(t as u64 + 1)),
-                );
-                let mut stats = MonteCarloStats::default();
-                for _ in 0..quota {
-                    stats.record(trial(&mut rng));
+                let mut arena = TrialArena::new();
+                let mut stats = vec![MonteCarloStats::default(); jobs.len()];
+                loop {
+                    let g = cursor.fetch_add(1, Ordering::Relaxed);
+                    if g >= total_chunks {
+                        break;
+                    }
+                    let (i, c) = locate(g);
+                    let (n, seed) = jobs[i];
+                    let mut f = |rng: &mut StdRng, arena: &mut TrialArena| trial(i, rng, arena);
+                    stats[i].merge(&run_chunk(n, seed, c, &mut f, &mut arena));
                 }
                 stats
             }));
         }
         for h in handles {
-            total.merge(&h.join().expect("monte-carlo worker panicked"));
+            let worker = h.join().expect("monte-carlo worker panicked");
+            for (t, w) in totals.iter_mut().zip(&worker) {
+                t.merge(w);
+            }
         }
     });
-    total
+    totals
 }
 
 #[cfg(test)]
@@ -205,7 +396,7 @@ mod tests {
 
     #[test]
     fn stats_bookkeeping() {
-        let stats = run_trials(1000, 1, |rng| {
+        let stats = run_trials(1000, 1, |rng, _| {
             if rng.gen_bool(0.25) {
                 TrialOutcome::Discarded
             } else {
@@ -222,7 +413,7 @@ mod tests {
 
     #[test]
     fn parallel_matches_totals() {
-        let stats = run_trials_parallel(10_000, 9, 4, |rng| TrialOutcome::Accepted {
+        let stats = run_trials_parallel(10_000, 9, 4, |rng, _| TrialOutcome::Accepted {
             logical_error: rng.gen_bool(0.01),
         });
         assert_eq!(stats.trials, 10_000);
@@ -231,8 +422,20 @@ mod tests {
     }
 
     #[test]
+    fn results_are_thread_count_invariant() {
+        let f = |rng: &mut StdRng, _: &mut TrialArena| TrialOutcome::Accepted {
+            logical_error: rng.gen_bool(0.3),
+        };
+        let sequential = run_trials(5000, 77, f);
+        for threads in [1, 2, 3, 4, 7] {
+            let parallel = run_trials_parallel(5000, 77, threads, f);
+            assert_eq!(sequential, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
     fn parallel_is_reproducible() {
-        let f = |rng: &mut StdRng| TrialOutcome::Accepted {
+        let f = |rng: &mut StdRng, _: &mut TrialArena| TrialOutcome::Accepted {
             logical_error: rng.gen_bool(0.3),
         };
         let a = run_trials_parallel(5000, 77, 3, f);
@@ -241,10 +444,67 @@ mod tests {
     }
 
     #[test]
+    fn multi_stream_pool_matches_single_stream_runs() {
+        // Each stream through the shared pool must equal its own
+        // standalone run, at any thread count, even with uneven sizes.
+        let jobs = [(3 * TRIAL_CHUNK + 7, 5u64), (100, 9), (TRIAL_CHUNK, 5)];
+        let trial = |i: usize, rng: &mut StdRng, _: &mut TrialArena| TrialOutcome::Accepted {
+            logical_error: rng.gen_bool(0.1 * (i + 1) as f64),
+        };
+        let expected: Vec<MonteCarloStats> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, &(n, seed))| run_trials(n, seed, |rng, a| trial(i, rng, a)))
+            .collect();
+        for threads in [1, 2, 5] {
+            let got = run_trials_multi(&jobs, threads, trial);
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn uneven_tail_chunk_is_counted_once() {
+        // n deliberately not a multiple of TRIAL_CHUNK.
+        let n = 2 * TRIAL_CHUNK + 137;
+        let stats = run_trials_parallel(n, 5, 4, |_, _| TrialOutcome::Accepted {
+            logical_error: false,
+        });
+        assert_eq!(stats.trials, n);
+        assert_eq!(stats.accepted, n);
+    }
+
+    #[test]
+    fn arena_buffers_are_reused_across_trials() {
+        use crate::ops::PhysOp;
+        use std::sync::atomic::AtomicUsize;
+        let reallocs = AtomicUsize::new(0);
+        let mut last_ptr: *const u64 = std::ptr::null();
+        let _ = run_trials(3000, 11, |rng, arena| {
+            let (frame, flips) = arena.frame_and_flips(28, ErrorModel::paper());
+            frame.run(
+                &[PhysOp::Prep(0), PhysOp::cx(0, 1), PhysOp::measure_z(1)],
+                rng,
+                flips,
+            );
+            let logical_error = flips[0];
+            let ptr = arena.scratch(1).as_ptr();
+            if !last_ptr.is_null() && ptr != last_ptr {
+                reallocs.fetch_add(1, Ordering::Relaxed);
+            }
+            last_ptr = ptr;
+            TrialOutcome::Accepted { logical_error }
+        });
+        // The scratch buffer settles after its first growth and must
+        // then stay put for the entire run.
+        assert!(reallocs.load(Ordering::Relaxed) <= 1);
+    }
+
+    #[test]
     fn empty_stats_are_safe() {
         let s = MonteCarloStats::default();
         assert_eq!(s.error_rate(), 0.0);
         assert_eq!(s.discard_rate(), 0.0);
         assert!(s.error_rate_ci95().is_infinite());
+        assert!(s.discard_rate_ci95().is_infinite());
     }
 }

@@ -1,0 +1,200 @@
+//! Differential suite: the word-packed [`PauliFrame`] against the
+//! retained boolean reference implementation [`RefPauliFrame`], and the
+//! batched frame ops against per-op application.
+//!
+//! The two frame implementations are *defined* to consume the RNG in
+//! the same order, so under any fixed seed they must agree bit for bit
+//! on error states, measurement flips, and fault counts — across random
+//! op sequences, directed Pauli injections, and every sampling mode.
+
+use proptest::prelude::*;
+use qods_phys::error_model::{ErrorModel, FaultSampling};
+use qods_phys::frame::PauliFrame;
+use qods_phys::frame_ref::RefPauliFrame;
+use qods_phys::ops::{Basis, Gate1, Gate2, PhysOp};
+use qods_phys::pauli::Pauli;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 9;
+
+/// Decodes one sampled tuple into a physical op over `N` qubits,
+/// covering every op variant including the twirled gates.
+fn decode_op(kind: u8, a: usize, b: usize) -> PhysOp {
+    let a = a % N;
+    let b = b % N;
+    let b = if a == b { (a + 1) % N } else { b };
+    match kind % 12 {
+        0 => PhysOp::Prep(a),
+        1 => PhysOp::h(a),
+        2 => PhysOp::Gate1(Gate1::S, a),
+        3 => PhysOp::Gate1(Gate1::T, a),
+        4 => PhysOp::cx(a, b),
+        5 => PhysOp::cz(a, b),
+        6 => PhysOp::Gate2(Gate2::Cs, a, b),
+        7 => PhysOp::measure_z(a),
+        8 => PhysOp::measure_x(a),
+        9 => PhysOp::Move(a),
+        10 => PhysOp::TurnOp(a),
+        _ => PhysOp::CondPauli(Pauli::NON_IDENTITY[kind as usize % 3], a),
+    }
+}
+
+fn model_for(mode: FaultSampling) -> ErrorModel {
+    // Rates inflated far beyond the paper's so that op sequences of a
+    // few dozen steps regularly fault (both kinds exercise thinning).
+    ErrorModel {
+        p_gate: 0.07,
+        p_move: 0.02,
+        sampling: mode,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Packed and reference frames stay bit-identical through random
+    /// noisy op sequences, in both sampling modes.
+    #[test]
+    fn packed_matches_reference(
+        ops in proptest::collection::vec((0u8..12, 0usize..N, 0usize..N), 1..60),
+        seed in 0u64..1_000_000,
+        mode_sel in 0u8..2,
+    ) {
+        let mode = [FaultSampling::Exact, FaultSampling::Skip][mode_sel as usize];
+        let model = model_for(mode);
+        let mut packed = PauliFrame::new(N, model);
+        let mut reference = RefPauliFrame::new(N, model);
+        let mut r1 = StdRng::seed_from_u64(seed);
+        let mut r2 = StdRng::seed_from_u64(seed);
+        for &(kind, a, b) in &ops {
+            let op = decode_op(kind, a, b);
+            let f1 = packed.apply(&op, &mut r1);
+            let f2 = reference.apply(&op, &mut r2);
+            prop_assert_eq!(f1, f2, "flip mismatch on {:?}", op);
+        }
+        for q in 0..N {
+            prop_assert_eq!(packed.error_at(q), reference.error_at(q), "state at {}", q);
+        }
+        let all: Vec<usize> = (0..N).collect();
+        prop_assert_eq!(packed.extract(&all), reference.extract(&all));
+        prop_assert_eq!(packed.faults_injected(), reference.faults_injected());
+    }
+
+    /// Directed injections propagate identically (no sampling noise at
+    /// all: pure conjugation equivalence, including multi-limb frames).
+    #[test]
+    fn directed_injections_match(
+        injections in proptest::collection::vec((0usize..70, 0usize..3), 1..8),
+        ops in proptest::collection::vec((0u8..12, 0usize..70, 0usize..70), 1..40),
+    ) {
+        let n = 70; // crosses the 64-bit limb boundary
+        let model = ErrorModel::noiseless();
+        let mut packed = PauliFrame::new(n, model);
+        let mut reference = RefPauliFrame::new(n, model);
+        let mut r1 = StdRng::seed_from_u64(0);
+        let mut r2 = StdRng::seed_from_u64(0);
+        for &(q, p) in &injections {
+            let pauli = Pauli::NON_IDENTITY[p];
+            packed.inject(q, pauli);
+            reference.inject(q, pauli);
+        }
+        for &(kind, a, b) in &ops {
+            // Reuse decode_op's shape at width 70.
+            let a = a % n;
+            let b = b % n;
+            let b = if a == b { (a + 1) % n } else { b };
+            let op = match kind % 9 {
+                0 => PhysOp::h(a),
+                1 => PhysOp::Gate1(Gate1::S, a),
+                2 => PhysOp::Gate1(Gate1::T, a),
+                3 => PhysOp::cx(a, b),
+                4 => PhysOp::cz(a, b),
+                5 => PhysOp::Gate2(Gate2::Cs, a, b),
+                6 => PhysOp::Prep(a),
+                7 => PhysOp::measure_z(a),
+                _ => PhysOp::measure_x(a),
+            };
+            let f1 = packed.apply(&op, &mut r1);
+            let f2 = reference.apply(&op, &mut r2);
+            prop_assert_eq!(f1, f2);
+        }
+        for q in 0..n {
+            prop_assert_eq!(packed.error_at(q), reference.error_at(q), "state at {}", q);
+        }
+    }
+
+    /// Arbitrarily partitioning same-kind runs into batches leaves
+    /// states, flips, and the RNG stream untouched.
+    #[test]
+    fn batching_is_transparent(
+        seed in 0u64..1_000_000,
+        split in 1usize..7,
+        mode_sel in 0u8..2,
+    ) {
+        let mode = [FaultSampling::Exact, FaultSampling::Skip][mode_sel as usize];
+        let model = model_for(mode);
+        let qubits: Vec<usize> = (0..7).collect();
+        let pairs = [(0usize, 2usize), (1, 5), (3, 6), (0, 4), (2, 6), (4, 5)];
+
+        let mut r1 = StdRng::seed_from_u64(seed);
+        let mut batched = PauliFrame::new(7, model);
+        let (qa, qb) = qubits.split_at(split.min(qubits.len()));
+        batched.prep_batch(qa, &mut r1);
+        batched.prep_batch(qb, &mut r1);
+        let (pa, pb) = pairs.split_at(split.min(pairs.len()));
+        batched.gate2_batch(Gate2::Cx, pa, &mut r1);
+        batched.gate2_batch(Gate2::Cx, pb, &mut r1);
+        let flips_batched = batched.measure_batch(Basis::Z, &qubits, &mut r1);
+
+        let mut r2 = StdRng::seed_from_u64(seed);
+        let mut per_op = PauliFrame::new(7, model);
+        for &q in &qubits {
+            per_op.apply(&PhysOp::Prep(q), &mut r2);
+        }
+        for &(c, t) in &pairs {
+            per_op.apply(&PhysOp::cx(c, t), &mut r2);
+        }
+        let mut flips_per_op = 0u64;
+        for (i, &q) in qubits.iter().enumerate() {
+            if per_op.apply(&PhysOp::measure_z(q), &mut r2).unwrap() {
+                flips_per_op |= 1 << i;
+            }
+        }
+
+        prop_assert_eq!(flips_batched, flips_per_op);
+        prop_assert_eq!(batched.faults_injected(), per_op.faults_injected());
+        use rand::Rng as _;
+        prop_assert_eq!(r1.next_u64(), r2.next_u64(), "RNG streams diverged");
+    }
+}
+
+/// The straight-line `run` entry points also agree (out-param path).
+#[test]
+fn run_agrees_with_reference_run() {
+    let model = ErrorModel {
+        p_gate: 0.05,
+        p_move: 0.01,
+        sampling: FaultSampling::Skip,
+    };
+    let ops = vec![
+        PhysOp::Prep(0),
+        PhysOp::Prep(1),
+        PhysOp::h(0),
+        PhysOp::cx(0, 1),
+        PhysOp::Move(1),
+        PhysOp::measure_z(1),
+        PhysOp::measure_x(0),
+    ];
+    let mut flips_a = Vec::new();
+    let mut flips_b = Vec::new();
+    for seed in 0..500 {
+        let mut r1 = StdRng::seed_from_u64(seed);
+        let mut r2 = StdRng::seed_from_u64(seed);
+        let mut packed = PauliFrame::new(2, model);
+        let mut reference = RefPauliFrame::new(2, model);
+        packed.run(&ops, &mut r1, &mut flips_a);
+        reference.run(&ops, &mut r2, &mut flips_b);
+        assert_eq!(flips_a, flips_b, "seed {seed}");
+    }
+}

@@ -15,13 +15,16 @@ use rand::Rng;
 /// 2 sequential CXs for the 3-qubit cat, 6 for the 7-qubit cat.
 pub fn prepare_cat<R: Rng>(ex: &mut Executor<'_, R>, qubits: &[usize]) {
     assert!(qubits.len() >= 2, "cat state needs at least two qubits");
-    for &q in qubits {
-        ex.prep(q);
-    }
+    // Cats in this study are 3 or 7 qubits; a fixed link buffer keeps
+    // the CX chain a single batched fault scan.
+    assert!(qubits.len() <= 8, "cat chain buffer holds 7 links");
+    ex.prep_all(qubits);
     ex.h(qubits[0]);
-    for w in qubits.windows(2) {
-        ex.cx(w[0], w[1]);
+    let mut links = [(0usize, 0usize); 7];
+    for (link, w) in links.iter_mut().zip(qubits.windows(2)) {
+        *link = (w[0], w[1]);
     }
+    ex.cx_all(&links[..qubits.len() - 1]);
 }
 
 /// Movement charged to cat qubits travelling from the cat-prep unit to
@@ -29,10 +32,10 @@ pub fn prepare_cat<R: Rng>(ex: &mut Executor<'_, R>, qubits: &[usize]) {
 /// qubit crosses the crossbar (2 turns) and a couple of straight
 /// channels.
 pub fn shuttle_cat<R: Rng>(ex: &mut Executor<'_, R>, qubits: &[usize], moves: u32, turns: u32) {
-    for &q in qubits {
-        ex.moves(q, moves);
-        ex.turns(q, turns);
-    }
+    // The cat travels as one convoy: all straight moves, then all
+    // turns, each as a single batched fault scan.
+    ex.moves_multi(qubits, moves);
+    ex.turns_multi(qubits, turns);
 }
 
 /// Prepares a cat state and checks its two end qubits against each
@@ -57,8 +60,10 @@ pub fn prepare_verified_cat<R: Rng>(
     for _ in 0..=max_retries {
         prepare_cat(ex, qubits);
         ex.prep(aux);
-        ex.cx(*qubits.first().expect("cat is non-empty"), aux);
-        ex.cx(*qubits.last().expect("cat is non-empty"), aux);
+        ex.cx_all(&[
+            (*qubits.first().expect("cat is non-empty"), aux),
+            (*qubits.last().expect("cat is non-empty"), aux),
+        ]);
         if !ex.measure_z(aux) {
             return true;
         }

@@ -49,6 +49,47 @@ pub const VERIFY_SUPPORTS: [u8; 2] = [LOGICAL_SUPPORT, 0b100_1100];
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SteaneCode;
 
+/// `syndrome_const(e)` for every 7-bit pattern, so the hot-path lookup
+/// is one indexed load (the Monte-Carlo evaluations classify every
+/// accepted trial).
+const SYNDROMES: [u8; 128] = {
+    let mut t = [0u8; 128];
+    let mut e = 0usize;
+    while e < 128 {
+        t[e] = syndrome_const(e as u8);
+        e += 1;
+    }
+    t
+};
+
+/// Bit `e` set = pattern `e` decodes to a logical residual
+/// ([`SteaneCode::uncorrectable`] as a 128-entry bitset).
+const UNCORRECTABLE: u128 = {
+    let mut bits = 0u128;
+    let mut e = 0usize;
+    while e < 128 {
+        let s = syndrome_const(e as u8);
+        let correction = if s == 0 { 0 } else { 1u8 << (s - 1) };
+        let residual = (e as u8) ^ correction;
+        if residual.count_ones() % 2 == 1 {
+            bits |= 1 << e;
+        }
+        e += 1;
+    }
+    bits
+};
+
+const fn syndrome_const(error: u8) -> u8 {
+    let mut s = 0u8;
+    let mut i = 0usize;
+    while i < 3 {
+        let parity = (error & CHECKS[i]).count_ones() % 2;
+        s |= (parity as u8) << (2 - i);
+        i += 1;
+    }
+    s
+}
+
 impl SteaneCode {
     /// Creates the code descriptor.
     pub fn new() -> Self {
@@ -58,13 +99,9 @@ impl SteaneCode {
     /// The syndrome of a 7-bit error pattern: three parity bits,
     /// packed so the value equals the 1-indexed qubit position for
     /// single errors (0 means "no error detected").
+    #[inline]
     pub fn syndrome(&self, error: u8) -> u8 {
-        let mut s = 0u8;
-        for (i, check) in CHECKS.iter().enumerate() {
-            let parity = (error & check).count_ones() % 2;
-            s |= (parity as u8) << (2 - i);
-        }
-        s
+        SYNDROMES[(error & 0x7f) as usize]
     }
 
     /// The minimum-weight correction for the observed error pattern:
@@ -104,10 +141,11 @@ impl SteaneCode {
 
     /// True when the error pattern, after ideal minimum-weight
     /// decoding, leaves a logical operator on the block. This is the
-    /// "uncorrectable error" notion used throughout §2.
+    /// "uncorrectable error" notion used throughout §2. (A bitset
+    /// lookup; the table is computed at compile time from the checks.)
+    #[inline]
     pub fn uncorrectable(&self, error: u8) -> bool {
-        let residual = error ^ self.decode(error);
-        self.is_logical(residual)
+        (UNCORRECTABLE >> (error & 0x7f)) & 1 == 1
     }
 
     /// True when an X/Z error pair on a block is uncorrectable in
@@ -134,6 +172,7 @@ impl SteaneCode {
     ///   delivered state is identical to a clean ancilla. Counting it
     ///   as an error would overstate every preparation circuit's
     ///   failure rate.
+    #[inline]
     pub fn ancilla_uncorrectable(&self, x_error: u8, z_error: u8) -> bool {
         if self.uncorrectable(x_error) {
             return true;
@@ -153,10 +192,37 @@ impl SteaneCode {
     /// [`SteaneCode::ancilla_uncorrectable`] in the Fig 4 reproduction
     /// (the paper's basic-prep rate of 1.8e-3 tracks this notion —
     /// it is close to the circuit's entire fault budget).
+    #[inline]
     pub fn ancilla_dirty(&self, x_error: u8, z_error: u8) -> bool {
         let x_benign = self.syndrome(x_error) == 0 && x_error.count_ones().is_multiple_of(2);
         let z_benign = self.syndrome(z_error) == 0;
         !(x_benign && z_benign)
+    }
+}
+
+#[cfg(test)]
+mod lut_tests {
+    use super::*;
+
+    /// The compile-time tables must equal the definitional computation
+    /// for every 7-bit pattern.
+    #[test]
+    fn tables_match_definitions() {
+        let code = SteaneCode::new();
+        for e in 0u8..128 {
+            let mut s = 0u8;
+            for (i, check) in CHECKS.iter().enumerate() {
+                let parity = (e & check).count_ones() % 2;
+                s |= (parity as u8) << (2 - i);
+            }
+            assert_eq!(code.syndrome(e), s, "syndrome({e})");
+            let residual = e ^ code.correction_for_syndrome(s);
+            assert_eq!(
+                code.uncorrectable(e),
+                residual.count_ones() % 2 == 1,
+                "uncorrectable({e})"
+            );
+        }
     }
 }
 

@@ -48,15 +48,12 @@ pub fn bit_correct<R: Rng>(
     let code = SteaneCode::new();
     ex.moves(b[0], CORRECTION_MOVES);
     ex.turns(b[0], CORRECTION_TURNS);
+    let mut pairs = [(0usize, 0usize); 7];
     for i in 0..7 {
-        ex.cx(a[i], b[i]);
+        pairs[i] = (a[i], b[i]);
     }
-    let mut bits = 0u8;
-    for (i, &q) in b.iter().enumerate() {
-        if ex.measure_z(q) {
-            bits |= 1 << i;
-        }
-    }
+    ex.cx_all(&pairs);
+    let bits = ex.measure_z_all(b) as u8;
     let syndrome = code.syndrome(bits);
     if policy == CorrectionPolicy::Apply && syndrome != 0 {
         let mask = code.correction_for_syndrome(syndrome);
@@ -77,15 +74,12 @@ pub fn phase_correct<R: Rng>(
     let code = SteaneCode::new();
     ex.moves(c[0], CORRECTION_MOVES);
     ex.turns(c[0], CORRECTION_TURNS);
+    let mut pairs = [(0usize, 0usize); 7];
     for i in 0..7 {
-        ex.cx(c[i], a[i]);
+        pairs[i] = (c[i], a[i]);
     }
-    let mut bits = 0u8;
-    for (i, &q) in c.iter().enumerate() {
-        if ex.measure_x(q) {
-            bits |= 1 << i;
-        }
-    }
+    ex.cx_all(&pairs);
+    let bits = ex.measure_x_all(c) as u8;
     let syndrome = code.syndrome(bits);
     if policy == CorrectionPolicy::Apply && syndrome != 0 {
         let mask = code.correction_for_syndrome(syndrome);

@@ -60,16 +60,10 @@ pub fn encode_zero<R: Rng>(
     block: &[usize; 7],
     movement: EncoderMovement,
 ) {
-    for &q in block {
-        ex.prep(q);
-    }
-    for &c in &CONTROLS {
-        ex.h(block[c]);
-    }
+    ex.prep_all(block);
+    ex.h_all(&CONTROLS.map(|c| block[c]));
     for round in &CX_ROUNDS {
-        for &(c, t) in round {
-            ex.cx(block[c], block[t]);
-        }
+        ex.cx_all(&round.map(|(c, t)| (block[c], block[t])));
         // Charge the round's movement to the fan-out controls: they are
         // the qubits shuttling between gate locations.
         for &(c, _) in round.iter().take(1) {

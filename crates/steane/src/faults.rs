@@ -217,6 +217,7 @@ mod tests {
             ErrorModel {
                 p_gate: p,
                 p_move: 0.0,
+                ..ErrorModel::noiseless()
             },
             200_000,
             13,

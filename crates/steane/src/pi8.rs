@@ -82,17 +82,18 @@ pub fn run_pi8_prep<R: Rng>(model: ErrorModel, rng: &mut R) -> (Pi8Outcome, Pi8S
     let _ = cat_bad;
 
     // Stage 2: transversal CZ, CS, CX rounds between cat and block,
-    // then the transversal pi/8 on the block.
+    // then the transversal pi/8 on the block. CZ and CX rounds batch;
+    // CS and T conjugations twirl (draw per op) and stay per-op.
     let before = ex.counts();
+    let mut pairs = [(0usize, 0usize); 7];
     for i in 0..7 {
-        ex.cz(CAT[i], BLOCK[i]);
+        pairs[i] = (CAT[i], BLOCK[i]);
     }
+    ex.cz_all(&pairs);
     for i in 0..7 {
         ex.cs(CAT[i], BLOCK[i]);
     }
-    for i in 0..7 {
-        ex.cx(CAT[i], BLOCK[i]);
-    }
+    ex.cx_all(&pairs);
     for &b in &BLOCK {
         ex.t(b);
     }
@@ -100,9 +101,11 @@ pub fn run_pi8_prep<R: Rng>(model: ErrorModel, rng: &mut R) -> (Pi8Outcome, Pi8S
 
     // Stage 3: decode the cat (reverse CX chain) and store.
     let before = ex.counts();
-    for i in (0..6).rev() {
-        ex.cx(CAT[i], CAT[i + 1]);
+    let mut chain = [(0usize, 0usize); 6];
+    for (k, i) in (0..6).rev().enumerate() {
+        chain[k] = (CAT[i], CAT[i + 1]);
     }
+    ex.cx_all(&chain);
     stages.decode = diff(before, ex.counts());
 
     // Stage 4: H on the cat root, measure, conditional transversal Z.
@@ -119,9 +122,7 @@ pub fn run_pi8_prep<R: Rng>(model: ErrorModel, rng: &mut R) -> (Pi8Outcome, Pi8S
     let ideal_branch = ex.coin();
     let observed = ideal_branch ^ flip;
     if observed {
-        for &q in &BLOCK {
-            ex.z(q);
-        }
+        ex.z_all(&BLOCK);
     }
     if flip {
         for &q in &BLOCK {

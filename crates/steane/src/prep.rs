@@ -19,6 +19,7 @@ use crate::encoder::{encode_zero, EncoderMovement};
 use crate::executor::{Executor, OpCounts};
 use crate::verify::verify_block;
 use qods_phys::error_model::ErrorModel;
+use qods_phys::montecarlo::TrialArena;
 use rand::Rng;
 
 /// Which Fig 4 preparation circuit to run.
@@ -129,12 +130,31 @@ fn cats_for(base: usize) -> ([[usize; 3]; 2], usize) {
 /// Runs one preparation attempt under `strategy`, returning the
 /// delivered block's residual error (or a discard) plus the physical-op
 /// census of the attempt.
+///
+/// Allocates a fresh frame per call; Monte-Carlo loops should prefer
+/// [`run_prep_in`], which reuses a [`TrialArena`].
 pub fn run_prep<R: Rng>(
     strategy: PrepStrategy,
     model: ErrorModel,
     rng: &mut R,
 ) -> (PrepOutcome, OpCounts) {
-    let mut ex = Executor::new(strategy.register_size(), model, rng);
+    let ex = Executor::new(strategy.register_size(), model, rng);
+    run_prep_on(strategy, ex)
+}
+
+/// [`run_prep`] on a borrowed [`TrialArena`] frame: the allocation-free
+/// hot path the Monte-Carlo evaluations drive.
+pub fn run_prep_in<R: Rng>(
+    strategy: PrepStrategy,
+    model: ErrorModel,
+    rng: &mut R,
+    arena: &mut TrialArena,
+) -> (PrepOutcome, OpCounts) {
+    let ex = Executor::in_arena(strategy.register_size(), model, rng, arena);
+    run_prep_on(strategy, ex)
+}
+
+fn run_prep_on<R: Rng>(strategy: PrepStrategy, mut ex: Executor<'_, R>) -> (PrepOutcome, OpCounts) {
     let movement = EncoderMovement::default();
     let outcome = match strategy {
         PrepStrategy::Basic => {
@@ -210,6 +230,24 @@ mod tests {
                 "strategy {s:?} failed noiselessly"
             );
             assert!(counts.total() > 0);
+        }
+    }
+
+    #[test]
+    fn arena_prep_matches_owned_prep() {
+        let model = ErrorModel::paper().scaled(50.0);
+        let mut arena = TrialArena::new();
+        for s in PrepStrategy::ALL {
+            for seed in 0..20 {
+                let mut r1 = StdRng::seed_from_u64(seed);
+                let mut r2 = StdRng::seed_from_u64(seed);
+                let owned = run_prep(s, model, &mut r1);
+                // A fresh owned frame starts a fresh sampling stream;
+                // match that on the arena side for stream equality.
+                arena.reset_sampling();
+                let pooled = run_prep_in(s, model, &mut r2, &mut arena);
+                assert_eq!(owned, pooled, "strategy {s:?} seed {seed}");
+            }
         }
     }
 

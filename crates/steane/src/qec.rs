@@ -11,9 +11,9 @@ use crate::code::SteaneCode;
 use crate::correct::{bit_correct, phase_correct, CorrectionPolicy};
 use crate::encoder::{encode_zero, EncoderMovement};
 use crate::executor::Executor;
-use crate::prep::{run_prep, PrepOutcome, PrepStrategy};
+use crate::prep::{run_prep_in, PrepOutcome, PrepStrategy};
 use qods_phys::error_model::ErrorModel;
-use qods_phys::montecarlo::{run_trials_parallel, MonteCarloStats, TrialOutcome};
+use qods_phys::montecarlo::{run_trials_parallel, MonteCarloStats, TrialArena, TrialOutcome};
 use qods_phys::pauli::Pauli;
 use rand::Rng;
 
@@ -46,19 +46,20 @@ pub fn data_error_per_qec(
     threads: usize,
 ) -> MonteCarloStats {
     let code = SteaneCode::new();
-    run_trials_parallel(trials, seed, threads, |rng| {
+    run_trials_parallel(trials, seed, threads, |rng, arena| {
         // Draw two delivered ancillae from the strategy (redrawing on
-        // discard, like a factory would).
-        let draw = |rng: &mut rand::rngs::StdRng| loop {
-            if let (PrepOutcome::Delivered { x, z }, _) = run_prep(strategy, model, rng) {
+        // discard, like a factory would — the chunked work-stealing
+        // runner absorbs the uneven retry cost across workers).
+        let draw = |rng: &mut rand::rngs::StdRng, arena: &mut TrialArena| loop {
+            if let (PrepOutcome::Delivered { x, z }, _) = run_prep_in(strategy, model, rng, arena) {
                 return (x, z);
             }
         };
-        let (bx, bz) = draw(rng);
-        let (cx, cz) = draw(rng);
+        let (bx, bz) = draw(rng, arena);
+        let (cx, cz) = draw(rng, arena);
 
         // Fresh register: data + two ancilla blocks.
-        let mut ex = Executor::new(21, model, rng);
+        let mut ex = Executor::in_arena(21, model, rng, arena);
         let data = [0, 1, 2, 3, 4, 5, 6];
         let anc_b = [7, 8, 9, 10, 11, 12, 13];
         let anc_c = [14, 15, 16, 17, 18, 19, 20];

@@ -54,19 +54,18 @@ pub fn measure_check<R: Rng>(
     }
     // Cat qubits travel from the cat-prep unit to the block's gate row.
     cat::shuttle_cat(ex, cat, 2, 1);
+    let mut pairs = [(0usize, 0usize); 3];
     let mut cat_i = 0;
     for (q, &b) in block.iter().enumerate() {
         if support & (1 << q) != 0 {
-            ex.cz(cat[cat_i], b);
+            pairs[cat_i] = (cat[cat_i], b);
             cat_i += 1;
         }
     }
     debug_assert_eq!(cat_i, 3, "verification supports are weight 3");
-    let mut parity = false;
-    for &c in cat {
-        parity ^= ex.measure_x(c);
-    }
-    Some(parity)
+    ex.cz_all(&pairs);
+    let flips = ex.measure_x_all(cat);
+    Some(flips.count_ones() % 2 == 1)
 }
 
 /// Verifies a block against both logical-Z representatives

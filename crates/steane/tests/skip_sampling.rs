@@ -1,0 +1,128 @@
+//! Statistical agreement of geometric skip-sampling with exact per-op
+//! Bernoulli sampling, measured end to end through the Fig 4
+//! Monte-Carlo evaluation at three error-rate decades.
+//!
+//! The two samplers draw from different RNG streams, so their estimates
+//! are independent; agreement is asserted within the combined 95%
+//! confidence half-widths (all seeds fixed — the test is
+//! deterministic).
+
+use qods_phys::error_model::{ErrorModel, FaultSampling};
+use qods_steane::eval::evaluate_prep;
+use qods_steane::prep::PrepStrategy;
+
+fn agree(label: &str, a: f64, b: f64, ci: f64) {
+    assert!(
+        (a - b).abs() <= ci,
+        "{label}: exact {a:.4e} vs skip {b:.4e} beyond ci {ci:.4e}"
+    );
+}
+
+/// Error, dirty, and discard rates agree between samplers across three
+/// decades of physical error rate (1e-4, 1e-3, 1e-2 gate error).
+#[test]
+fn skip_matches_exact_across_three_decades() {
+    // More trials at lower rates so every decade resolves its rate.
+    let cases = [(1.0, 600_000u64), (10.0, 150_000), (100.0, 40_000)];
+    for (scale, trials) in cases {
+        let base = ErrorModel::paper().scaled(scale);
+        let exact = evaluate_prep(
+            PrepStrategy::Basic,
+            base.with_sampling(FaultSampling::Exact),
+            trials,
+            11,
+            2,
+        );
+        let skip = evaluate_prep(
+            PrepStrategy::Basic,
+            base.with_sampling(FaultSampling::Skip),
+            trials,
+            1213,
+            2,
+        );
+        assert!(
+            exact.stats.logical_errors > 0,
+            "scale {scale}: exact sampler resolved no errors; grow trials"
+        );
+        assert!(skip.stats.logical_errors > 0, "scale {scale}: skip");
+        let ci = exact.stats.error_rate_ci95() + skip.stats.error_rate_ci95();
+        agree(
+            &format!("scale {scale} uncorrectable"),
+            exact.error_rate(),
+            skip.error_rate(),
+            ci,
+        );
+        // The dirty metric has ~6x the statistics of the uncorrectable
+        // one; compare with its own binomial ci.
+        let ci_dirty = {
+            let half = |p: f64, n: u64| 1.96 * (p * (1.0 - p) / n as f64).sqrt();
+            half(exact.dirty_rate(), exact.stats.accepted)
+                + half(skip.dirty_rate(), skip.stats.accepted)
+        };
+        agree(
+            &format!("scale {scale} dirty"),
+            exact.dirty_rate(),
+            skip.dirty_rate(),
+            ci_dirty,
+        );
+    }
+}
+
+/// Discard rates (verification rejections) agree between samplers —
+/// the metric most sensitive to where faults land inside a trial.
+#[test]
+fn skip_matches_exact_discard_rates() {
+    for (scale, trials) in [(10.0, 150_000u64), (100.0, 40_000)] {
+        let base = ErrorModel::paper().scaled(scale);
+        let exact = evaluate_prep(
+            PrepStrategy::VerifyOnly,
+            base.with_sampling(FaultSampling::Exact),
+            trials,
+            21,
+            2,
+        );
+        let skip = evaluate_prep(
+            PrepStrategy::VerifyOnly,
+            base.with_sampling(FaultSampling::Skip),
+            trials,
+            2223,
+            2,
+        );
+        assert!(exact.stats.discarded > 0, "scale {scale}: no discards");
+        let ci = exact.stats.discard_rate_ci95() + skip.stats.discard_rate_ci95();
+        agree(
+            &format!("scale {scale} discard"),
+            exact.discard_rate(),
+            skip.discard_rate(),
+            ci,
+        );
+    }
+}
+
+/// `Auto` resolves to the skip sampler at the paper's rates and to the
+/// exact sampler deep in the high-noise regime, and tracks whichever it
+/// picked exactly (same seed, same stream).
+#[test]
+fn auto_mode_matches_its_resolved_sampler() {
+    let low = ErrorModel::paper();
+    let auto = evaluate_prep(PrepStrategy::Basic, low, 50_000, 5, 2);
+    let skip = evaluate_prep(
+        PrepStrategy::Basic,
+        low.with_sampling(FaultSampling::Skip),
+        50_000,
+        5,
+        2,
+    );
+    assert_eq!(auto.stats, skip.stats, "auto must be skip at paper rates");
+
+    let high = ErrorModel::paper().scaled(3000.0); // p_gate = 0.3
+    let auto = evaluate_prep(PrepStrategy::Basic, high, 20_000, 5, 2);
+    let exact = evaluate_prep(
+        PrepStrategy::Basic,
+        high.with_sampling(FaultSampling::Exact),
+        20_000,
+        5,
+        2,
+    );
+    assert_eq!(auto.stats, exact.stats, "auto must be exact at p=0.3");
+}

@@ -158,13 +158,25 @@ macro_rules! prop_assert {
 /// Early-returns a [`TestCaseError`] when the two values differ.
 #[macro_export]
 macro_rules! prop_assert_eq {
-    ($left:expr, $right:expr) => {{
+    ($left:expr, $right:expr $(,)?) => {{
         let l = $left;
         let r = $right;
         if l != r {
             return Err($crate::TestCaseError::fail(format!(
                 "assertion failed: `{:?}` != `{:?}`",
                 l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                l,
+                r,
+                format!($($fmt)+)
             )));
         }
     }};
