@@ -39,6 +39,7 @@
 //! assert!(fm.makespan_us <= qla.makespan_us);
 //! ```
 
+pub mod engine;
 pub mod interconnect;
 pub mod machine;
 pub mod simulator;
@@ -47,7 +48,9 @@ pub mod table9;
 pub mod tiling;
 
 pub use machine::Arch;
-pub use simulator::{simulate, SimOutcome};
-pub use sweep::{area_sweep, speedup_summary, ArchCurve, SweepPoint};
+pub use simulator::{simulate, SimContext, SimOutcome};
+pub use sweep::{
+    area_sweep, host_threads, speedup_summary, speedup_summary_from_curves, ArchCurve, SweepPoint,
+};
 pub use table9::{table9_row, Table9Row};
 pub use tiling::{best_tile, tile_sweep, TilePoint};

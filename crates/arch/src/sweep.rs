@@ -1,10 +1,18 @@
 //! The Fig 15 experiment: execution time vs. total ancilla-factory
 //! area for each microarchitecture, plus the paper's headline speedup
 //! summary.
+//!
+//! A sweep characterizes the circuit once ([`SimContext`]) and then
+//! runs every `(arch, area)` point through a chunked worker pool (the
+//! same atomic-cursor pattern as `qods-phys`' Monte-Carlo runner).
+//! Each point is a pure function of `(context, arch, area)`, so the
+//! sweep is bit-identical at any thread count, including fully
+//! sequential.
 
 use crate::machine::Arch;
-use crate::simulator::simulate;
+use crate::simulator::SimContext;
 use qods_circuit::circuit::Circuit;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// One point of an architecture's area/latency curve.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,19 +59,92 @@ pub fn log_areas(lo: f64, hi: f64, n: usize) -> Vec<f64> {
     (0..n).map(|i| lo * step.powi(i as i32)).collect()
 }
 
-/// Runs the Fig 15 sweep for the given architectures.
+/// Worker threads this host supports (1 when the runtime cannot
+/// tell). The single source of the core-count policy for sweep
+/// callers — benches and smokes share it instead of re-deriving it.
+pub fn host_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Worker count for a sweep of `points` independent simulations: one
+/// per core, never more than the points available.
+fn default_threads(points: usize) -> usize {
+    host_threads().min(points.max(1))
+}
+
+/// Runs the Fig 15 sweep for the given architectures, parallel across
+/// `(arch, area)` points with one worker per core.
 pub fn area_sweep(circuit: &Circuit, archs: &[Arch], areas: &[f64]) -> Vec<ArchCurve> {
+    let ctx = SimContext::new(circuit);
+    area_sweep_in(
+        &ctx,
+        archs,
+        areas,
+        default_threads(archs.len() * areas.len()),
+    )
+}
+
+/// [`area_sweep`] over an existing context with an explicit worker
+/// count (1 = sequential). Results are bit-identical for any
+/// `threads`: every point is an independent pure function, workers
+/// write disjoint result slots, and the assembly order is fixed.
+pub fn area_sweep_in(
+    ctx: &SimContext<'_>,
+    archs: &[Arch],
+    areas: &[f64],
+    threads: usize,
+) -> Vec<ArchCurve> {
+    let n_points = archs.len() * areas.len();
+    let threads = threads.clamp(1, n_points.max(1));
+    let point = |flat: usize| {
+        let (ai, pi) = (flat / areas.len(), flat % areas.len());
+        SweepPoint {
+            area: areas[pi],
+            exec_us: ctx.simulate(archs[ai], areas[pi]).makespan_us,
+        }
+    };
+
+    let mut flat: Vec<SweepPoint> = Vec::with_capacity(n_points);
+    if threads <= 1 {
+        flat.extend((0..n_points).map(point));
+    } else {
+        // Chunked work-stealing over the flat point index space; each
+        // worker returns (index, point) pairs, merged into slots by
+        // index — the worker that computed a point never matters.
+        let cursor = AtomicUsize::new(0);
+        let mut computed: Vec<(usize, SweepPoint)> = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut mine = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= n_points {
+                                break;
+                            }
+                            mine.push((i, point(i)));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .flat_map(|w| w.join().expect("sweep worker panicked"))
+                .collect()
+        });
+        computed.sort_unstable_by_key(|&(i, _)| i);
+        flat.extend(computed.into_iter().map(|(_, p)| p));
+    }
+
     archs
         .iter()
-        .map(|&arch| ArchCurve {
+        .enumerate()
+        .map(|(ai, &arch)| ArchCurve {
             arch: arch.name(),
-            points: areas
-                .iter()
-                .map(|&area| SweepPoint {
-                    area,
-                    exec_us: simulate(circuit, arch, area).makespan_us,
-                })
-                .collect(),
+            points: flat[ai * areas.len()..(ai + 1) * areas.len()].to_vec(),
         })
         .collect()
 }
@@ -90,15 +171,43 @@ pub struct SpeedupSummary {
 /// Computes the headline summary by sweeping the three §5.2
 /// architectures on `circuit`.
 pub fn speedup_summary(circuit: &Circuit, areas: &[f64]) -> SpeedupSummary {
+    let ctx = SimContext::new(circuit);
     let archs = [
         Arch::FullyMultiplexed,
         Arch::Qla,
         Arch::default_cqla(circuit.n_qubits()),
     ];
-    let curves = area_sweep(circuit, &archs, areas);
-    let fm = &curves[0];
-    let qla = &curves[1];
-    let cqla = &curves[2];
+    let curves = area_sweep_in(
+        &ctx,
+        &archs,
+        areas,
+        default_threads(archs.len() * areas.len()),
+    );
+    speedup_summary_from_curves(&curves)
+}
+
+/// Derives the headline summary from curves already swept — callers
+/// that ran [`area_sweep`] (on at least FM, QLA, and CQLA) reuse those
+/// simulations instead of re-sweeping.
+///
+/// # Panics
+///
+/// Panics if the FM, QLA, or CQLA curve is missing or the curves have
+/// mismatched point counts.
+pub fn speedup_summary_from_curves(curves: &[ArchCurve]) -> SpeedupSummary {
+    let find = |name: &str| -> &ArchCurve {
+        curves
+            .iter()
+            .find(|c| c.arch == name)
+            .unwrap_or_else(|| panic!("summary needs a {name} curve"))
+    };
+    let fm = find("Fully-Multiplexed");
+    let qla = find("QLA");
+    let cqla = find("CQLA");
+    assert!(
+        fm.points.len() == qla.points.len() && fm.points.len() == cqla.points.len(),
+        "curves must share the area grid"
+    );
 
     let mut max_speedup = 0.0f64;
     let mut area_at_max = 0.0;
@@ -138,15 +247,22 @@ mod tests {
         c
     }
 
+    fn all_archs() -> [Arch; 4] {
+        [
+            Arch::FullyMultiplexed,
+            Arch::Qla,
+            Arch::default_cqla(8),
+            Arch::Qalypso { tile_qubits: 4 },
+        ]
+    }
+
     #[test]
     fn curves_are_monotone_decreasing() {
+        // All four architectures, Qalypso included: more factory area
+        // never slows execution.
         let c = toy();
         let areas = log_areas(100.0, 1e6, 9);
-        for curve in area_sweep(
-            &c,
-            &[Arch::FullyMultiplexed, Arch::Qla, Arch::default_cqla(8)],
-            &areas,
-        ) {
+        for curve in area_sweep(&c, &all_archs(), &areas) {
             for w in curve.points.windows(2) {
                 assert!(
                     w[1].exec_us <= w[0].exec_us * 1.0001,
@@ -156,6 +272,37 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_at_any_thread_count() {
+        let c = toy();
+        let ctx = SimContext::new(&c);
+        let areas = log_areas(100.0, 1e6, 7);
+        let archs = all_archs();
+        let sequential = area_sweep_in(&ctx, &archs, &areas, 1);
+        for threads in [2, 3, 5, 16] {
+            let parallel = area_sweep_in(&ctx, &archs, &areas, threads);
+            for (a, b) in sequential.iter().zip(&parallel) {
+                assert_eq!(a.arch, b.arch);
+                assert_eq!(a.points, b.points, "threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn summary_from_curves_matches_direct_summary() {
+        let c = toy();
+        let areas = log_areas(100.0, 1e6, 7);
+        let curves = area_sweep(&c, &all_archs(), &areas);
+        let from_curves = speedup_summary_from_curves(&curves);
+        let direct = speedup_summary(&c, &areas);
+        assert_eq!(from_curves.max_speedup, direct.max_speedup);
+        assert_eq!(from_curves.area_at_max, direct.area_at_max);
+        assert_eq!(from_curves.fm_plateau_us, direct.fm_plateau_us);
+        assert_eq!(from_curves.qla_plateau_us, direct.qla_plateau_us);
+        assert_eq!(from_curves.cqla_plateau_us, direct.cqla_plateau_us);
+        assert_eq!(from_curves.qla_area_penalty, direct.qla_area_penalty);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! the opposite.
 
 use crate::machine::Arch;
-use crate::simulator::simulate;
+use crate::simulator::SimContext;
 use qods_circuit::circuit::Circuit;
 
 /// One tile-size evaluation.
@@ -33,10 +33,11 @@ pub fn tile_sweep(circuit: &Circuit, factory_area: f64) -> Vec<TilePoint> {
         t *= 2;
     }
     sizes.push(n); // single-tile machine
+    let ctx = SimContext::new(circuit); // characterize once for every size
     sizes
         .into_iter()
         .map(|tile_qubits| {
-            let out = simulate(circuit, Arch::Qalypso { tile_qubits }, factory_area);
+            let out = ctx.simulate(Arch::Qalypso { tile_qubits }, factory_area);
             TilePoint {
                 tile_qubits,
                 exec_us: out.makespan_us,

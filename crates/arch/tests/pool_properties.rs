@@ -1,0 +1,184 @@
+//! Property suite for the token-bucket supply streams and the event
+//! engine's determinism contract.
+//!
+//! The load-bearing property is the *fluid oracle*: a token stream
+//! whose bucket never saturates is exactly a fluid queue — draw `k`
+//! (cumulative demand `S_k`, at non-decreasing times `t_k`) completes
+//! at `max(t_k, S_k / rate)`. The old pool violated this whenever the
+//! zero and pi/8 streams were drawn together: the shared clock jumped
+//! to the slower stream's completion and threw away what the faster
+//! stream produced in between.
+
+use proptest::prelude::*;
+use qods_arch::engine::{Pool, TokenStream};
+use qods_arch::machine::Arch;
+use qods_arch::simulator::SimContext;
+use qods_circuit::circuit::Circuit;
+
+/// Decodes sampled `(amount, gap)` pairs into a draw sequence with
+/// non-decreasing times.
+fn draws(seq: &[(u16, u16)]) -> Vec<(f64, f64)> {
+    let mut t = 0.0;
+    seq.iter()
+        .map(|&(a, gap)| {
+            t += gap as f64 / 16.0;
+            (a as f64 / 8.0, t)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// With an unsaturable buffer, a stream is exactly the fluid
+    /// queue: no production is ever lost, none is ever created.
+    #[test]
+    fn unbounded_stream_matches_fluid_oracle(
+        seq in proptest::collection::vec((0u16..200, 0u16..400), 1..40),
+        rate_x16 in 1u32..64,
+    ) {
+        let rate = rate_x16 as f64 / 16.0;
+        let mut s = TokenStream::new(rate, f64::INFINITY);
+        let mut cumulative = 0.0f64;
+        for (amount, t) in draws(&seq) {
+            let got = s.draw(amount, t);
+            // Zero-amount draws consume nothing and complete at once.
+            let want = if amount > 0.0 {
+                cumulative += amount;
+                t.max(cumulative / rate)
+            } else {
+                t
+            };
+            prop_assert!(
+                (got - want).abs() <= 1e-6 * want.max(1.0),
+                "draw of {amount} at {t}: got {got}, fluid oracle {want}"
+            );
+        }
+    }
+
+    /// Per-stream fluid exactness survives arbitrary interleaving with
+    /// the other product through `Pool::consume` — the cross-stream
+    /// coupling the old single-clock pool got wrong.
+    #[test]
+    fn pool_streams_stay_independent(
+        seq in proptest::collection::vec(
+            (0u16..64, 0u16..16, 0u16..400), 1..40),
+    ) {
+        let (zero_rate, pi8_rate) = (0.5, 0.05);
+        let mut pool = Pool::new(zero_rate * 1000.0, pi8_rate * 1000.0,
+                                 f64::INFINITY, f64::INFINITY);
+        let mut zero_cum = 0.0f64;
+        let mut pi8_cum = 0.0f64;
+        let mut t = 0.0f64;
+        for &(zeros, pi8, gap) in &seq {
+            t += gap as f64 / 16.0;
+            let (zeros, pi8) = (zeros as f64 / 8.0, pi8 as f64 / 8.0);
+            zero_cum += zeros;
+            pi8_cum += pi8;
+            let got = pool.consume(zeros, pi8, t);
+            let zero_done = if zeros > 0.0 { t.max(zero_cum / zero_rate) } else { t };
+            let pi8_done = if pi8 > 0.0 { t.max(pi8_cum / pi8_rate) } else { t };
+            let want = zero_done.max(pi8_done);
+            prop_assert!(
+                (got - want).abs() <= 1e-6 * want.max(1.0),
+                "consume({zeros}, {pi8}) at {t}: got {got}, oracle {want}"
+            );
+        }
+    }
+
+    /// A finite buffer only wastes production — completions are never
+    /// *earlier* than the fluid oracle — and never holds more than the
+    /// buffer: after any history plus a long idle, a draw of
+    /// `buffer + x` waits exactly `x / rate`.
+    #[test]
+    fn finite_buffer_never_creates_tokens(
+        seq in proptest::collection::vec((0u16..200, 0u16..400), 0..30),
+        rate_x16 in 1u32..64,
+        buffer_x8 in 1u32..80,
+        extra_x8 in 1u32..80,
+    ) {
+        let rate = rate_x16 as f64 / 16.0;
+        let buffer = buffer_x8 as f64 / 8.0;
+        let mut s = TokenStream::new(rate, buffer);
+        let mut cumulative = 0.0f64;
+        let mut last = 0.0f64;
+        for (amount, t) in draws(&seq) {
+            let got = s.draw(amount, t);
+            if amount > 0.0 {
+                cumulative += amount;
+                let floor = t.max(cumulative / rate);
+                prop_assert!(
+                    got >= floor - 1e-6 * floor.max(1.0),
+                    "finite buffer completed draw at {got}, before fluid floor {floor}"
+                );
+            }
+            last = got.max(t);
+        }
+        // Idle long enough to fill the bucket, then overdraw it.
+        let idle_end = last + buffer / rate + 1000.0;
+        let extra = extra_x8 as f64 / 8.0;
+        let got = s.draw(buffer + extra, idle_end);
+        let want = idle_end + extra / rate;
+        prop_assert!(
+            (got - want).abs() <= 1e-6 * want,
+            "overdraw after idle: got {got}, want {want} (buffer cap violated)"
+        );
+    }
+
+    /// Splitting one demand into two back-to-back draws never
+    /// completes later than the combined draw (independent accrual can
+    /// only help).
+    #[test]
+    fn split_draws_never_lose_to_combined(
+        zeros_x8 in 1u16..64,
+        pi8_x8 in 0u16..16,
+        t0_x16 in 0u16..800,
+        zero_rate_x16 in 1u32..64,
+        pi8_rate_x16 in 1u32..64,
+    ) {
+        let zeros = zeros_x8 as f64 / 8.0;
+        let pi8 = pi8_x8 as f64 / 8.0;
+        let t0 = t0_x16 as f64 / 16.0;
+        let zr = zero_rate_x16 as f64 * 1000.0 / 16.0;
+        let pr = pi8_rate_x16 as f64 * 1000.0 / 16.0;
+        let mut combined = Pool::new(zr, pr, 8.0, 4.0);
+        let mut split = Pool::new(zr, pr, 8.0, 4.0);
+        let whole = combined.consume(zeros, pi8, t0);
+        let first = split.consume(zeros / 2.0, pi8 / 2.0, t0);
+        let second = split.consume(zeros / 2.0, pi8 / 2.0, first);
+        prop_assert!(
+            second <= whole + 1e-9 * whole.max(1.0),
+            "split draws ({first}, {second}) ended after combined {whole}"
+        );
+    }
+}
+
+/// The simulator is a pure function of its inputs: repeated runs over
+/// a shared context and fresh contexts agree bit for bit, for every
+/// architecture.
+#[test]
+fn simulation_outcomes_are_reproducible() {
+    let mut c = Circuit::named(12, "det");
+    for layer in 0..5 {
+        for q in 0..12 {
+            c.h(q);
+        }
+        for q in 0..11 {
+            c.cx(q, (q + 1 + layer) % 12);
+        }
+        c.t(layer % 12);
+    }
+    let ctx = SimContext::new(&c);
+    for arch in [
+        Arch::FullyMultiplexed,
+        Arch::Qla,
+        Arch::Cqla { cache_slots: 4 },
+        Arch::Qalypso { tile_qubits: 4 },
+    ] {
+        for area in [300.0, 3e4, 3e6] {
+            let first = ctx.simulate(arch, area);
+            assert_eq!(ctx.simulate(arch, area), first);
+            assert_eq!(SimContext::new(&c).simulate(arch, area), first);
+        }
+    }
+}

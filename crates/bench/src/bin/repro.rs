@@ -33,12 +33,16 @@ fn usage() -> &'static str {
      `repro --list` shows every addressable id.\n\
      \n\
      Perf smoke:\n\
-     `repro --bench-json` times the Fig 4 Monte-Carlo panel and writes\n\
-     BENCH_montecarlo.json (with `quick`: fewer trials, written under\n\
-     results/ so the committed baseline is not clobbered).\n\
-     `repro --bench-check PATH` runs the quick smoke, writes\n\
-     results/BENCH_montecarlo.json, and exits nonzero when panel\n\
-     throughput regressed more than 2x against the baseline at PATH."
+     `repro --bench-json [montecarlo] [sweep]` times the Fig 4\n\
+     Monte-Carlo panel and/or the Fig 15 architecture sweep (both when\n\
+     no workload is named) and writes BENCH_montecarlo.json /\n\
+     BENCH_sweep.json (with `quick`: smaller workloads, written under\n\
+     results/ so the committed baselines are not clobbered).\n\
+     `repro --bench-check PATH` runs the quick Monte-Carlo smoke and\n\
+     `repro --bench-check-sweep PATH` the quick sweep smoke; each\n\
+     writes its results/ JSON and exits nonzero when machine-normalized\n\
+     throughput regressed more than 2x against the baseline at PATH.\n\
+     The two checks combine in one invocation."
 }
 
 fn main() -> ExitCode {
@@ -49,6 +53,7 @@ fn main() -> ExitCode {
     let mut sequential = false;
     let mut bench_json = false;
     let mut bench_check: Option<String> = None;
+    let mut bench_check_sweep: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -65,6 +70,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--bench-check-sweep" => match it.next() {
+                Some(path) => bench_check_sweep = Some(path),
+                None => {
+                    eprintln!("--bench-check-sweep needs a baseline path\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 println!("{}", usage());
                 return ExitCode::SUCCESS;
@@ -77,8 +89,46 @@ fn main() -> ExitCode {
         }
     }
 
-    if bench_json || bench_check.is_some() {
-        return run_bench_smoke(quick || bench_check.is_some(), bench_check.as_deref());
+    if bench_json || bench_check.is_some() || bench_check_sweep.is_some() {
+        // Workload selection: positional ids name smoke workloads in
+        // bench mode; `--bench-json` with no ids means both. A
+        // workload requested through `--bench-json` runs at the size
+        // the `quick` flag says (full regenerates the repo-root
+        // baseline); one running only because a check flag named it
+        // always runs quick — combining the modes must not downgrade
+        // an explicit baseline regeneration.
+        let mut json_mc = false;
+        let mut json_sweep = false;
+        if bench_json {
+            for id in &ids {
+                match id.as_str() {
+                    "montecarlo" | "mc" | "fig4" => json_mc = true,
+                    "sweep" | "fig15" => json_sweep = true,
+                    other => {
+                        eprintln!("unknown bench workload `{other}`\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            if ids.is_empty() {
+                json_mc = true;
+                json_sweep = true;
+            }
+        }
+        let run_mc = json_mc || bench_check.is_some();
+        let run_sweep = json_sweep || bench_check_sweep.is_some();
+        let mut code = ExitCode::SUCCESS;
+        if run_mc && run_bench_smoke(quick || !json_mc, bench_check.as_deref()) == ExitCode::FAILURE
+        {
+            code = ExitCode::FAILURE;
+        }
+        if run_sweep
+            && run_sweep_smoke(quick || !json_sweep, bench_check_sweep.as_deref())
+                == ExitCode::FAILURE
+        {
+            code = ExitCode::FAILURE;
+        }
+        return code;
     }
 
     let registry = Registry::paper();
@@ -200,6 +250,55 @@ fn run_bench_smoke(quick: bool, baseline_path: Option<&str>) -> ExitCode {
         }
         Err(verdict) => {
             eprintln!("perf gate FAILED: {verdict}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Runs the Fig 15 sweep perf smoke (`--bench-json sweep` /
+/// `--bench-check-sweep`).
+fn run_sweep_smoke(quick: bool, baseline_path: Option<&str>) -> ExitCode {
+    let areas = if quick {
+        perf::QUICK_SWEEP_AREAS
+    } else {
+        perf::SWEEP_AREAS
+    };
+    let report = perf::sweep_smoke(areas, perf::SWEEP_REPS);
+    print!("{}", perf::render_sweep_report(&report));
+    let out = if quick {
+        Path::new("results/BENCH_sweep.json")
+    } else {
+        Path::new("BENCH_sweep.json")
+    };
+    if let Err(e) = write_json(out, &report) {
+        eprintln!("failed to write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {}", out.display());
+    let Some(path) = baseline_path else {
+        return ExitCode::SUCCESS;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read baseline {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline: perf::SweepBenchReport = match serde_json::from_str(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot parse baseline {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match perf::check_sweep_against(&report, &baseline, 2.0) {
+        Ok(verdict) => {
+            println!("sweep perf gate OK: {verdict}");
+            ExitCode::SUCCESS
+        }
+        Err(verdict) => {
+            eprintln!("sweep perf gate FAILED: {verdict}");
             ExitCode::FAILURE
         }
     }

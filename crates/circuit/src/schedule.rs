@@ -28,7 +28,19 @@ impl Schedule {
     ///
     /// Panics if the circuit contains non-physical gates.
     pub fn speed_of_data(circuit: &Circuit, model: &CharacterizationModel) -> Self {
-        let dag = Dag::build(circuit);
+        Self::speed_of_data_on(&Dag::build(circuit), circuit, model)
+    }
+
+    /// Like [`Schedule::speed_of_data`], but reuses an already-built
+    /// [`Dag`] — callers that hold one (e.g. an architectural
+    /// simulation context) avoid rebuilding the dependency structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dag` was not built from `circuit` (length mismatch)
+    /// or the circuit contains non-physical gates.
+    pub fn speed_of_data_on(dag: &Dag, circuit: &Circuit, model: &CharacterizationModel) -> Self {
+        assert_eq!(dag.len(), circuit.len(), "DAG does not match circuit");
         let durations: Vec<f64> = circuit
             .gates()
             .iter()

@@ -12,7 +12,7 @@ use crate::output::{
     UnitCount,
 };
 use qods_arch::machine::Arch;
-use qods_arch::sweep::{area_sweep, log_areas, speedup_summary};
+use qods_arch::sweep::{area_sweep, log_areas, speedup_summary_from_curves};
 use qods_arch::table9::table9_row;
 use qods_circuit::characterize::demand_profile;
 use qods_circuit::latency_model::CharacterizationModel;
@@ -348,14 +348,9 @@ impl Experiment for Fig15Experiment {
             .benchmarks()
             .iter()
             .map(|c| {
-                let archs = [
-                    Arch::FullyMultiplexed,
-                    Arch::Qla,
-                    Arch::default_cqla(c.n_qubits()),
-                    Arch::default_qalypso(),
-                ];
+                let archs = Arch::fig15_panel(c.n_qubits());
                 let curves = area_sweep(c, &archs, &areas);
-                let s = speedup_summary(c, &areas);
+                let s = speedup_summary_from_curves(&curves);
                 Fig15Panel {
                     name: c.name.clone(),
                     curves: curves

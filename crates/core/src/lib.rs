@@ -68,8 +68,10 @@ pub mod prelude {
     pub use crate::report::Render;
     pub use crate::study::{PaperReproduction, Study, StudyConfig, SweepRange};
     pub use qods_arch::machine::Arch;
-    pub use qods_arch::simulator::simulate;
-    pub use qods_arch::sweep::{area_sweep, log_areas, speedup_summary};
+    pub use qods_arch::simulator::{simulate, SimContext};
+    pub use qods_arch::sweep::{
+        area_sweep, area_sweep_in, log_areas, speedup_summary, speedup_summary_from_curves,
+    };
     pub use qods_arch::table9::{table9_row, table9_row_from_bandwidths};
     pub use qods_circuit::characterize::{characterize, demand_profile};
     pub use qods_circuit::circuit::Circuit;
