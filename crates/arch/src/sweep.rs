@@ -3,16 +3,18 @@
 //! summary.
 //!
 //! A sweep characterizes the circuit once ([`SimContext`]) and then
-//! runs every `(arch, area)` point through a chunked worker pool (the
-//! same atomic-cursor pattern as `qods-phys`' Monte-Carlo runner).
-//! Each point is a pure function of `(context, arch, area)`, so the
-//! sweep is bit-identical at any thread count, including fully
-//! sequential.
+//! runs every `(arch, area)` point through the workspace's shared
+//! worker pool ([`qods_pool`] — the same pool the Monte-Carlo runner
+//! and the service scheduler use). Each point is a pure function of
+//! `(context, arch, area)`, so the sweep is bit-identical at any
+//! thread count, including fully sequential.
 
 use crate::machine::Arch;
 use crate::simulator::SimContext;
 use qods_circuit::circuit::Circuit;
-use std::sync::atomic::{AtomicUsize, Ordering};
+/// Re-exported so existing `qods_arch::sweep::host_threads` callers
+/// keep working now that the policy lives in the shared pool crate.
+pub use qods_pool::host_threads;
 
 /// One point of an architecture's area/latency curve.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -59,19 +61,11 @@ pub fn log_areas(lo: f64, hi: f64, n: usize) -> Vec<f64> {
     (0..n).map(|i| lo * step.powi(i as i32)).collect()
 }
 
-/// Worker threads this host supports (1 when the runtime cannot
-/// tell). The single source of the core-count policy for sweep
-/// callers — benches and smokes share it instead of re-deriving it.
-pub fn host_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-}
-
 /// Worker count for a sweep of `points` independent simulations: one
-/// per core, never more than the points available.
+/// per core (or the process-wide `qods_pool` pin), never more than
+/// the points available.
 fn default_threads(points: usize) -> usize {
-    host_threads().min(points.max(1))
+    qods_pool::pool_threads(points)
 }
 
 /// Runs the Fig 15 sweep for the given architectures, parallel across
@@ -97,47 +91,13 @@ pub fn area_sweep_in(
     threads: usize,
 ) -> Vec<ArchCurve> {
     let n_points = archs.len() * areas.len();
-    let threads = threads.clamp(1, n_points.max(1));
-    let point = |flat: usize| {
-        let (ai, pi) = (flat / areas.len(), flat % areas.len());
+    let flat = qods_pool::run_indexed(n_points, threads, |i| {
+        let (ai, pi) = (i / areas.len(), i % areas.len());
         SweepPoint {
             area: areas[pi],
             exec_us: ctx.simulate(archs[ai], areas[pi]).makespan_us,
         }
-    };
-
-    let mut flat: Vec<SweepPoint> = Vec::with_capacity(n_points);
-    if threads <= 1 {
-        flat.extend((0..n_points).map(point));
-    } else {
-        // Chunked work-stealing over the flat point index space; each
-        // worker returns (index, point) pairs, merged into slots by
-        // index — the worker that computed a point never matters.
-        let cursor = AtomicUsize::new(0);
-        let mut computed: Vec<(usize, SweepPoint)> = std::thread::scope(|scope| {
-            let workers: Vec<_> = (0..threads)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut mine = Vec::new();
-                        loop {
-                            let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            if i >= n_points {
-                                break;
-                            }
-                            mine.push((i, point(i)));
-                        }
-                        mine
-                    })
-                })
-                .collect();
-            workers
-                .into_iter()
-                .flat_map(|w| w.join().expect("sweep worker panicked"))
-                .collect()
-        });
-        computed.sort_unstable_by_key(|&(i, _)| i);
-        flat.extend(computed.into_iter().map(|(_, p)| p));
-    }
+    });
 
     archs
         .iter()

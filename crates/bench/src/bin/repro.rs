@@ -1,5 +1,6 @@
 //! Regenerates tables and figures of "Running a Quantum Circuit at
-//! the Speed of Data" through the experiment registry.
+//! the Speed of Data" — a thin client of the `qods-service` job
+//! layer.
 //!
 //! ```text
 //! cargo run -p qods-bench --bin repro --release                  # everything, in parallel
@@ -8,29 +9,43 @@
 //! cargo run -p qods-bench --bin repro --release -- fig15 table9 # a selection
 //! cargo run -p qods-bench --bin repro --release -- --json fig4  # machine-readable output
 //! cargo run -p qods-bench --bin repro --release -- --sequential # timing baseline
+//! cargo run -p qods-bench --bin repro --release -- --threads 4  # pin every pool
+//! cargo run -p qods-bench --bin repro --release -- --load 40    # service load generator
 //! ```
 //!
 //! Full runs print the paper-layout report on stdout and write
 //! `results/repro.json` plus per-figure CSVs under `results/`.
-//! Dispatch is entirely data-driven: ids resolve through
-//! [`Registry::get`], so adding an experiment to the registry makes it
-//! addressable here with no changes to this file.
+//! Dispatch is entirely data-driven: every run is a
+//! [`RunRequest`](qods_service::RunRequest) submitted to a
+//! [`Scheduler`](qods_service::Scheduler), so adding an experiment to
+//! the registry makes it addressable here with no changes to this
+//! file, and `repro` exercises exactly the code path `qods-serve`
+//! serves.
 
 use qods_bench::{perf, write_json, write_record_csvs};
-use qods_core::experiment::StudyContext;
 use qods_core::registry::Registry;
 use qods_core::report::Render;
 use qods_core::study::{PaperReproduction, StudyConfig};
+use qods_service::{RunRequest, Scheduler};
 use std::path::Path;
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
-    "usage: repro [--list] [--json] [--sequential] [quick] [EXPERIMENT_ID ...]\n\
+    "usage: repro [--list] [--json] [--sequential] [--threads N] [quick] [EXPERIMENT_ID ...]\n\
      \n\
      With no ids: runs every experiment (in parallel unless --sequential),\n\
      prints the paper-layout report, and writes results/repro.json + CSVs.\n\
-     With ids: runs exactly those experiments and prints each one.\n\
+     With ids: runs exactly those experiments and prints each one\n\
+     (duplicate ids are rejected).\n\
      `repro --list` shows every addressable id.\n\
+     `--threads N` pins every worker pool (registry fan-out, Fig 15\n\
+     sweeps, Monte-Carlo) to N threads end-to-end.\n\
+     \n\
+     Service load generator:\n\
+     `repro --load N [--repeat F] [--load-gate R]` fires N randomized\n\
+     requests (fraction F of them repeats, default 0.8) at a cold and\n\
+     a warm job service and reports throughput and cache-hit rate;\n\
+     with --load-gate R it exits nonzero unless warm/cold >= R.\n\
      \n\
      Perf smoke:\n\
      `repro --bench-json [montecarlo] [sweep]` times the Fig 4\n\
@@ -51,6 +66,10 @@ fn main() -> ExitCode {
     let mut list = false;
     let mut json = false;
     let mut sequential = false;
+    let mut threads: Option<usize> = None;
+    let mut load: Option<usize> = None;
+    let mut repeat = 0.8f64;
+    let mut load_gate: Option<f64> = None;
     let mut bench_json = false;
     let mut bench_check: Option<String> = None;
     let mut bench_check_sweep: Option<String> = None;
@@ -62,6 +81,34 @@ fn main() -> ExitCode {
             "--list" => list = true,
             "--json" => json = true,
             "--sequential" => sequential = true,
+            "--threads" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => threads = Some(n),
+                _ => {
+                    eprintln!("--threads needs a positive integer\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--load" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => load = Some(n),
+                _ => {
+                    eprintln!("--load needs a positive request count\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--repeat" => match it.next().and_then(|f| f.parse::<f64>().ok()) {
+                Some(f) if (0.0..1.0).contains(&f) => repeat = f,
+                _ => {
+                    eprintln!("--repeat needs a fraction in [0, 1)\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--load-gate" => match it.next().and_then(|f| f.parse::<f64>().ok()) {
+                Some(r) if r >= 1.0 => load_gate = Some(r),
+                _ => {
+                    eprintln!("--load-gate needs a ratio >= 1\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
             "--bench-json" => bench_json = true,
             "--bench-check" => match it.next() {
                 Some(path) => bench_check = Some(path),
@@ -87,6 +134,20 @@ fn main() -> ExitCode {
             }
             other => ids.push(other.to_string()),
         }
+    }
+
+    // Pin every worker pool in the process before anything runs:
+    // registry fan-out, Fig 15 sweeps, and Monte-Carlo all consult
+    // the same `qods_pool` policy. `--sequential` is the fully
+    // single-threaded baseline unless `--threads` says otherwise.
+    if let Some(n) = threads {
+        qods_service::pool::set_thread_override(Some(n));
+    } else if sequential {
+        qods_service::pool::set_thread_override(Some(1));
+    }
+
+    if let Some(requests) = load {
+        return run_load_generator(requests, repeat, load_gate);
     }
 
     if bench_json || bench_check.is_some() || bench_check_sweep.is_some() {
@@ -151,17 +212,25 @@ fn main() -> ExitCode {
     } else {
         StudyConfig::default()
     };
-    let ctx = StudyContext::new(config.clone());
+    // `repro` is a thin client of the job service: every run — full
+    // paper or a selection — is one RunRequest through the scheduler
+    // `qods-serve` uses, on the same shared worker pool.
+    let workers = if sequential {
+        1
+    } else {
+        qods_service::pool::host_threads()
+    };
+    let scheduler = Scheduler::with_options(config.clone(), workers, true);
+    let request = RunRequest::of(ids.iter().map(String::as_str));
 
     if ids.is_empty() {
-        let t0 = std::time::Instant::now();
-        let records = if sequential {
-            registry.run_all_sequential(&ctx)
-        } else {
-            registry.run_all(&ctx)
-        };
-        let wall = t0.elapsed();
-        let out = PaperReproduction::from_records(config, &records);
+        let result = scheduler.run(&request).expect("the full registry resolves");
+        // The compat struct records the *requested* configuration, not
+        // the resolved one: the scheduler rewrites `threads` to the
+        // host's worker count, and embedding that would make
+        // results/repro.json vary across machines even though every
+        // experiment output is bit-identical at any pool size.
+        let out = PaperReproduction::from_records(config, &result.records);
         if json {
             println!("{}", serde_json::to_string_pretty(&out).expect("serialize"));
         } else {
@@ -169,32 +238,32 @@ fn main() -> ExitCode {
         }
         let results = Path::new("results");
         write_json(&results.join("repro.json"), &out).expect("write results/repro.json");
-        write_json(&results.join("experiments.json"), &records)
+        write_json(&results.join("experiments.json"), &result.records)
             .expect("write results/experiments.json");
-        write_record_csvs(results, &records).expect("write figure CSVs");
-        let cpu: f64 = records.iter().map(|r| r.seconds).sum();
+        write_record_csvs(results, &result.records).expect("write figure CSVs");
+        let cpu: f64 = result.records.iter().map(|r| r.seconds).sum();
         eprintln!(
-            "ran {} experiments ({}) in {:.2?} wall / {:.2?} summed; wrote results/",
-            records.len(),
+            "ran {} experiments ({}, {} workers) in {:.2?} wall / {:.2?} summed; wrote results/",
+            result.records.len(),
             if sequential { "sequential" } else { "parallel" },
-            wall,
+            scheduler.threads(),
+            std::time::Duration::from_secs_f64(result.seconds),
             std::time::Duration::from_secs_f64(cpu),
         );
         return ExitCode::SUCCESS;
     }
 
-    // Single-experiment mode: resolve every id through the registry —
+    // Single-experiment mode: resolve every id through the service —
     // no per-experiment dispatch lives here.
-    let id_refs: Vec<&str> = ids.iter().map(String::as_str).collect();
-    match registry.run_selected(&id_refs, &ctx) {
-        Ok(records) => {
+    match scheduler.run(&request) {
+        Ok(result) => {
             if json {
                 println!(
                     "{}",
-                    serde_json::to_string_pretty(&records).expect("serialize")
+                    serde_json::to_string_pretty(&result.records).expect("serialize")
                 );
             } else {
-                for r in &records {
+                for r in &result.records {
                     print!("{}", r.output.render());
                 }
             }
@@ -204,6 +273,131 @@ fn main() -> ExitCode {
             eprintln!("{e}\n{}", usage());
             ExitCode::FAILURE
         }
+    }
+}
+
+/// The service load generator (`repro --load N`): fires a batch of
+/// randomized-override requests — a `repeat` fraction of them reusing
+/// earlier configurations — at a cold service (caching off: every
+/// request recomputes) and a warm one (the content-addressed cache),
+/// and reports throughput, speedup, cache-hit rate, and how many
+/// benchmark lowerings each service actually performed.
+fn run_load_generator(requests: usize, repeat: f64, gate: Option<f64>) -> ExitCode {
+    use qods_service::Overrides;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    // Smoke-sized work: the generator measures the service layer, not
+    // the engines, so each distinct config stays milliseconds-cheap.
+    let base = StudyConfig::smoke();
+    let unique = ((requests as f64) * (1.0 - repeat)).round().max(1.0) as usize;
+    let unique = unique.min(requests);
+    let variant = |i: usize| Overrides {
+        n_bits: Some(6 + (i % 3)),
+        mc_trials: Some(1_000 + 500 * (i % 2) as u64),
+        noise_scale: Some(8.0 + (i % 4) as f64),
+        seed: Some(9_000 + i as u64),
+        synth_max_t: Some(8),
+        sweep_points: Some(5),
+        profile_samples: Some(32),
+        ..Overrides::default()
+    };
+
+    let all_ids: Vec<&'static str> = Registry::paper().list().iter().map(|e| e.id).collect();
+    let mut rng = StdRng::seed_from_u64(0x10ad);
+    let mut batch: Vec<RunRequest> = Vec::with_capacity(requests);
+    for i in 0..requests {
+        // The first `unique` requests introduce fresh configurations;
+        // the rest repeat a random earlier one (with a possibly
+        // different experiment selection, which the context cache
+        // still serves from one lowering).
+        let config_index = if i < unique {
+            i
+        } else {
+            rng.gen_range(0..unique)
+        };
+        let count = rng.gen_range(3..7).min(all_ids.len());
+        let mut selected: Vec<String> = Vec::with_capacity(count);
+        while selected.len() < count {
+            let id = all_ids[rng.gen_range(0..all_ids.len())];
+            if !selected.iter().any(|s| s == id) {
+                selected.push(id.to_string());
+            }
+        }
+        batch.push(RunRequest::of(selected).with_overrides(variant(config_index)));
+    }
+
+    let time_batch = |scheduler: &Scheduler| -> Result<f64, ExitCode> {
+        let t0 = std::time::Instant::now();
+        for (i, outcome) in scheduler.run_batch(&batch).into_iter().enumerate() {
+            if let Err(e) = outcome {
+                eprintln!("load request {i} rejected: {e}");
+                return Err(ExitCode::FAILURE);
+            }
+        }
+        Ok(t0.elapsed().as_secs_f64())
+    };
+
+    println!(
+        "load generator: {requests} requests, {unique} distinct configs \
+         ({:.0}% repeats), {} worker threads",
+        100.0 * (1.0 - unique as f64 / requests as f64),
+        qods_service::pool::host_threads(),
+    );
+    // Cold service: no cache — every request recomputes from scratch,
+    // the way the old one-shot `Registry::run_*` API had to.
+    let cold = Scheduler::with_options(base.clone(), qods_service::pool::host_threads(), false);
+    let cold_s = match time_batch(&cold) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    println!(
+        "  cold service:    {cold_s:.3}s  ({:.1} req/s, {} lowerings, 0% cache hits)",
+        requests as f64 / cold_s,
+        cold.pool().stats().context_misses,
+    );
+    // Warm service: same batch through the content-addressed cache.
+    // The first pass fills the cache (it still computes each of the
+    // `unique` configurations once); the second pass is the
+    // steady-state throughput a long-running service sustains on
+    // repeat-heavy traffic.
+    let warm = Scheduler::with_options(base, qods_service::pool::host_threads(), true);
+    let fill_s = match time_batch(&warm) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let fill_stats = warm.pool().stats();
+    println!(
+        "  warm, 1st pass:  {fill_s:.3}s  ({:.1} req/s, {} lowerings, \
+         {:.0}% context hits, {:.0}% output hits)",
+        requests as f64 / fill_s,
+        warm.pool().total_lowering_runs(),
+        100.0 * fill_stats.context_hits as f64
+            / (fill_stats.context_hits + fill_stats.context_misses) as f64,
+        100.0 * fill_stats.output_hit_rate(),
+    );
+    let warm_s = match time_batch(&warm) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    println!(
+        "  warm, steady:    {warm_s:.3}s  ({:.1} req/s, {} lowerings total)",
+        requests as f64 / warm_s,
+        warm.pool().total_lowering_runs(),
+    );
+    let first_ratio = cold_s / fill_s;
+    let ratio = cold_s / warm_s;
+    println!("  speedup: {first_ratio:.1}x cache-filling, {ratio:.1}x steady-state (vs cold)");
+    match gate {
+        Some(need) if ratio < need => {
+            eprintln!("load gate FAILED: {ratio:.2}x < required {need:.2}x");
+            ExitCode::FAILURE
+        }
+        Some(need) => {
+            println!("load gate OK: {ratio:.2}x >= {need:.2}x");
+            ExitCode::SUCCESS
+        }
+        None => ExitCode::SUCCESS,
     }
 }
 

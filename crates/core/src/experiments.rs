@@ -11,6 +11,7 @@ use crate::output::{
     SimpleFactoryOut, Table2Out, Table2Row, Table3Out, Table3Row, Table9Entry, Table9Out,
     UnitCount,
 };
+use crate::study::ArchChoice;
 use qods_arch::machine::Arch;
 use qods_arch::sweep::{area_sweep, log_areas, speedup_summary_from_curves};
 use qods_arch::table9::table9_row;
@@ -348,9 +349,29 @@ impl Experiment for Fig15Experiment {
             .benchmarks()
             .iter()
             .map(|c| {
-                let archs = Arch::fig15_panel(c.n_qubits());
+                let panel = &ctx.config().arch_panel;
+                let archs: Vec<Arch> = panel.iter().map(|a| a.to_arch(c.n_qubits())).collect();
                 let curves = area_sweep(c, &archs, &areas);
-                let s = speedup_summary_from_curves(&curves);
+                // The §5.2 headline summary needs the FM, QLA, and
+                // CQLA curves; a panel override that drops one of
+                // them reports zeros instead (JSON has no NaN). The
+                // check is on the panel selection itself, not curve
+                // display names, so it cannot drift from the sweep.
+                let has = |choice: ArchChoice| panel.contains(&choice);
+                let (max_speedup, qla_area_penalty, cqla_plateau_ratio) =
+                    if has(ArchChoice::FullyMultiplexed)
+                        && has(ArchChoice::Qla)
+                        && has(ArchChoice::Cqla)
+                    {
+                        let s = speedup_summary_from_curves(&curves);
+                        (
+                            s.max_speedup,
+                            s.qla_area_penalty,
+                            s.cqla_plateau_us / s.fm_plateau_us,
+                        )
+                    } else {
+                        (0.0, 0.0, 0.0)
+                    };
                 Fig15Panel {
                     name: c.name.clone(),
                     curves: curves
@@ -362,9 +383,9 @@ impl Experiment for Fig15Experiment {
                             )
                         })
                         .collect(),
-                    max_speedup: s.max_speedup,
-                    qla_area_penalty: s.qla_area_penalty,
-                    cqla_plateau_ratio: s.cqla_plateau_us / s.fm_plateau_us,
+                    max_speedup,
+                    qla_area_penalty,
+                    cqla_plateau_ratio,
                 }
             })
             .collect();

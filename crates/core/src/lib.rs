@@ -57,16 +57,16 @@ pub use qods_steane as steane;
 pub use qods_synth as synth;
 
 pub use experiment::{Experiment, ExperimentOutput, ExperimentRecord, StudyContext};
-pub use registry::{ExperimentInfo, Registry, UnknownExperiment};
+pub use registry::{ExperimentInfo, Registry, RegistryError};
 pub use report::Render;
-pub use study::{PaperReproduction, Study, StudyConfig};
+pub use study::{ArchChoice, PaperReproduction, Study, StudyConfig};
 
 /// One-stop imports for typical use.
 pub mod prelude {
     pub use crate::experiment::{Experiment, ExperimentOutput, ExperimentRecord, StudyContext};
-    pub use crate::registry::{ExperimentInfo, Registry, UnknownExperiment};
+    pub use crate::registry::{ExperimentInfo, Registry, RegistryError};
     pub use crate::report::Render;
-    pub use crate::study::{PaperReproduction, Study, StudyConfig, SweepRange};
+    pub use crate::study::{ArchChoice, PaperReproduction, Study, StudyConfig, SweepRange};
     pub use qods_arch::machine::Arch;
     pub use qods_arch::simulator::{simulate, SimContext};
     pub use qods_arch::sweep::{

@@ -7,8 +7,6 @@ use crate::experiments::{
     LatencyExperiment, NonTransversalExperiment, Pi8FactoryExperiment, SimpleFactoryExperiment,
     Table2Experiment, Table3Experiment, Table9Experiment, ZeroFactoryExperiment,
 };
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
 use std::time::Instant;
 
 /// A row of `Registry::list()`.
@@ -22,24 +20,50 @@ pub struct ExperimentInfo {
     pub aliases: &'static [&'static str],
 }
 
-/// An id that no registered experiment (or alias) matches.
+/// A selection of experiment ids that the registry rejected.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct UnknownExperiment {
-    /// The id that failed to resolve.
-    pub id: String,
+pub enum RegistryError {
+    /// An id that no registered experiment (or alias) matches.
+    Unknown {
+        /// The id that failed to resolve.
+        id: String,
+    },
+    /// The same experiment was requested more than once (directly or
+    /// through an alias) — running it twice is never what the caller
+    /// meant, so the selection is rejected instead of silently
+    /// duplicating work.
+    Duplicate {
+        /// The id as the caller wrote it the second time.
+        id: String,
+        /// The primary id both requests resolve to.
+        canonical: String,
+    },
 }
 
-impl std::fmt::Display for UnknownExperiment {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "unknown experiment id `{}` (try `repro --list`)",
-            self.id
-        )
+impl RegistryError {
+    /// The offending id, whichever way the selection failed.
+    pub fn id(&self) -> &str {
+        match self {
+            RegistryError::Unknown { id } | RegistryError::Duplicate { id, .. } => id,
+        }
     }
 }
 
-impl std::error::Error for UnknownExperiment {}
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::Unknown { id } => {
+                write!(f, "unknown experiment id `{id}` (try `repro --list`)")
+            }
+            RegistryError::Duplicate { id, canonical } => write!(
+                f,
+                "duplicate experiment id `{id}` (experiment `{canonical}` already selected)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
 
 /// An ordered collection of registered experiments.
 ///
@@ -135,19 +159,41 @@ impl Registry {
             .map(AsRef::as_ref)
     }
 
+    /// Resolves a selection of ids (or aliases) to experiments,
+    /// rejecting unknown ids and duplicates — including a primary id
+    /// and one of its aliases naming the same experiment twice.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Unknown`] for an id that does not resolve,
+    /// [`RegistryError::Duplicate`] when two ids resolve to the same
+    /// experiment.
+    pub fn resolve(&self, ids: &[&str]) -> Result<Vec<&dyn Experiment>, RegistryError> {
+        let mut selected: Vec<&dyn Experiment> = Vec::with_capacity(ids.len());
+        for id in ids {
+            let exp = self.get(id).ok_or_else(|| RegistryError::Unknown {
+                id: (*id).to_string(),
+            })?;
+            if selected.iter().any(|s| s.id() == exp.id()) {
+                return Err(RegistryError::Duplicate {
+                    id: (*id).to_string(),
+                    canonical: exp.id().to_string(),
+                });
+            }
+            selected.push(exp);
+        }
+        Ok(selected)
+    }
+
     /// Runs one experiment by id over the shared context.
     ///
     /// # Errors
     ///
-    /// Returns [`UnknownExperiment`] when the id does not resolve.
-    pub fn run_one(
-        &self,
-        id: &str,
-        ctx: &StudyContext,
-    ) -> Result<ExperimentRecord, UnknownExperiment> {
+    /// Returns [`RegistryError::Unknown`] when the id does not resolve.
+    pub fn run_one(&self, id: &str, ctx: &StudyContext) -> Result<ExperimentRecord, RegistryError> {
         let exp = self
             .get(id)
-            .ok_or_else(|| UnknownExperiment { id: id.to_string() })?;
+            .ok_or_else(|| RegistryError::Unknown { id: id.to_string() })?;
         Ok(record(exp, ctx))
     }
 
@@ -156,60 +202,39 @@ impl Registry {
     ///
     /// # Errors
     ///
-    /// Returns [`UnknownExperiment`] on the first id that does not
-    /// resolve; nothing runs in that case.
+    /// Returns the first [`RegistryError`] in the selection — an
+    /// unknown id or a duplicate (see [`Registry::resolve`]); nothing
+    /// runs in that case.
     pub fn run_selected(
         &self,
         ids: &[&str],
         ctx: &StudyContext,
-    ) -> Result<Vec<ExperimentRecord>, UnknownExperiment> {
-        let exps: Vec<&dyn Experiment> = ids
-            .iter()
-            .map(|id| {
-                self.get(id).ok_or_else(|| UnknownExperiment {
-                    id: (*id).to_string(),
-                })
-            })
-            .collect::<Result<_, _>>()?;
-        Ok(exps.into_iter().map(|e| record(e, ctx)).collect())
+    ) -> Result<Vec<ExperimentRecord>, RegistryError> {
+        Ok(self
+            .resolve(ids)?
+            .into_iter()
+            .map(|e| record(e, ctx))
+            .collect())
     }
 
     /// Runs every registered experiment in parallel over `ctx` and
     /// returns the records in registration order.
     ///
-    /// Experiments are drained from a shared queue by a bounded pool of
-    /// scoped worker threads — `min(experiments, available cores)` of
-    /// them — so a many-core host runs the heavy experiments (Fig 4's
-    /// Monte Carlo, Fig 15's sweeps) concurrently while a single-core
-    /// host degrades to the sequential path with no oversubscription.
-    /// The shared context memoizes benchmark lowering behind a
-    /// `OnceLock`, so the substrate is built exactly once no matter
-    /// which experiment's thread gets there first.
+    /// Experiments are drained from the workspace's shared worker pool
+    /// (`qods_pool`) by `min(experiments, host threads)` scoped
+    /// workers, so a many-core host runs the heavy experiments (Fig
+    /// 4's Monte Carlo, Fig 15's sweeps) concurrently while a
+    /// single-core host degrades to the sequential path with no
+    /// oversubscription — and a process-wide `--threads` pin applies
+    /// here like everywhere else. The shared context memoizes
+    /// benchmark lowering behind a `OnceLock`, so the substrate is
+    /// built exactly once no matter which experiment's thread gets
+    /// there first.
     pub fn run_all(&self, ctx: &StudyContext) -> Vec<ExperimentRecord> {
         let n = self.entries.len();
-        let workers = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-            .clamp(1, n.max(1));
-        if workers <= 1 {
-            return self.run_all_sequential(ctx);
-        }
-        let next = AtomicUsize::new(0);
-        let slots: Vec<OnceLock<ExperimentRecord>> = (0..n).map(|_| OnceLock::new()).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(e) = self.entries.get(i) else { break };
-                    let filled = slots[i].set(record(e.as_ref(), ctx));
-                    assert!(filled.is_ok(), "result slot {i} claimed twice");
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|s| s.into_inner().expect("every queued experiment ran"))
-            .collect()
+        qods_pool::run_indexed(n, qods_pool::pool_threads(n), |i| {
+            record(self.entries[i].as_ref(), ctx)
+        })
     }
 
     /// Runs every registered experiment on the calling thread, in
@@ -278,6 +303,60 @@ mod tests {
         let r = Registry::paper();
         let ctx = StudyContext::new(StudyConfig::smoke());
         let err = r.run_selected(&["table9", "nope"], &ctx).unwrap_err();
-        assert_eq!(err.id, "nope");
+        assert_eq!(
+            err,
+            RegistryError::Unknown {
+                id: "nope".to_string()
+            }
+        );
+        assert_eq!(err.id(), "nope");
+        assert!(err.to_string().contains("unknown experiment id `nope`"));
+    }
+
+    #[test]
+    fn duplicate_selection_is_rejected_without_running() {
+        let r = Registry::paper();
+        let ctx = StudyContext::new(StudyConfig::smoke());
+        let err = r
+            .run_selected(&["fig6", "table9", "table9"], &ctx)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RegistryError::Duplicate {
+                id: "table9".to_string(),
+                canonical: "table9".to_string(),
+            }
+        );
+        assert!(err.to_string().contains("duplicate experiment id"));
+        // Nothing ran: the context was never asked to lower.
+        assert_eq!(ctx.lowering_runs(), 0);
+    }
+
+    #[test]
+    fn alias_duplicating_its_primary_id_is_rejected() {
+        let r = Registry::paper();
+        let ctx = StudyContext::new(StudyConfig::smoke());
+        // `table6` is an alias of `table5`: selecting both names one
+        // experiment twice.
+        let err = r.run_selected(&["table5", "table6"], &ctx).unwrap_err();
+        assert_eq!(
+            err,
+            RegistryError::Duplicate {
+                id: "table6".to_string(),
+                canonical: "table5".to_string(),
+            }
+        );
+    }
+
+    #[test]
+    fn resolve_keeps_request_order() {
+        let r = Registry::paper();
+        let ids: Vec<&str> = r
+            .resolve(&["fig15", "table2", "fig4"])
+            .expect("distinct ids")
+            .iter()
+            .map(|e| e.id())
+            .collect();
+        assert_eq!(ids, vec!["fig15", "table2", "fig4"]);
     }
 }

@@ -14,6 +14,7 @@ use crate::output::{
     Table3Row, Table9Entry,
 };
 use crate::registry::Registry;
+use qods_arch::machine::Arch;
 use qods_circuit::circuit::Circuit;
 use qods_phys::latency::LatencyTable;
 use serde::{Deserialize, Serialize};
@@ -25,6 +26,45 @@ pub struct SweepRange {
     pub min_area: f64,
     /// Largest area swept.
     pub max_area: f64,
+}
+
+/// A serializable architecture selection for the Fig 15 panel: each
+/// choice names one microarchitecture at its default configuration
+/// (the data-carrying parameters — CQLA cache slots, Qalypso tile
+/// size — are derived from the benchmark width, as the paper does).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArchChoice {
+    /// Fully-multiplexed ancilla delivery (the paper's proposal).
+    FullyMultiplexed,
+    /// QLA: dedicated per-qubit generation.
+    Qla,
+    /// CQLA at the default cache sizing for the benchmark width.
+    Cqla,
+    /// Tiled Qalypso at the default tile size.
+    Qalypso,
+}
+
+impl ArchChoice {
+    /// The concrete [`Arch`] for an `n_qubits`-wide benchmark.
+    pub fn to_arch(self, n_qubits: usize) -> Arch {
+        match self {
+            ArchChoice::FullyMultiplexed => Arch::FullyMultiplexed,
+            ArchChoice::Qla => Arch::Qla,
+            ArchChoice::Cqla => Arch::default_cqla(n_qubits),
+            ArchChoice::Qalypso => Arch::default_qalypso(),
+        }
+    }
+
+    /// The Fig 15 default panel: all four architectures in the
+    /// paper's presentation order.
+    pub fn paper_panel() -> Vec<ArchChoice> {
+        vec![
+            ArchChoice::FullyMultiplexed,
+            ArchChoice::Qla,
+            ArchChoice::Cqla,
+            ArchChoice::Qalypso,
+        ]
+    }
 }
 
 /// Knobs for the study. Defaults run the paper's full configuration at
@@ -52,6 +92,8 @@ pub struct StudyConfig {
     pub sweep_area_range: SweepRange,
     /// Fig 7/8 sample counts.
     pub profile_samples: usize,
+    /// Fig 15 architecture panel (paper: all four, FM first).
+    pub arch_panel: Vec<ArchChoice>,
 }
 
 impl Default for StudyConfig {
@@ -70,6 +112,7 @@ impl Default for StudyConfig {
                 max_area: 3e6,
             },
             profile_samples: 256,
+            arch_panel: ArchChoice::paper_panel(),
         }
     }
 }

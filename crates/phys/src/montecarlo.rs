@@ -21,10 +21,11 @@
 //!
 //! Trials are processed in fixed-size chunks ([`TRIAL_CHUNK`]); each
 //! chunk seeds its own RNG from `(seed, chunk index)`. The parallel
-//! runner hands chunks to a pool of scoped workers through an atomic
-//! cursor (chunked work-stealing), so discard-heavy or otherwise
-//! unbalanced trial loads cannot idle a thread the way the old static
-//! per-thread quota split could. Because the statistics of a chunk
+//! runner hands chunks to the workspace's shared worker pool
+//! ([`qods_pool::WorkQueue`] + [`qods_pool::run_workers`] — chunked
+//! work-stealing), so discard-heavy or otherwise unbalanced trial
+//! loads cannot idle a thread the way the old static per-thread quota
+//! split could. Because the statistics of a chunk
 //! depend only on its index — never on which worker ran it — results
 //! are bit-identical for a fixed `(trials, seed)` across *any* thread
 //! count, including the sequential runner. (This is stronger than the
@@ -33,9 +34,9 @@
 
 use crate::error_model::ErrorModel;
 use crate::frame::PauliFrame;
+use qods_pool::WorkQueue;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Trials per scheduling chunk. Large enough that the atomic cursor and
 /// per-chunk RNG seeding are noise (a chunk is ~10^5–10^6 ops), small
@@ -355,37 +356,24 @@ where
         }
         return totals;
     }
-    let cursor = AtomicU64::new(0);
-    let mut totals = vec![MonteCarloStats::default(); jobs.len()];
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for _ in 0..threads {
-            let trial = &trial;
-            let cursor = &cursor;
-            let locate = &locate;
-            handles.push(scope.spawn(move || {
-                let mut arena = TrialArena::new();
-                let mut stats = vec![MonteCarloStats::default(); jobs.len()];
-                loop {
-                    let g = cursor.fetch_add(1, Ordering::Relaxed);
-                    if g >= total_chunks {
-                        break;
-                    }
-                    let (i, c) = locate(g);
-                    let (n, seed) = jobs[i];
-                    let mut f = |rng: &mut StdRng, arena: &mut TrialArena| trial(i, rng, arena);
-                    stats[i].merge(&run_chunk(n, seed, c, &mut f, &mut arena));
-                }
-                stats
-            }));
+    let queue = WorkQueue::new(total_chunks);
+    let workers = qods_pool::run_workers(threads, |_| {
+        let mut arena = TrialArena::new();
+        let mut stats = vec![MonteCarloStats::default(); jobs.len()];
+        while let Some(g) = queue.claim() {
+            let (i, c) = locate(g);
+            let (n, seed) = jobs[i];
+            let mut f = |rng: &mut StdRng, arena: &mut TrialArena| trial(i, rng, arena);
+            stats[i].merge(&run_chunk(n, seed, c, &mut f, &mut arena));
         }
-        for h in handles {
-            let worker = h.join().expect("monte-carlo worker panicked");
-            for (t, w) in totals.iter_mut().zip(&worker) {
-                t.merge(w);
-            }
-        }
+        stats
     });
+    let mut totals = vec![MonteCarloStats::default(); jobs.len()];
+    for worker in &workers {
+        for (t, w) in totals.iter_mut().zip(worker) {
+            t.merge(w);
+        }
+    }
     totals
 }
 
@@ -476,7 +464,7 @@ mod tests {
     #[test]
     fn arena_buffers_are_reused_across_trials() {
         use crate::ops::PhysOp;
-        use std::sync::atomic::AtomicUsize;
+        use std::sync::atomic::{AtomicUsize, Ordering};
         let reallocs = AtomicUsize::new(0);
         let mut last_ptr: *const u64 = std::ptr::null();
         let _ = run_trials(3000, 11, |rng, arena| {

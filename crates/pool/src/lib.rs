@@ -1,0 +1,214 @@
+//! # qods-pool — the workspace's one worker pool
+//!
+//! Before this crate, the atomic-cursor worker pool was copy-pasted
+//! three times (the Fig 15 sweep in `qods-arch`, the Monte-Carlo
+//! runner in `qods-phys`, and `Registry::run_all` in `qods-core`).
+//! This crate is the single implementation all of them — and the
+//! `qods-service` scheduler — share:
+//!
+//! * [`host_threads`] is the one core-count policy, with a
+//!   process-wide override so a `--threads N` flag pins every pool in
+//!   the process at once;
+//! * [`WorkQueue`] is the atomic claim cursor;
+//! * [`run_workers`] fans a closure out over scoped worker threads;
+//! * [`run_indexed`] runs `n` independent tasks and returns their
+//!   results in index order — the common "embarrassingly parallel,
+//!   deterministic assembly" shape.
+//!
+//! ## Determinism contract
+//!
+//! Nothing here injects nondeterminism: a task's result may depend
+//! only on its index (never on which worker ran it or when), and
+//! [`run_indexed`] reassembles results by index. Callers that follow
+//! that rule are bit-identical at any thread count, including fully
+//! sequential — the property the Monte-Carlo engine, the architecture
+//! sweep, and the job scheduler all test for.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Process-wide worker-count override; 0 means "auto" (one worker per
+/// core). Set through [`set_thread_override`].
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Pins (or with `None` unpins) the worker count every pool in the
+/// process uses. This is what a `--threads N` command-line flag
+/// should call once at startup: after it, [`host_threads`] — and so
+/// every sweep, Monte-Carlo run, and scheduler pool — honors the pin.
+pub fn set_thread_override(threads: Option<usize>) {
+    THREAD_OVERRIDE.store(threads.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The currently pinned worker count, if any.
+pub fn thread_override() -> Option<usize> {
+    match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => None,
+        n => Some(n),
+    }
+}
+
+/// Worker threads this host supports: the pinned override when one is
+/// set, otherwise one per available core (1 when the runtime cannot
+/// tell). The single source of the core-count policy — sweeps,
+/// benches, the registry, and the service scheduler all consult this
+/// instead of re-deriving it.
+pub fn host_threads() -> usize {
+    thread_override().unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// The worker count for a pool over `tasks` independent tasks: the
+/// host policy, clamped so no worker can exist without work.
+pub fn pool_threads(tasks: usize) -> usize {
+    host_threads().clamp(1, tasks.max(1))
+}
+
+/// An atomic claim cursor over `0..total`: each [`WorkQueue::claim`]
+/// hands out the next unclaimed index exactly once, across any number
+/// of worker threads (chunked work-stealing when indices are chunks).
+#[derive(Debug)]
+pub struct WorkQueue {
+    next: AtomicU64,
+    total: u64,
+}
+
+impl WorkQueue {
+    /// A queue over the indices `0..total`.
+    pub fn new(total: u64) -> Self {
+        WorkQueue {
+            next: AtomicU64::new(0),
+            total,
+        }
+    }
+
+    /// How many indices the queue hands out in total.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Claims the next index, or `None` when the queue is drained.
+    pub fn claim(&self) -> Option<u64> {
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        (i < self.total).then_some(i)
+    }
+}
+
+/// Runs `worker(worker_index)` on `threads` scoped OS threads and
+/// returns their results in worker-index order. With `threads <= 1`
+/// the worker runs inline on the caller's thread (no spawn).
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn run_workers<R, F>(threads: usize, worker: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if threads <= 1 {
+        return vec![worker(0)];
+    }
+    let worker = &worker;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| scope.spawn(move || worker(w)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pool worker panicked"))
+            .collect()
+    })
+}
+
+/// Runs `n` independent tasks — `task(i)` for `i in 0..n` — over a
+/// shared [`WorkQueue`] on `threads` workers, returning the results
+/// in index order. The assembly never depends on which worker
+/// computed a task, so results are identical at any thread count.
+pub fn run_indexed<T, F>(n: usize, threads: usize, task: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 {
+        return (0..n).map(task).collect();
+    }
+    let queue = WorkQueue::new(n as u64);
+    let mut computed: Vec<(usize, T)> = run_workers(threads, |_| {
+        let mut mine = Vec::new();
+        while let Some(i) = queue.claim() {
+            let i = i as usize;
+            mine.push((i, task(i)));
+        }
+        mine
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    computed.sort_unstable_by_key(|&(i, _)| i);
+    computed.into_iter().map(|(_, t)| t).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn queue_hands_out_each_index_exactly_once() {
+        let q = WorkQueue::new(500);
+        let claimed = Mutex::new(HashSet::new());
+        run_workers(4, |_| {
+            while let Some(i) = q.claim() {
+                assert!(claimed.lock().unwrap().insert(i), "index {i} claimed twice");
+            }
+        });
+        assert_eq!(claimed.lock().unwrap().len(), 500);
+        assert_eq!(q.claim(), None);
+    }
+
+    #[test]
+    fn indexed_results_are_ordered_at_any_thread_count() {
+        let expect: Vec<usize> = (0..97).map(|i| i * i).collect();
+        for threads in [1, 2, 3, 8, 200] {
+            assert_eq!(
+                run_indexed(97, threads, |i| i * i),
+                expect,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_single_task_pools_are_safe() {
+        assert_eq!(run_indexed(0, 8, |i| i), Vec::<usize>::new());
+        assert_eq!(run_indexed(1, 8, |i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn workers_report_in_worker_order() {
+        let ids = run_workers(3, |w| w);
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(run_workers(0, |w| w), vec![0]);
+    }
+
+    /// The override tests live in one function: the pin is
+    /// process-global, and splitting them across `#[test]`s would race
+    /// under the parallel test harness.
+    #[test]
+    fn thread_override_pins_and_unpins() {
+        assert!(host_threads() >= 1);
+        set_thread_override(Some(3));
+        assert_eq!(thread_override(), Some(3));
+        assert_eq!(host_threads(), 3);
+        assert_eq!(pool_threads(2), 2);
+        assert_eq!(pool_threads(100), 3);
+        set_thread_override(None);
+        assert_eq!(thread_override(), None);
+        assert!(host_threads() >= 1);
+        assert_eq!(pool_threads(0), 1);
+    }
+}

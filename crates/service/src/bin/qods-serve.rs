@@ -1,0 +1,228 @@
+//! `qods-serve` — the speed-of-data job service as a stdio daemon.
+//!
+//! Speaks newline-delimited JSON on stdin/stdout (no network
+//! dependencies): each input line is one [`RunRequest`] —
+//!
+//! ```text
+//! {"id":"j1","experiments":["table9","fig7"],"overrides":{"n_bits":8}}
+//! ```
+//!
+//! — and each job answers with exactly one `result` (or `error`)
+//! line. Result lines carry the resolved-configuration content hash,
+//! cache accounting, and one record per experiment; they contain no
+//! timing, so for a fixed request sequence the output stream is
+//! byte-reproducible (CI pipes a batch through and diffs against
+//! direct registry runs). With `--progress`, `started` and
+//! `experiment` progress lines stream per job as work finishes.
+//!
+//! ```text
+//! qods-serve [--threads N] [--progress] [--no-cache] [--base quick|paper]
+//! ```
+
+use qods_service::prelude::*;
+use serde::Serialize;
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+
+/// One experiment's result in a `result` line (no timing: the line
+/// must be byte-reproducible for a fixed request sequence).
+#[derive(Serialize)]
+struct RecordLine {
+    id: String,
+    title: String,
+    output: qods_core::experiment::ExperimentOutput,
+}
+
+/// The one `result` line a successful job answers with.
+#[derive(Serialize)]
+struct ResultLine {
+    event: &'static str,
+    id: Option<String>,
+    config: String,
+    context_hit: bool,
+    output_hits: usize,
+    computed: usize,
+    records: Vec<RecordLine>,
+}
+
+/// The one `error` line a rejected job (or unparseable line) answers
+/// with.
+#[derive(Serialize)]
+struct ErrorLine {
+    event: &'static str,
+    id: Option<String>,
+    error: String,
+}
+
+/// A `--progress` stream line.
+#[derive(Serialize)]
+struct ProgressLine {
+    event: &'static str,
+    id: Option<String>,
+    config: Option<String>,
+    experiment: Option<String>,
+    cache_hit: Option<bool>,
+    seconds: Option<f64>,
+}
+
+fn usage() -> &'static str {
+    "usage: qods-serve [--threads N] [--progress] [--no-cache] [--base quick|paper]\n\
+     \n\
+     Reads one JSON request per stdin line:\n\
+     {\"id\":\"j1\",\"experiments\":[\"table9\"],\"overrides\":{\"n_bits\":8}}\n\
+     (empty `experiments` = the full registry; overrides are sparse)\n\
+     and writes one `result`/`error` JSON line per request on stdout.\n\
+     --threads N   pin every worker pool in the process to N threads\n\
+     --progress    stream `started`/`experiment` lines as work finishes\n\
+     --no-cache    disable the content-addressed cache (cold service)\n\
+     --base quick  resolve overrides against the smoke config, not the paper's"
+}
+
+fn emit_line<T: Serialize>(line: &T) {
+    let json = serde_json::to_string(line).expect("response lines always serialize");
+    let mut out = std::io::stdout().lock();
+    // One write per line keeps lines whole even with progress events
+    // arriving from worker threads.
+    writeln!(out, "{json}").expect("stdout closed");
+    out.flush().expect("stdout closed");
+}
+
+fn main() -> ExitCode {
+    let mut threads: Option<usize> = None;
+    let mut progress = false;
+    let mut caching = true;
+    let mut base = StudyConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threads" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => threads = Some(n),
+                _ => {
+                    eprintln!("--threads needs a positive integer\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--progress" => progress = true,
+            "--no-cache" => caching = false,
+            "--base" => match args.next().as_deref() {
+                Some("quick") => base = StudyConfig::smoke(),
+                Some("paper") => base = StudyConfig::default(),
+                other => {
+                    eprintln!(
+                        "--base must be `quick` or `paper`, got {other:?}\n{}",
+                        usage()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // Pin every pool in the process (sweeps and Monte-Carlo included),
+    // then build the scheduler on the same count.
+    if let Some(n) = threads {
+        qods_service::pool::set_thread_override(Some(n));
+    }
+    let scheduler = Scheduler::with_options(base, qods_service::pool::host_threads(), caching);
+    eprintln!(
+        "qods-serve: ready ({} worker threads, cache {})",
+        scheduler.threads(),
+        if caching { "on" } else { "off" },
+    );
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("stdin read failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request: RunRequest = match serde_json::from_str(&line) {
+            Ok(r) => r,
+            Err(e) => {
+                emit_line(&ErrorLine {
+                    event: "error",
+                    id: None,
+                    error: format!("bad request: {e}"),
+                });
+                continue;
+            }
+        };
+        serve_one(&scheduler, &request, progress);
+    }
+    ExitCode::SUCCESS
+}
+
+/// Runs one request and writes its response (and progress) lines.
+fn serve_one(scheduler: &Scheduler, request: &RunRequest, progress: bool) {
+    let mut emit = |event: JobEvent| {
+        if !progress {
+            return;
+        }
+        match event {
+            JobEvent::Started {
+                request_id,
+                config_hash,
+                context_hit,
+                ..
+            } => emit_line(&ProgressLine {
+                event: "started",
+                id: request_id,
+                config: Some(hash_hex(config_hash)),
+                experiment: None,
+                cache_hit: Some(context_hit),
+                seconds: None,
+            }),
+            JobEvent::ExperimentDone {
+                request_id,
+                experiment,
+                cache_hit,
+                seconds,
+            } => emit_line(&ProgressLine {
+                event: "experiment",
+                id: request_id,
+                config: None,
+                experiment: Some(experiment),
+                cache_hit: Some(cache_hit),
+                seconds: Some(seconds),
+            }),
+        }
+    };
+    match scheduler.run_with_events(request, &mut emit) {
+        Ok(result) => emit_line(&ResultLine {
+            event: "result",
+            id: result.request_id.clone(),
+            config: hash_hex(result.config_hash),
+            context_hit: result.context_hit,
+            output_hits: result.output_hits,
+            computed: result.computed,
+            records: result
+                .records
+                .into_iter()
+                .map(|r| RecordLine {
+                    id: r.id,
+                    title: r.title,
+                    output: r.output,
+                })
+                .collect(),
+        }),
+        Err(e) => emit_line(&ErrorLine {
+            event: "error",
+            id: request.id.clone(),
+            error: e.to_string(),
+        }),
+    }
+}

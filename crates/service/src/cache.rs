@@ -1,0 +1,325 @@
+//! The content-addressed context and result cache.
+//!
+//! A [`ContextPool`] replaces ad-hoc `StudyContext::new` call sites:
+//! contexts are checked out by the content hash of the request's
+//! resolved configuration ([`crate::request::config_hash`]), so two
+//! requests that differ only in *which* experiments they ask for
+//! share one context — one benchmark lowering, one characterization
+//! pass, one set of memoized sweep substrates. Finished
+//! [`ExperimentOutput`]s are cached on the same entry keyed by
+//! experiment id, so a repeated `(config, experiment)` pair is served
+//! without recomputing anything (test-asserted through the context's
+//! `lowering_runs` counter).
+
+use crate::request::Overrides;
+use qods_core::experiment::{ExperimentOutput, StudyContext};
+use qods_core::study::StudyConfig;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default bound on retained configurations (see
+/// [`ContextPool::with_capacity`]). Generous for real traffic — a
+/// retained entry is one lowered benchmark set plus its outputs — but
+/// finite, so a long-running daemon cannot be grown without bound by
+/// a client streaming never-repeating overrides.
+pub const DEFAULT_CACHE_ENTRIES: usize = 256;
+
+/// One cached configuration: the shared context plus every finished
+/// experiment output computed under it.
+#[derive(Debug)]
+pub struct PoolEntry {
+    hash: u64,
+    ctx: StudyContext,
+    outputs: Mutex<HashMap<String, ExperimentOutput>>,
+}
+
+impl PoolEntry {
+    fn new(hash: u64, config: StudyConfig) -> Self {
+        PoolEntry {
+            hash,
+            ctx: StudyContext::new(config),
+            outputs: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The content hash this entry is addressed by.
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// The shared memoized context for this configuration.
+    pub fn context(&self) -> &StudyContext {
+        &self.ctx
+    }
+
+    /// The cached output of an experiment, if one finished here.
+    pub fn cached_output(&self, experiment_id: &str) -> Option<ExperimentOutput> {
+        self.outputs
+            .lock()
+            .expect("output cache poisoned")
+            .get(experiment_id)
+            .cloned()
+    }
+
+    /// Stores a finished output (last write wins; outputs for a fixed
+    /// configuration are deterministic, so overwrites are identical).
+    pub fn store_output(&self, experiment_id: &str, output: ExperimentOutput) {
+        self.outputs
+            .lock()
+            .expect("output cache poisoned")
+            .insert(experiment_id.to_string(), output);
+    }
+
+    /// How many outputs this entry holds.
+    pub fn cached_outputs(&self) -> usize {
+        self.outputs.lock().expect("output cache poisoned").len()
+    }
+}
+
+/// Cache traffic counters (monotonic since pool creation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Checkouts served by an existing context.
+    pub context_hits: u64,
+    /// Checkouts that had to build a context.
+    pub context_misses: u64,
+    /// Experiment results served from a cached output.
+    pub output_hits: u64,
+    /// Experiment results that had to be computed.
+    pub output_misses: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction over all output lookups (0 when none happened).
+    pub fn output_hit_rate(&self) -> f64 {
+        let total = self.output_hits + self.output_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.output_hits as f64 / total as f64
+        }
+    }
+}
+
+/// The retained entries plus their insertion order (one lock covers
+/// both so eviction and lookup can never disagree).
+#[derive(Debug, Default)]
+struct Retained {
+    map: HashMap<u64, Arc<PoolEntry>>,
+    /// Insertion order, oldest first — the eviction order.
+    order: VecDeque<u64>,
+}
+
+/// The content-addressed pool of study contexts.
+#[derive(Debug)]
+pub struct ContextPool {
+    base: StudyConfig,
+    caching: bool,
+    capacity: usize,
+    entries: Mutex<Retained>,
+    context_hits: AtomicU64,
+    context_misses: AtomicU64,
+    output_hits: AtomicU64,
+    output_misses: AtomicU64,
+}
+
+impl ContextPool {
+    /// A caching pool over the given base configuration.
+    pub fn new(base: StudyConfig) -> Self {
+        ContextPool::with_caching(base, true)
+    }
+
+    /// A pool with caching switched on or off (capacity
+    /// [`DEFAULT_CACHE_ENTRIES`]). With caching off every checkout
+    /// builds a fresh context and nothing is retained — the "cold
+    /// service" baseline the load generator measures against.
+    pub fn with_caching(base: StudyConfig, caching: bool) -> Self {
+        ContextPool::with_capacity(base, caching, DEFAULT_CACHE_ENTRIES)
+    }
+
+    /// A pool retaining at most `capacity` distinct configurations;
+    /// inserting past the bound evicts the oldest-inserted entry
+    /// (jobs still holding the evicted `Arc` finish normally — the
+    /// cache is semantically transparent, eviction only costs a
+    /// recompute on the next request for that configuration).
+    pub fn with_capacity(base: StudyConfig, caching: bool, capacity: usize) -> Self {
+        ContextPool {
+            base,
+            caching,
+            capacity: capacity.max(1),
+            entries: Mutex::new(Retained::default()),
+            context_hits: AtomicU64::new(0),
+            context_misses: AtomicU64::new(0),
+            output_hits: AtomicU64::new(0),
+            output_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The base configuration overrides resolve against.
+    pub fn base(&self) -> &StudyConfig {
+        &self.base
+    }
+
+    /// Whether this pool retains contexts and outputs.
+    pub fn caching(&self) -> bool {
+        self.caching
+    }
+
+    /// Checks out the entry for `overrides` (building it on first
+    /// sight) and reports whether it was a cache hit.
+    pub fn checkout(&self, overrides: &Overrides) -> (Arc<PoolEntry>, bool) {
+        let config = overrides.resolve(&self.base);
+        let hash = crate::request::config_hash(&config);
+        if !self.caching {
+            self.context_misses.fetch_add(1, Ordering::Relaxed);
+            return (Arc::new(PoolEntry::new(hash, config)), false);
+        }
+        let mut retained = self.entries.lock().expect("context pool poisoned");
+        if let Some(entry) = retained.map.get(&hash) {
+            self.context_hits.fetch_add(1, Ordering::Relaxed);
+            return (Arc::clone(entry), true);
+        }
+        self.context_misses.fetch_add(1, Ordering::Relaxed);
+        while retained.map.len() >= self.capacity {
+            let oldest = retained
+                .order
+                .pop_front()
+                .expect("order tracks every retained entry");
+            retained.map.remove(&oldest);
+        }
+        let entry = Arc::new(PoolEntry::new(hash, config));
+        retained.map.insert(hash, Arc::clone(&entry));
+        retained.order.push_back(hash);
+        (entry, false)
+    }
+
+    /// Records the outcome of output lookups (called by the
+    /// scheduler so the counters cover every job path).
+    pub fn record_output_lookups(&self, hits: u64, misses: u64) {
+        self.output_hits.fetch_add(hits, Ordering::Relaxed);
+        self.output_misses.fetch_add(misses, Ordering::Relaxed);
+    }
+
+    /// Cache traffic so far.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            context_hits: self.context_hits.load(Ordering::Relaxed),
+            context_misses: self.context_misses.load(Ordering::Relaxed),
+            output_hits: self.output_hits.load(Ordering::Relaxed),
+            output_misses: self.output_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// How many distinct configurations the pool holds.
+    pub fn len(&self) -> usize {
+        self.entries
+            .lock()
+            .expect("context pool poisoned")
+            .map
+            .len()
+    }
+
+    /// The retention bound (entries past it evict oldest-first).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether the pool holds no contexts yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total benchmark lowerings across every retained context — the
+    /// number the cache exists to minimize. A warm pool serving R
+    /// requests over U distinct configurations reports U, not R
+    /// (asserted by the service tests via `lowering_runs`).
+    pub fn total_lowering_runs(&self) -> usize {
+        self.entries
+            .lock()
+            .expect("context pool poisoned")
+            .map
+            .values()
+            .map(|e| e.context().lowering_runs())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_is_content_addressed() {
+        let pool = ContextPool::new(StudyConfig::smoke());
+        let (a, hit_a) = pool.checkout(&Overrides::default());
+        let (b, hit_b) = pool.checkout(&Overrides::default());
+        assert!(!hit_a && hit_b);
+        assert!(Arc::ptr_eq(&a, &b), "same config must share one entry");
+        // Explicitly writing the base value is the same content.
+        let explicit = Overrides {
+            n_bits: Some(pool.base().n_bits),
+            ..Overrides::default()
+        };
+        let (c, hit_c) = pool.checkout(&explicit);
+        assert!(hit_c && Arc::ptr_eq(&a, &c));
+        // A changed knob is different content.
+        let changed = Overrides {
+            n_bits: Some(pool.base().n_bits + 1),
+            ..Overrides::default()
+        };
+        let (d, hit_d) = pool.checkout(&changed);
+        assert!(!hit_d && !Arc::ptr_eq(&a, &d));
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.stats().context_hits, 2);
+        assert_eq!(pool.stats().context_misses, 2);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_oldest_first() {
+        let pool = ContextPool::with_capacity(StudyConfig::smoke(), true, 2);
+        let ov = |n: usize| Overrides {
+            seed: Some(n as u64),
+            ..Overrides::default()
+        };
+        let (first, _) = pool.checkout(&ov(1));
+        pool.checkout(&ov(2));
+        assert_eq!(pool.len(), 2);
+        // A third distinct config evicts config 1 (oldest).
+        pool.checkout(&ov(3));
+        assert_eq!(pool.len(), 2);
+        let (again, hit) = pool.checkout(&ov(1));
+        assert!(!hit, "evicted entry must be rebuilt");
+        assert!(!Arc::ptr_eq(&first, &again));
+        // The still-held Arc from before eviction stays usable.
+        assert_eq!(first.context().config().seed, 1);
+        // Hits refresh nothing (FIFO, not LRU): 3 then 1 evicted 2.
+        let (_, hit2) = pool.checkout(&ov(2));
+        assert!(!hit2);
+        assert_eq!(pool.capacity(), 2);
+    }
+
+    #[test]
+    fn disabled_caching_always_builds_fresh() {
+        let pool = ContextPool::with_caching(StudyConfig::smoke(), false);
+        let (a, hit_a) = pool.checkout(&Overrides::default());
+        let (b, hit_b) = pool.checkout(&Overrides::default());
+        assert!(!hit_a && !hit_b);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(pool.is_empty(), "cold pool retains nothing");
+    }
+
+    #[test]
+    fn outputs_cache_per_experiment_id() {
+        let pool = ContextPool::new(StudyConfig::smoke());
+        let (entry, _) = pool.checkout(&Overrides::default());
+        assert!(entry.cached_output("table1").is_none());
+        let out = qods_core::registry::Registry::paper()
+            .run_one("table1", entry.context())
+            .expect("table1 runs")
+            .output;
+        entry.store_output("table1", out.clone());
+        assert_eq!(entry.cached_output("table1"), Some(out));
+        assert_eq!(entry.cached_outputs(), 1);
+    }
+}

@@ -1,0 +1,60 @@
+//! # qods-service — the job-service layer
+//!
+//! PRs 1–3 made the engines fast; this crate makes them *servable*.
+//! Instead of "construct a `StudyContext`, run everything once", a
+//! caller submits typed [`request::RunRequest`]s — which experiments,
+//! under which sparse [`request::Overrides`] — to a
+//! [`scheduler::Scheduler`] that:
+//!
+//! * resolves the overrides to a canonical configuration with a
+//!   stable content hash ([`request::config_hash`]);
+//! * checks contexts and finished outputs out of a content-addressed
+//!   [`cache::ContextPool`], so repeated work (same hash) is served
+//!   without re-lowering, re-characterizing, or re-simulating
+//!   anything;
+//! * fans cache misses out over the workspace's one shared worker
+//!   pool ([`pool`] — re-exported `qods_pool`), streaming per-job
+//!   [`scheduler::JobEvent`]s as experiments finish.
+//!
+//! The `qods-serve` binary wraps the scheduler in a newline-delimited
+//! JSON request/response protocol on stdin/stdout (no network
+//! dependencies), and `repro --load` is a load generator that drives
+//! batches of randomized requests through it to measure throughput
+//! and cache-hit rate. See `DESIGN.md` §6 for the architecture.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use qods_service::prelude::*;
+//!
+//! let scheduler = Scheduler::with_options(StudyConfig::smoke(), 2, true);
+//! let request = RunRequest::of(["table9", "fig7"]).with_overrides(Overrides {
+//!     n_bits: Some(8),
+//!     ..Overrides::default()
+//! });
+//! let first = scheduler.run(&request).expect("valid request");
+//! let again = scheduler.run(&request).expect("valid request");
+//! assert_eq!(again.output_hits, 2); // served entirely from cache
+//! assert_eq!(first.records[0].output, again.records[0].output);
+//! ```
+
+pub mod cache;
+pub mod request;
+pub mod scheduler;
+
+/// The workspace's shared worker pool, re-exported so service callers
+/// address one crate: `qods_service::pool` *is* `qods_pool` (the
+/// sweep, Monte-Carlo, and registry pools all run on it).
+pub use qods_pool as pool;
+
+pub use cache::{CacheStats, ContextPool, PoolEntry};
+pub use request::{canonical_config_json, config_hash, hash_hex, Overrides, RunRequest};
+pub use scheduler::{JobEvent, JobResult, Scheduler, ServiceError};
+
+/// One-stop imports for service callers.
+pub mod prelude {
+    pub use crate::cache::{CacheStats, ContextPool, PoolEntry};
+    pub use crate::request::{config_hash, hash_hex, Overrides, RunRequest};
+    pub use crate::scheduler::{JobEvent, JobResult, Scheduler, ServiceError};
+    pub use qods_core::study::{ArchChoice, StudyConfig};
+}

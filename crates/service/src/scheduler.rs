@@ -1,0 +1,390 @@
+//! The job scheduler: runs [`RunRequest`]s over the shared worker
+//! pool, serving repeated work from the content-addressed cache and
+//! streaming per-job progress events.
+
+use crate::cache::{ContextPool, PoolEntry};
+use crate::request::RunRequest;
+use qods_core::experiment::{Experiment, ExperimentRecord};
+use qods_core::registry::{Registry, RegistryError};
+use qods_core::study::StudyConfig;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Why a job was rejected (nothing runs on error).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The experiment selection was invalid (unknown or duplicate id).
+    Registry(RegistryError),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Registry(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<RegistryError> for ServiceError {
+    fn from(e: RegistryError) -> Self {
+        ServiceError::Registry(e)
+    }
+}
+
+/// A streamed progress event for one job. Delivery order within one
+/// job is: one `Started`, then one `ExperimentDone` per requested
+/// experiment (cache hits first, then computed ones as they finish —
+/// interleaved across workers).
+#[derive(Debug, Clone)]
+pub enum JobEvent {
+    /// The job was admitted and its context checked out.
+    Started {
+        /// The request's correlation id.
+        request_id: Option<String>,
+        /// Content hash of the resolved configuration.
+        config_hash: u64,
+        /// How many experiments the job selects.
+        experiments: usize,
+        /// Whether the context came from the cache.
+        context_hit: bool,
+    },
+    /// One experiment of the job finished (from cache or computed).
+    ExperimentDone {
+        /// The request's correlation id.
+        request_id: Option<String>,
+        /// The experiment's primary id.
+        experiment: String,
+        /// True when the result came from the output cache.
+        cache_hit: bool,
+        /// Wall-clock seconds (0 for cache hits).
+        seconds: f64,
+    },
+}
+
+/// The finished job: records in request order plus cache accounting.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The request's correlation id.
+    pub request_id: Option<String>,
+    /// Content hash of the resolved configuration.
+    pub config_hash: u64,
+    /// The fully resolved configuration the job ran under.
+    pub config: StudyConfig,
+    /// Whether the study context came from the cache.
+    pub context_hit: bool,
+    /// Experiments served from the output cache.
+    pub output_hits: usize,
+    /// Experiments actually computed.
+    pub computed: usize,
+    /// One record per requested experiment, in request order.
+    pub records: Vec<ExperimentRecord>,
+    /// Wall-clock seconds for the whole job.
+    pub seconds: f64,
+}
+
+/// Runs jobs on one shared worker pool over a [`ContextPool`].
+///
+/// ## Determinism contract
+///
+/// For a fixed `(request, seed)` the records' outputs are
+/// bit-identical at any pool size and whatever traffic preceded the
+/// job: every experiment is a pure function of the resolved
+/// configuration, the engines underneath are thread-count-invariant
+/// (tested per engine), and the cache only ever returns an output
+/// that was computed from the same content hash.
+pub struct Scheduler {
+    registry: Registry,
+    pool: ContextPool,
+    threads: usize,
+}
+
+impl Scheduler {
+    /// A caching scheduler over `base` sized to the host (or the
+    /// process-wide `qods_pool` thread pin).
+    pub fn new(base: StudyConfig) -> Self {
+        Scheduler::with_options(base, qods_pool::host_threads(), true)
+    }
+
+    /// A scheduler with an explicit worker count and cache switch.
+    /// The worker count is pinned end-to-end: it sizes this
+    /// scheduler's experiment fan-out *and* the configuration's inner
+    /// Monte-Carlo pools.
+    pub fn with_options(mut base: StudyConfig, threads: usize, caching: bool) -> Self {
+        let threads = threads.max(1);
+        base.threads = threads;
+        Scheduler {
+            registry: Registry::paper(),
+            pool: ContextPool::with_caching(base, caching),
+            threads,
+        }
+    }
+
+    /// The experiment registry jobs resolve against.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The content-addressed cache behind this scheduler.
+    pub fn pool(&self) -> &ContextPool {
+        &self.pool
+    }
+
+    /// The pinned worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs one job to completion (no event streaming).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError`] when the experiment selection is invalid;
+    /// nothing runs in that case.
+    pub fn run(&self, request: &RunRequest) -> Result<JobResult, ServiceError> {
+        self.run_with_events(request, &mut |_| {})
+    }
+
+    /// Runs one job, streaming [`JobEvent`]s as experiments finish.
+    /// Events may be emitted from worker threads (serialized through
+    /// a lock), which is what makes the progress *streaming* rather
+    /// than batched at the end.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError`] when the experiment selection is invalid.
+    pub fn run_with_events(
+        &self,
+        request: &RunRequest,
+        emit: &mut (dyn FnMut(JobEvent) + Send),
+    ) -> Result<JobResult, ServiceError> {
+        let all_ids: Vec<&str>;
+        let ids: Vec<&str> = if request.experiments.is_empty() {
+            all_ids = self.registry.iter().map(|e| e.id()).collect();
+            all_ids.clone()
+        } else {
+            request.experiments.iter().map(String::as_str).collect()
+        };
+        let selected = self.registry.resolve(&ids)?;
+
+        let t0 = Instant::now();
+        let (entry, context_hit) = self.pool.checkout(&request.overrides);
+        emit(JobEvent::Started {
+            request_id: request.id.clone(),
+            config_hash: entry.hash(),
+            experiments: selected.len(),
+            context_hit,
+        });
+
+        let mut slots: Vec<Option<ExperimentRecord>> = vec![None; selected.len()];
+        let mut misses: Vec<(usize, &dyn Experiment)> = Vec::new();
+        for (i, exp) in selected.iter().enumerate() {
+            match entry.cached_output(exp.id()) {
+                Some(output) => {
+                    emit(JobEvent::ExperimentDone {
+                        request_id: request.id.clone(),
+                        experiment: exp.id().to_string(),
+                        cache_hit: true,
+                        seconds: 0.0,
+                    });
+                    slots[i] = Some(ExperimentRecord {
+                        id: exp.id().to_string(),
+                        title: exp.title().to_string(),
+                        seconds: 0.0,
+                        output,
+                    });
+                }
+                None => misses.push((i, *exp)),
+            }
+        }
+        let output_hits = selected.len() - misses.len();
+        let computed = self.compute_misses(request, &entry, &misses, emit);
+        for (i, record) in computed {
+            // A cold pool drops the entry when the job ends; don't
+            // pay an output clone for a cache nobody will read.
+            if self.pool.caching() {
+                entry.store_output(&record.id, record.output.clone());
+            }
+            slots[i] = Some(record);
+        }
+        self.pool
+            .record_output_lookups(output_hits as u64, misses.len() as u64);
+
+        Ok(JobResult {
+            request_id: request.id.clone(),
+            config_hash: entry.hash(),
+            config: entry.context().config().clone(),
+            context_hit,
+            output_hits,
+            computed: misses.len(),
+            records: slots
+                .into_iter()
+                .map(|s| s.expect("every selected experiment produced a record"))
+                .collect(),
+            seconds: t0.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Runs the cache-missed experiments of one job through the
+    /// shared worker pool, streaming an event per finished
+    /// experiment.
+    fn compute_misses(
+        &self,
+        request: &RunRequest,
+        entry: &Arc<PoolEntry>,
+        misses: &[(usize, &dyn Experiment)],
+        emit: &mut (dyn FnMut(JobEvent) + Send),
+    ) -> Vec<(usize, ExperimentRecord)> {
+        let request_id = request.id.clone();
+        let emit = Mutex::new(emit);
+        qods_pool::run_indexed(misses.len(), self.threads.min(misses.len().max(1)), |k| {
+            let (i, exp) = misses[k];
+            let t = Instant::now();
+            let output = exp.run(entry.context());
+            let seconds = t.elapsed().as_secs_f64();
+            (emit.lock().expect("event sink poisoned"))(JobEvent::ExperimentDone {
+                request_id: request_id.clone(),
+                experiment: exp.id().to_string(),
+                cache_hit: false,
+                seconds,
+            });
+            (
+                i,
+                ExperimentRecord {
+                    id: exp.id().to_string(),
+                    title: exp.title().to_string(),
+                    seconds,
+                    output,
+                },
+            )
+        })
+    }
+
+    /// Runs a batch of jobs in order, returning each job's outcome.
+    pub fn run_batch(&self, requests: &[RunRequest]) -> Vec<Result<JobResult, ServiceError>> {
+        requests.iter().map(|r| self.run(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Overrides;
+
+    fn smoke_request(ids: &[&str]) -> RunRequest {
+        RunRequest::of(ids.iter().copied()).with_overrides(Overrides {
+            n_bits: Some(8),
+            mc_trials: Some(2_000),
+            noise_scale: Some(10.0),
+            synth_max_t: Some(8),
+            sweep_points: Some(5),
+            profile_samples: Some(32),
+            ..Overrides::default()
+        })
+    }
+
+    #[test]
+    fn repeated_request_is_served_from_cache_with_zero_relowering() {
+        let sched = Scheduler::with_options(StudyConfig::smoke(), 2, true);
+        let req = smoke_request(&["table2", "table3", "fig7"]);
+        let first = sched.run(&req).expect("first run");
+        assert!(!first.context_hit);
+        assert_eq!((first.output_hits, first.computed), (0, 3));
+        assert_eq!(sched.pool().total_lowering_runs(), 1);
+
+        let second = sched.run(&req).expect("second run");
+        assert!(second.context_hit);
+        assert_eq!((second.output_hits, second.computed), (3, 0));
+        // The whole point: the repeat re-lowered nothing.
+        assert_eq!(sched.pool().total_lowering_runs(), 1);
+        for (a, b) in first.records.iter().zip(&second.records) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.output, b.output);
+        }
+    }
+
+    #[test]
+    fn requests_differing_only_in_experiments_share_the_context() {
+        let sched = Scheduler::with_options(StudyConfig::smoke(), 2, true);
+        sched
+            .run(&smoke_request(&["table2", "sec33"]))
+            .expect("first");
+        let second = sched
+            .run(&smoke_request(&["table3", "table9"]))
+            .expect("second");
+        assert!(second.context_hit, "same overrides must share the context");
+        assert_eq!(sched.pool().total_lowering_runs(), 1);
+        assert_eq!(sched.pool().len(), 1);
+    }
+
+    #[test]
+    fn empty_selection_runs_the_full_registry() {
+        let sched = Scheduler::with_options(StudyConfig::smoke(), 4, true);
+        let req = RunRequest::default();
+        let result = sched.run(&req).expect("full run");
+        assert_eq!(result.records.len(), Registry::paper().len());
+        assert_eq!(result.computed, result.records.len());
+    }
+
+    #[test]
+    fn invalid_selections_are_typed_errors_and_run_nothing() {
+        let sched = Scheduler::with_options(StudyConfig::smoke(), 2, true);
+        let err = sched
+            .run(&RunRequest::of(["table9", "nope"]))
+            .expect_err("unknown id");
+        assert_eq!(
+            err,
+            ServiceError::Registry(RegistryError::Unknown {
+                id: "nope".to_string()
+            })
+        );
+        let err = sched
+            .run(&RunRequest::of(["table5", "table6"]))
+            .expect_err("alias duplicate");
+        assert!(matches!(
+            err,
+            ServiceError::Registry(RegistryError::Duplicate { .. })
+        ));
+        assert_eq!(sched.pool().total_lowering_runs(), 0);
+        assert!(sched.pool().is_empty());
+    }
+
+    #[test]
+    fn events_stream_one_start_and_one_done_per_experiment() {
+        let sched = Scheduler::with_options(StudyConfig::smoke(), 2, true);
+        let req = smoke_request(&["table2", "table3"]);
+        let mut events = Vec::new();
+        sched
+            .run_with_events(&req, &mut |e| events.push(e))
+            .expect("run");
+        let starts = events
+            .iter()
+            .filter(|e| matches!(e, JobEvent::Started { .. }))
+            .count();
+        let done: Vec<bool> = events
+            .iter()
+            .filter_map(|e| match e {
+                JobEvent::ExperimentDone { cache_hit, .. } => Some(*cache_hit),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(starts, 1);
+        assert_eq!(done.len(), 2);
+        assert!(done.iter().all(|hit| !hit), "cold run computes everything");
+
+        // The repeat streams the same shape, all hits.
+        let mut events = Vec::new();
+        sched
+            .run_with_events(&req, &mut |e| events.push(e))
+            .expect("repeat");
+        let done: Vec<bool> = events
+            .iter()
+            .filter_map(|e| match e {
+                JobEvent::ExperimentDone { cache_hit, .. } => Some(*cache_hit),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(done, vec![true, true]);
+    }
+}

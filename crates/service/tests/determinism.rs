@@ -1,0 +1,63 @@
+//! The service determinism contract: for a fixed `(request, seed)`
+//! the served outputs are bit-identical at any pool size and
+//! independent of cache state — the property that makes the
+//! content-addressed cache *safe* (a cached answer is the answer any
+//! pool would have computed).
+
+use qods_core::study::StudyConfig;
+use qods_service::{Overrides, RunRequest, Scheduler};
+
+fn heavy_smoke_request() -> RunRequest {
+    // Covers each engine the pool drives: Monte-Carlo (fig4), the
+    // discrete-event sweep (fig15), and context-derived tables.
+    RunRequest::of(["fig4", "fig15", "table2", "fig7"]).with_overrides(Overrides {
+        n_bits: Some(8),
+        mc_trials: Some(2_000),
+        noise_scale: Some(10.0),
+        seed: Some(20080621),
+        synth_max_t: Some(8),
+        sweep_points: Some(5),
+        profile_samples: Some(32),
+        ..Overrides::default()
+    })
+}
+
+#[test]
+fn outputs_are_bit_identical_at_any_pool_size() {
+    let req = heavy_smoke_request();
+    let baseline = Scheduler::with_options(StudyConfig::smoke(), 1, true)
+        .run(&req)
+        .expect("sequential run");
+    for threads in [2, 3, 8] {
+        let sched = Scheduler::with_options(StudyConfig::smoke(), threads, true);
+        let result = sched.run(&req).expect("parallel run");
+        assert_eq!(result.config_hash, baseline.config_hash);
+        for (a, b) in baseline.records.iter().zip(&result.records) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.output, b.output, "{} differs at {threads} threads", a.id);
+        }
+    }
+}
+
+#[test]
+fn cache_state_never_changes_answers() {
+    let req = heavy_smoke_request();
+    // A fresh cold scheduler per run vs one warm scheduler serving
+    // twice: all three answers must agree exactly.
+    let cold_a = Scheduler::with_options(StudyConfig::smoke(), 2, false)
+        .run(&req)
+        .expect("cold run");
+    let warm = Scheduler::with_options(StudyConfig::smoke(), 2, true);
+    let warm_first = warm.run(&req).expect("warm fill");
+    let warm_hit = warm.run(&req).expect("warm hit");
+    assert_eq!(warm_hit.output_hits, 4);
+    for ((a, b), c) in cold_a
+        .records
+        .iter()
+        .zip(&warm_first.records)
+        .zip(&warm_hit.records)
+    {
+        assert_eq!(a.output, b.output, "{}", a.id);
+        assert_eq!(b.output, c.output, "{}", b.id);
+    }
+}

@@ -21,3 +21,18 @@
 //! ```
 
 pub use qods_core::*;
+
+/// The job-service layer: typed [`service::RunRequest`]s, the
+/// content-addressed [`service::ContextPool`], the
+/// [`service::Scheduler`], and (as `qods-serve`) the NDJSON daemon.
+///
+/// ```
+/// use speed_of_data::service::{Overrides, RunRequest, Scheduler};
+/// use speed_of_data::StudyConfig;
+///
+/// let scheduler = Scheduler::with_options(StudyConfig::smoke(), 2, true);
+/// let request = RunRequest::of(["table5"]).with_overrides(Overrides::default());
+/// let result = scheduler.run(&request).expect("valid request");
+/// assert_eq!(result.records.len(), 1);
+/// ```
+pub use qods_service as service;
