@@ -1,0 +1,46 @@
+//! The staged compile pipeline: cold in-memory compile vs warm-store
+//! fetch, plus the disk round-trip of one large artifact.
+use criterion::{criterion_group, criterion_main, Criterion};
+use qods_core::compile::{ArtifactStore, Compiler, SynthBudget};
+use qods_core::kernels::{KernelFamily, KernelSpec};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let budget = SynthBudget {
+        max_t: 8,
+        target_distance: 1e-2,
+    };
+    let spec = KernelSpec::new(KernelFamily::Qcla, 16).expect("valid");
+
+    c.bench_function("compile_cold_qcla16", |b| {
+        b.iter(|| {
+            let compiler = Compiler::new(Arc::new(ArtifactStore::in_memory()), budget);
+            black_box(compiler.compile(black_box(spec)).expect("compiles"))
+        })
+    });
+
+    let warm = Compiler::new(Arc::new(ArtifactStore::in_memory()), budget);
+    warm.compile(spec).expect("compiles");
+    c.bench_function("compile_warm_mem_qcla16", |b| {
+        b.iter(|| black_box(warm.compile(black_box(spec)).expect("cached")))
+    });
+
+    let dir = std::env::temp_dir().join(format!("qods_bench_compile_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    Compiler::new(Arc::new(ArtifactStore::persistent(&dir)), budget)
+        .compile(spec)
+        .expect("compiles");
+    c.bench_function("compile_warm_disk_qcla16", |b| {
+        b.iter(|| {
+            // Fresh in-process store every iteration: measures the
+            // disk deserialization path a cold process pays.
+            let compiler = Compiler::new(Arc::new(ArtifactStore::persistent(&dir)), budget);
+            black_box(compiler.compile(black_box(spec)).expect("cached"))
+        })
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -31,15 +31,23 @@ use std::path::Path;
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
-    "usage: repro [--list] [--json] [--sequential] [--threads N] [quick] [EXPERIMENT_ID ...]\n\
+    "usage: repro [--list] [--list-kernels] [--json] [--sequential] [--threads N]\n\
+     \t     [--kernel FAMILY:WIDTH] [quick] [EXPERIMENT_ID ...]\n\
      \n\
      With no ids: runs every experiment (in parallel unless --sequential),\n\
      prints the paper-layout report, and writes results/repro.json + CSVs.\n\
      With ids: runs exactly those experiments and prints each one\n\
      (duplicate ids are rejected).\n\
      `repro --list` shows every addressable id.\n\
+     `repro --list-kernels` shows every kernel family and width bound.\n\
+     `repro --kernel qcla:48` compiles one kernel through the staged\n\
+     pipeline (repeatable; unknown families and invalid widths are\n\
+     clean errors) and prints its characterization.\n\
      `--threads N` pins every worker pool (registry fan-out, Fig 15\n\
      sweeps, Monte-Carlo) to N threads end-to-end.\n\
+     Compiled kernel artifacts persist under results/.artifacts/\n\
+     (override with QODS_ARTIFACT_DIR; empty value = in-memory only),\n\
+     so a second repro run in the same workspace skips lowering.\n\
      \n\
      Service load generator:\n\
      `repro --load N [--repeat F] [--load-gate R]` fires N randomized\n\
@@ -48,22 +56,27 @@ fn usage() -> &'static str {
      with --load-gate R it exits nonzero unless warm/cold >= R.\n\
      \n\
      Perf smoke:\n\
-     `repro --bench-json [montecarlo] [sweep]` times the Fig 4\n\
-     Monte-Carlo panel and/or the Fig 15 architecture sweep (both when\n\
-     no workload is named) and writes BENCH_montecarlo.json /\n\
-     BENCH_sweep.json (with `quick`: smaller workloads, written under\n\
-     results/ so the committed baselines are not clobbered).\n\
-     `repro --bench-check PATH` runs the quick Monte-Carlo smoke and\n\
-     `repro --bench-check-sweep PATH` the quick sweep smoke; each\n\
+     `repro --bench-json [montecarlo] [sweep] [compile]` times the\n\
+     Fig 4 Monte-Carlo panel, the Fig 15 architecture sweep, and/or\n\
+     the cold-vs-warm-disk kernel compile (all three when no workload\n\
+     is named) and writes BENCH_montecarlo.json / BENCH_sweep.json /\n\
+     BENCH_compile.json (with `quick`: smaller workloads, written\n\
+     under results/ so the committed baselines are not clobbered).\n\
+     `repro --bench-check PATH` runs the quick Monte-Carlo smoke,\n\
+     `repro --bench-check-sweep PATH` the quick sweep smoke, and\n\
+     `repro --bench-check-compile PATH` the quick compile smoke; each\n\
      writes its results/ JSON and exits nonzero when machine-normalized\n\
-     throughput regressed more than 2x against the baseline at PATH.\n\
-     The two checks combine in one invocation."
+     throughput regressed more than 2x against the baseline at PATH\n\
+     (the compile check additionally requires zero warm-disk recompiles\n\
+     and a >= 1.2x disk speedup). The checks combine in one invocation."
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut list = false;
+    let mut list_kernels = false;
+    let mut kernels: Vec<String> = Vec::new();
     let mut json = false;
     let mut sequential = false;
     let mut threads: Option<usize> = None;
@@ -73,12 +86,21 @@ fn main() -> ExitCode {
     let mut bench_json = false;
     let mut bench_check: Option<String> = None;
     let mut bench_check_sweep: Option<String> = None;
+    let mut bench_check_compile: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "quick" | "--quick" => quick = true,
             "--list" => list = true,
+            "--list-kernels" => list_kernels = true,
+            "--kernel" => match it.next() {
+                Some(spec) => kernels.push(spec),
+                None => {
+                    eprintln!("--kernel needs a FAMILY:WIDTH spec\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
             "--json" => json = true,
             "--sequential" => sequential = true,
             "--threads" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
@@ -124,6 +146,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--bench-check-compile" => match it.next() {
+                Some(path) => bench_check_compile = Some(path),
+                None => {
+                    eprintln!("--bench-check-compile needs a baseline path\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 println!("{}", usage());
                 return ExitCode::SUCCESS;
@@ -146,11 +175,30 @@ fn main() -> ExitCode {
         qods_service::pool::set_thread_override(Some(1));
     }
 
+    // Attach the persistent artifact tier before any compilation: a
+    // second repro run in the same workspace serves every kernel
+    // stage from results/.artifacts/ instead of re-lowering
+    // (QODS_ARTIFACT_DIR overrides the location; empty disables).
+    let store = qods_core::compile::ArtifactStore::init_process(Path::new(
+        qods_core::compile::DEFAULT_ARTIFACT_DIR,
+    ));
+
+    if list_kernels {
+        return run_list_kernels();
+    }
+    if !kernels.is_empty() {
+        return run_compile_kernels(&kernels, quick);
+    }
+
     if let Some(requests) = load {
         return run_load_generator(requests, repeat, load_gate);
     }
 
-    if bench_json || bench_check.is_some() || bench_check_sweep.is_some() {
+    if bench_json
+        || bench_check.is_some()
+        || bench_check_sweep.is_some()
+        || bench_check_compile.is_some()
+    {
         // Workload selection: positional ids name smoke workloads in
         // bench mode; `--bench-json` with no ids means both. A
         // workload requested through `--bench-json` runs at the size
@@ -160,11 +208,13 @@ fn main() -> ExitCode {
         // an explicit baseline regeneration.
         let mut json_mc = false;
         let mut json_sweep = false;
+        let mut json_compile = false;
         if bench_json {
             for id in &ids {
                 match id.as_str() {
                     "montecarlo" | "mc" | "fig4" => json_mc = true,
                     "sweep" | "fig15" => json_sweep = true,
+                    "compile" => json_compile = true,
                     other => {
                         eprintln!("unknown bench workload `{other}`\n{}", usage());
                         return ExitCode::FAILURE;
@@ -174,10 +224,12 @@ fn main() -> ExitCode {
             if ids.is_empty() {
                 json_mc = true;
                 json_sweep = true;
+                json_compile = true;
             }
         }
         let run_mc = json_mc || bench_check.is_some();
         let run_sweep = json_sweep || bench_check_sweep.is_some();
+        let run_compile = json_compile || bench_check_compile.is_some();
         let mut code = ExitCode::SUCCESS;
         if run_mc && run_bench_smoke(quick || !json_mc, bench_check.as_deref()) == ExitCode::FAILURE
         {
@@ -185,6 +237,12 @@ fn main() -> ExitCode {
         }
         if run_sweep
             && run_sweep_smoke(quick || !json_sweep, bench_check_sweep.as_deref())
+                == ExitCode::FAILURE
+        {
+            code = ExitCode::FAILURE;
+        }
+        if run_compile
+            && run_compile_smoke(quick || !json_compile, bench_check_compile.as_deref())
                 == ExitCode::FAILURE
         {
             code = ExitCode::FAILURE;
@@ -250,6 +308,11 @@ fn main() -> ExitCode {
             std::time::Duration::from_secs_f64(result.seconds),
             std::time::Duration::from_secs_f64(cpu),
         );
+        let st = store.stats();
+        eprintln!(
+            "compile stages: {} computed, {} mem hits, {} disk hits, {} corrupt",
+            st.computed, st.mem_hits, st.disk_hits, st.corrupt_reads
+        );
         return ExitCode::SUCCESS;
     }
 
@@ -274,6 +337,89 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// `repro --list-kernels`: every kernel family the pipeline compiles.
+fn run_list_kernels() -> ExitCode {
+    use qods_core::kernels::{KernelFamily, MAX_WIDTH};
+    println!(
+        "{:<10} {:>12} {:>6} widths   description",
+        "family", "qubits(n=32)", "synth"
+    );
+    for family in KernelFamily::ALL {
+        println!(
+            "{:<10} {:>12} {:>6} 1..={:<4} {}",
+            family.name(),
+            family.n_qubits(32),
+            if family.uses_synthesis() { "yes" } else { "no" },
+            MAX_WIDTH,
+            family.title(),
+        );
+    }
+    println!("\ncompile one with `repro --kernel FAMILY:WIDTH` (e.g. --kernel qcla:48)");
+    ExitCode::SUCCESS
+}
+
+/// `repro --kernel FAMILY:WIDTH ...`: compiles each spec through the
+/// staged pipeline (and the persistent artifact store) and prints its
+/// characterization. Bad specs are typed errors, never panics.
+fn run_compile_kernels(specs: &[String], quick: bool) -> ExitCode {
+    use qods_core::compile::{ArtifactStore, Compiler, SynthBudget};
+    use qods_core::kernels::KernelSpec;
+
+    let mut parsed = Vec::with_capacity(specs.len());
+    for raw in specs {
+        match KernelSpec::parse(raw) {
+            Ok(spec) => parsed.push(spec),
+            Err(e) => {
+                eprintln!("{e}\n(see `repro --list-kernels`)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let config = if quick {
+        StudyConfig::smoke()
+    } else {
+        StudyConfig::default()
+    };
+    let compiler = Compiler::new(
+        ArtifactStore::process(),
+        SynthBudget {
+            max_t: config.synth_max_t,
+            target_distance: config.synth_target,
+        },
+    );
+    let compiled = compiler
+        .compile_many(&parsed, qods_service::pool::pool_threads(parsed.len()))
+        .expect("specs validated above");
+    for k in &compiled {
+        let r = &k.characterization.report;
+        println!(
+            "{:<12} {:>4} qubits {:>7} gates  depth {:>6}  T-frac {:.3}  \
+             {:.3e} us @ speed of data  zeros {:.1}/ms  pi/8 {:.1}/ms",
+            k.spec.to_string(),
+            r.n_qubits,
+            r.gate_count,
+            k.scheduled.depth,
+            r.non_transversal_fraction,
+            k.characterization.makespan_us,
+            r.bandwidth.zero_per_ms,
+            r.bandwidth.pi8_per_ms,
+        );
+    }
+    let st = compiler.store().stats();
+    eprintln!(
+        "compile stages: {} computed, {} mem hits, {} disk hits ({})",
+        st.computed,
+        st.mem_hits,
+        st.disk_hits,
+        compiler
+            .store()
+            .dir()
+            .map(|d| d.display().to_string())
+            .unwrap_or_else(|| "in-memory".to_string()),
+    );
+    ExitCode::SUCCESS
 }
 
 /// The service load generator (`repro --load N`): fires a batch of
@@ -493,6 +639,56 @@ fn run_sweep_smoke(quick: bool, baseline_path: Option<&str>) -> ExitCode {
         }
         Err(verdict) => {
             eprintln!("sweep perf gate FAILED: {verdict}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Runs the kernel-compile perf smoke (`--bench-json compile` /
+/// `--bench-check-compile`): cold-disk vs warm-disk full lowering,
+/// gated on zero warm recomputes and the disk speedup.
+fn run_compile_smoke(quick: bool, baseline_path: Option<&str>) -> ExitCode {
+    let width = if quick {
+        perf::QUICK_COMPILE_WIDTH
+    } else {
+        perf::COMPILE_WIDTH
+    };
+    let report = perf::compile_smoke(width, perf::COMPILE_REPS);
+    print!("{}", perf::render_compile_report(&report));
+    let out = if quick {
+        Path::new("results/BENCH_compile.json")
+    } else {
+        Path::new("BENCH_compile.json")
+    };
+    if let Err(e) = write_json(out, &report) {
+        eprintln!("failed to write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {}", out.display());
+    let Some(path) = baseline_path else {
+        return ExitCode::SUCCESS;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read baseline {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline: perf::CompileBenchReport = match serde_json::from_str(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot parse baseline {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match perf::check_compile_against(&report, &baseline, 2.0, 1.2) {
+        Ok(verdict) => {
+            println!("compile perf gate OK: {verdict}");
+            ExitCode::SUCCESS
+        }
+        Err(verdict) => {
+            eprintln!("compile perf gate FAILED: {verdict}");
             ExitCode::FAILURE
         }
     }

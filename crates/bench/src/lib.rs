@@ -12,13 +12,15 @@
 //!   measure how long each regeneration takes and print the headline
 //!   reproduced numbers once per run.
 //!
-//! The `repro --bench-json` / `--bench-check` perf smoke (module
-//! [`perf`]) times the Fig 4 Monte-Carlo panel and maintains the
-//! committed `BENCH_montecarlo.json` baseline that CI gates on.
+//! The `repro --bench-json` / `--bench-check*` perf smokes (module
+//! [`perf`]) time the Fig 4 Monte-Carlo panel, the Fig 15
+//! architecture sweep, and the cold-vs-warm-disk kernel compile, and
+//! maintain the committed `BENCH_montecarlo.json` / `BENCH_sweep.json`
+//! / `BENCH_compile.json` baselines that CI gates on.
 //!
 //! Experiment ids match the table in [`qods_core`]'s crate docs:
 //! `table1`..`table9`, `sec33`, `fig4`, `fig6`, `fig7`, `fig8`,
-//! `fig11`, `fig15`, plus aliases like `headline`.
+//! `fig11`, `fig15`, `widthsweep`, plus aliases like `headline`.
 
 pub mod perf;
 
@@ -72,7 +74,7 @@ pub fn write_json<T: Serialize>(path: &Path, out: &T) -> std::io::Result<()> {
 pub fn write_record_csvs(dir: &Path, records: &[ExperimentRecord]) -> std::io::Result<()> {
     for r in records {
         for (figure, series) in r.output.csv_series(&r.id) {
-            write_series_csv(dir, &figure, series)?;
+            write_series_csv(dir, &figure, &series)?;
         }
     }
     Ok(())

@@ -535,3 +535,196 @@ mod tests {
         }
     }
 }
+
+/// Timing repetitions for the compile smoke (best kept).
+pub const COMPILE_REPS: u32 = 5;
+/// Operand width of the full (committed-baseline) compile smoke.
+pub const COMPILE_WIDTH: usize = 32;
+/// Operand width of the quick (CI) compile smoke.
+pub const QUICK_COMPILE_WIDTH: usize = 8;
+
+/// One kernel of the timed compile workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CompileBenchEntry {
+    /// The spec (`family:width`).
+    pub spec: String,
+    /// Lowered physical gate count (sanity anchor).
+    pub gates: usize,
+}
+
+/// The full report written to `BENCH_compile.json`: cold-disk vs
+/// warm-disk full lowering of every kernel family.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CompileBenchReport {
+    /// Format tag.
+    pub schema: String,
+    /// Operand width every family was compiled at.
+    pub width: usize,
+    /// Timing repetitions (best kept).
+    pub reps: u32,
+    /// The compiled kernel set.
+    pub panel: Vec<CompileBenchEntry>,
+    /// Best wall time of the full set with an *empty* disk store
+    /// (every stage computed), milliseconds, threads = 1.
+    pub cold_ms: f64,
+    /// Best wall time of the full set through a fresh in-process
+    /// store over the *warm* disk store (every stage deserialized),
+    /// milliseconds, threads = 1.
+    pub warm_ms: f64,
+    /// Stages recomputed during the warm runs — the cache contract:
+    /// must be 0, and the gate hard-fails otherwise.
+    pub warm_computed: u64,
+    /// `cold_ms / warm_ms` — what the persistent artifact store buys
+    /// a cold process.
+    pub disk_speedup: f64,
+    /// Cold-path compile throughput (lowered gates per second) at the
+    /// best cold time. Gate throughput — unlike kernels per second —
+    /// is roughly width-invariant, so the quick smoke stays
+    /// comparable against the full-width committed baseline.
+    pub gates_per_sec: f64,
+    /// Host-speed yardstick shared with the other smokes; the CI gate
+    /// compares `gates_per_sec * calibration_ns_per_op`.
+    pub calibration_ns_per_op: f64,
+}
+
+/// Runs the timed compile smoke: every kernel family at `width`,
+/// cold-disk vs warm-disk, single-threaded, best of `reps`.
+///
+/// # Panics
+///
+/// Panics when a warm run recomputes anything or disagrees with the
+/// cold compilation — either would mean the artifact store is broken,
+/// which no perf number should paper over.
+pub fn compile_smoke(width: usize, reps: u32) -> CompileBenchReport {
+    use qods_core::compile::{ArtifactStore, Compiler, SynthBudget};
+    use qods_core::kernels::{KernelFamily, KernelSpec};
+    use std::sync::Arc;
+
+    let specs: Vec<KernelSpec> = KernelFamily::ALL
+        .iter()
+        .map(|&family| KernelSpec::new(family, width).expect("smoke widths are valid"))
+        .collect();
+    let budget = SynthBudget {
+        max_t: if width >= COMPILE_WIDTH { 12 } else { 8 },
+        target_distance: 1e-2,
+    };
+    let dir = std::env::temp_dir().join(format!("qods_compile_smoke_{}", std::process::id()));
+
+    // Cold: empty disk store every rep — the full lowering chain runs.
+    let mut cold_best = f64::INFINITY;
+    let mut cold_panel: Option<Vec<qods_core::compile::CompiledKernel>> = None;
+    for _ in 0..reps.max(1) {
+        let _ = std::fs::remove_dir_all(&dir);
+        let compiler = Compiler::new(Arc::new(ArtifactStore::persistent(&dir)), budget);
+        let t0 = Instant::now();
+        let compiled = compiler.compile_many(&specs, 1).expect("valid specs");
+        cold_best = cold_best.min(t0.elapsed().as_secs_f64());
+        assert_eq!(
+            compiler.store().stats().disk_hits,
+            0,
+            "cold runs must start from an empty disk store"
+        );
+        cold_panel = Some(compiled);
+    }
+    let cold_panel = cold_panel.expect("at least one cold rep ran");
+
+    // Warm: fresh in-process store over the disk the last cold rep
+    // left behind — everything must deserialize, nothing recompute.
+    let mut warm_best = f64::INFINITY;
+    let mut warm_computed = 0u64;
+    for _ in 0..reps.max(1) {
+        let compiler = Compiler::new(Arc::new(ArtifactStore::persistent(&dir)), budget);
+        let t0 = Instant::now();
+        let compiled = compiler.compile_many(&specs, 1).expect("valid specs");
+        warm_best = warm_best.min(t0.elapsed().as_secs_f64());
+        let stats = compiler.store().stats();
+        warm_computed += stats.computed;
+        assert_eq!(stats.computed, 0, "warm-disk run recompiled a stage");
+        for (cold, warm) in cold_panel.iter().zip(&compiled) {
+            assert_eq!(
+                *cold.characterization, *warm.characterization,
+                "disk-cached artifact disagrees with the fresh compilation"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let total_gates: usize = cold_panel.iter().map(|k| k.scheduled.circuit.len()).sum();
+    CompileBenchReport {
+        schema: "qods-bench-compile/v1".to_string(),
+        width,
+        reps,
+        panel: cold_panel
+            .iter()
+            .map(|k| CompileBenchEntry {
+                spec: k.spec.to_string(),
+                gates: k.scheduled.circuit.len(),
+            })
+            .collect(),
+        cold_ms: cold_best * 1e3,
+        warm_ms: warm_best * 1e3,
+        warm_computed,
+        disk_speedup: cold_best / warm_best,
+        gates_per_sec: total_gates as f64 / cold_best,
+        calibration_ns_per_op: calibration_ns_per_op(reps),
+    }
+}
+
+/// Renders the compile report as the human-readable side of the smoke.
+pub fn render_compile_report(r: &CompileBenchReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Compile perf smoke ({} families at width {}, best of {}, 1 thread):",
+        r.panel.len(),
+        r.width,
+        r.reps
+    );
+    for e in &r.panel {
+        let _ = writeln!(out, "  {:<12} {:>7} gates", e.spec, e.gates);
+    }
+    let _ = writeln!(
+        out,
+        "  cold-disk {:.1} ms, warm-disk {:.1} ms: {:.1}x from the artifact store \
+         ({} stages recomputed warm)",
+        r.cold_ms, r.warm_ms, r.disk_speedup, r.warm_computed
+    );
+    out
+}
+
+/// Compares a fresh compile smoke against a checked-in baseline:
+/// fails when machine-normalized cold-compile throughput regressed
+/// more than `max_regression`, when the warm run recomputed anything,
+/// or when the disk speedup fell below `min_disk_speedup` (CI uses
+/// 2.0 / 1.2).
+pub fn check_compile_against(
+    current: &CompileBenchReport,
+    baseline: &CompileBenchReport,
+    max_regression: f64,
+    min_disk_speedup: f64,
+) -> Result<String, String> {
+    let normalize = |r: &CompileBenchReport| r.gates_per_sec * r.calibration_ns_per_op;
+    let ratio = normalize(baseline) / normalize(current);
+    let verdict = format!(
+        "cold compile: current {:.0} gates/s x {:.2} ns calib vs baseline {:.0} x {:.2} \
+         (normalized slowdown {ratio:.2}, limit {max_regression:.2}); \
+         disk speedup {:.2}x (floor {min_disk_speedup:.2}x), {} warm recomputes",
+        current.gates_per_sec,
+        current.calibration_ns_per_op,
+        baseline.gates_per_sec,
+        baseline.calibration_ns_per_op,
+        current.disk_speedup,
+        current.warm_computed,
+    );
+    if current.warm_computed > 0 {
+        return Err(format!("{verdict} -- warm-disk run recompiled stages"));
+    }
+    if current.disk_speedup < min_disk_speedup {
+        return Err(format!("{verdict} -- disk cache buys too little"));
+    }
+    if ratio > max_regression {
+        return Err(verdict);
+    }
+    Ok(verdict)
+}

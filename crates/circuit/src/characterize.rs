@@ -16,9 +16,10 @@ use crate::circuit::Circuit;
 use crate::dag::Dag;
 use crate::latency_model::CharacterizationModel;
 use crate::schedule::Schedule;
+use serde::{Deserialize, Serialize};
 
 /// Table 2 row: the latency split of a no-overlap execution.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LatencyBreakdown {
     /// Column 2: useful data-operation latency on the critical path.
     pub data_op_us: f64,
@@ -58,7 +59,7 @@ impl LatencyBreakdown {
 }
 
 /// Table 3 row: average ancilla bandwidths at the speed of data.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct BandwidthReport {
     /// Average encoded zeros per millisecond needed for QEC.
     pub zero_per_ms: f64,
@@ -73,7 +74,7 @@ pub struct BandwidthReport {
 }
 
 /// Full characterization of one benchmark circuit.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CircuitReport {
     /// Circuit name.
     pub name: String,

@@ -1,0 +1,78 @@
+//! Stable content hashing: FNV-1a (64-bit) over canonical JSON.
+//!
+//! This is the one hashing primitive every content-addressed cache in
+//! the workspace uses — the artifact store here and the
+//! `qods-service` request cache (whose `config_hash` delegates to
+//! [`fnv1a`]). Canonical form means *fixed field order, every
+//! semantic field present*: callers build a [`serde::Value`] with the
+//! fields in declaration order and hash [`canonical_json`] of it.
+//! FNV-1a is stable across runs, platforms, and compiler versions, so
+//! the hashes are safe to persist in file names and compare across
+//! processes.
+
+use serde::{Serialize, Value};
+
+/// FNV-1a, 64-bit.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The canonical JSON encoding of a value tree (the shim serializer
+/// is deterministic and preserves object field order, so a value
+/// built in fixed field order *is* canonical).
+pub fn canonical_json(v: &Value) -> String {
+    serde_json::to_string(v).expect("canonical encoding is always finite")
+}
+
+/// Hashes any serializable value through its canonical JSON.
+pub fn hash_value<T: Serialize>(value: &T) -> u64 {
+    fnv1a(canonical_json(&value.to_value()).as_bytes())
+}
+
+/// Formats a content hash the way file names, responses, and logs
+/// print it: 16 lowercase hex digits.
+pub fn hash_hex(hash: u64) -> String {
+    format!("{hash:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_known_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn hash_hex_is_sixteen_digits() {
+        let h = hash_hex(fnv1a(b"speed of data"));
+        assert_eq!(h.len(), 16);
+        assert!(h.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn hash_value_is_field_order_sensitive_by_design() {
+        // Canonical form is the *caller's* fixed field order; two
+        // different orders are two different encodings. Key builders
+        // therefore always construct fields in declaration order.
+        let a = Value::Object(vec![
+            ("x".to_string(), Value::Int(1)),
+            ("y".to_string(), Value::Int(2)),
+        ]);
+        let b = Value::Object(vec![
+            ("y".to_string(), Value::Int(2)),
+            ("x".to_string(), Value::Int(1)),
+        ]);
+        assert_ne!(hash_value(&a), hash_value(&b));
+        assert_eq!(hash_value(&a), hash_value(&a.clone()));
+    }
+}

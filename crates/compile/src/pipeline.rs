@@ -1,0 +1,400 @@
+//! The staged pipeline: `KernelSpec -> Ir -> ScheduledCircuit ->
+//! Characterization`, every stage a pure, content-hashed transform
+//! memoized in the [`ArtifactStore`].
+//!
+//! ## Stages and key derivation
+//!
+//! | stage | artifact | key inputs |
+//! |---|---|---|
+//! | `ir` | kernel-level [`Circuit`] | schema, family, width |
+//! | `sched` | [`ScheduledCircuit`] (lowered + scheduled) | schema, family, width, synthesis budget (rotation families only) |
+//! | `char` | [`Characterization`] | schema, upstream `sched` hash, latency model id |
+//!
+//! Keys chain by content: the `char` key embeds the `sched` hash,
+//! which embeds everything lowering depends on, so a change anywhere
+//! upstream re-addresses everything downstream and nothing is ever
+//! served stale. Adder families deliberately *exclude* the synthesis
+//! budget from their keys — their lowering never synthesizes, so two
+//! budgets share one artifact.
+//!
+//! ## Fan-out
+//!
+//! [`Compiler::compile_many`] runs whole per-item chains on the
+//! shared `qods-pool` — item A can be characterizing while item B is
+//! still lowering (no barrier between stages), results are assembled
+//! by index, and every stage is a pure function of its key, so output
+//! is bit-identical at any thread count and any cache state.
+
+use crate::hash::{hash_hex, hash_value};
+use crate::store::{ArtifactKey, ArtifactStore, ARTIFACT_SCHEMA};
+use qods_circuit::characterize::{characterize_with, CircuitReport};
+use qods_circuit::circuit::{Circuit, NoSynth};
+use qods_circuit::dag::Dag;
+use qods_circuit::latency_model::CharacterizationModel;
+use qods_circuit::schedule::Schedule;
+use qods_kernels::{KernelError, KernelSpec, SynthAdapter};
+use serde::{Deserialize, Serialize, Value};
+use std::sync::Arc;
+
+/// The rotation-synthesis budget lowering runs under (mirrors the
+/// study's `synth_max_t` / `synth_target` knobs).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SynthBudget {
+    /// Maximum T-count for pi/2^k sequences.
+    pub max_t: u32,
+    /// Early-stop approximation distance.
+    pub target_distance: f64,
+}
+
+impl Default for SynthBudget {
+    fn default() -> Self {
+        // The paper configuration's budget.
+        SynthBudget {
+            max_t: 12,
+            target_distance: 1e-2,
+        }
+    }
+}
+
+/// Stage-2 artifact: the physical Clifford+T circuit with its
+/// speed-of-data schedule summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledCircuit {
+    /// The lowered circuit.
+    pub circuit: Circuit,
+    /// Speed-of-data makespan (us) under the ion-trap model.
+    pub makespan_us: f64,
+    /// Dependency depth of the lowered circuit.
+    pub depth: usize,
+}
+
+/// Stage-3 artifact: the full characterization of one kernel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Characterization {
+    /// The spec this characterizes.
+    pub spec: KernelSpec,
+    /// Speed-of-data makespan (us), copied from the schedule stage.
+    pub makespan_us: f64,
+    /// Tables 2/3-shaped report.
+    pub report: CircuitReport,
+}
+
+/// All three artifacts of one fully compiled kernel.
+#[derive(Debug, Clone)]
+pub struct CompiledKernel {
+    /// The spec that was compiled.
+    pub spec: KernelSpec,
+    /// Stage 1: kernel IR.
+    pub ir: Arc<Circuit>,
+    /// Stage 2: lowered + scheduled.
+    pub scheduled: Arc<ScheduledCircuit>,
+    /// Stage 3: characterization.
+    pub characterization: Arc<Characterization>,
+}
+
+/// The staged compiler: pure transforms over an [`ArtifactStore`].
+/// Cheap to construct and clone — state lives in the (shared) store
+/// and in one shared synthesis cache.
+#[derive(Debug, Clone)]
+pub struct Compiler {
+    store: Arc<ArtifactStore>,
+    synth: SynthBudget,
+    /// One adapter for every lowering this compiler runs: rotation
+    /// searches are deterministic, so sharing the per-(k, dagger)
+    /// sequence cache across kernels and widths changes nothing but
+    /// the wall clock.
+    adapter: Arc<SynthAdapter>,
+}
+
+impl Compiler {
+    /// A compiler over the given store and synthesis budget.
+    pub fn new(store: Arc<ArtifactStore>, synth: SynthBudget) -> Self {
+        let adapter = Arc::new(SynthAdapter::with_budget(
+            synth.max_t,
+            synth.target_distance,
+        ));
+        Compiler {
+            store,
+            synth,
+            adapter,
+        }
+    }
+
+    /// The store this compiler memoizes into.
+    pub fn store(&self) -> &Arc<ArtifactStore> {
+        &self.store
+    }
+
+    /// The synthesis budget lowering runs under.
+    pub fn synth(&self) -> SynthBudget {
+        self.synth
+    }
+
+    /// The `ir` stage key for a spec.
+    pub fn ir_key(&self, spec: KernelSpec) -> ArtifactKey {
+        let inputs = Value::Object(vec![
+            ("schema".to_string(), ARTIFACT_SCHEMA.to_value()),
+            ("family".to_string(), spec.family.to_value()),
+            ("width".to_string(), spec.width.to_value()),
+        ]);
+        ArtifactKey {
+            stage: "ir",
+            hash: hash_value(&inputs),
+        }
+    }
+
+    /// The `sched` stage key: IR inputs plus — for rotation families
+    /// only — the synthesis budget.
+    pub fn scheduled_key(&self, spec: KernelSpec) -> ArtifactKey {
+        let mut fields = vec![
+            ("schema".to_string(), ARTIFACT_SCHEMA.to_value()),
+            ("family".to_string(), spec.family.to_value()),
+            ("width".to_string(), spec.width.to_value()),
+        ];
+        if spec.family.uses_synthesis() {
+            fields.push(("synth_max_t".to_string(), self.synth.max_t.to_value()));
+            fields.push((
+                "synth_target".to_string(),
+                self.synth.target_distance.to_value(),
+            ));
+        }
+        ArtifactKey {
+            stage: "sched",
+            hash: hash_value(&Value::Object(fields)),
+        }
+    }
+
+    /// The `char` stage key: chained off the `sched` content hash.
+    pub fn characterization_key(&self, spec: KernelSpec) -> ArtifactKey {
+        let inputs = Value::Object(vec![
+            ("schema".to_string(), ARTIFACT_SCHEMA.to_value()),
+            (
+                "sched".to_string(),
+                hash_hex(self.scheduled_key(spec).hash).to_value(),
+            ),
+            ("model".to_string(), "ion_trap".to_value()),
+        ]);
+        ArtifactKey {
+            stage: "char",
+            hash: hash_value(&inputs),
+        }
+    }
+
+    /// Stage 1: the kernel-level IR circuit.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError`] for an invalid spec (nothing is computed or
+    /// cached on error).
+    pub fn ir(&self, spec: KernelSpec) -> Result<Arc<Circuit>, KernelError> {
+        spec.validate()?;
+        Ok(self
+            .store
+            .get_or_compute(self.ir_key(spec), || spec.build_ir()))
+    }
+
+    /// Stage 2: the lowered physical circuit with its speed-of-data
+    /// schedule summary. Pulls stage 1 through the store (hitting its
+    /// cache when warm).
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError`] for an invalid spec.
+    pub fn scheduled(&self, spec: KernelSpec) -> Result<Arc<ScheduledCircuit>, KernelError> {
+        spec.validate()?;
+        Ok(self.store.get_or_compute(self.scheduled_key(spec), || {
+            let ir = self.ir(spec).expect("spec validated above");
+            let lowered = if spec.family.uses_synthesis() {
+                ir.lower(self.adapter.as_ref())
+            } else {
+                ir.lower(&NoSynth)
+            };
+            let model = CharacterizationModel::ion_trap();
+            let dag = Dag::build(&lowered);
+            let schedule = Schedule::speed_of_data_on(&dag, &lowered, &model);
+            ScheduledCircuit {
+                makespan_us: schedule.makespan_us,
+                depth: dag.depth(),
+                circuit: lowered,
+            }
+        }))
+    }
+
+    /// Stage 3: the characterization. Pulls stage 2 through the store.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError`] for an invalid spec.
+    pub fn characterization(&self, spec: KernelSpec) -> Result<Arc<Characterization>, KernelError> {
+        spec.validate()?;
+        Ok(self
+            .store
+            .get_or_compute(self.characterization_key(spec), || {
+                let scheduled = self.scheduled(spec).expect("spec validated above");
+                Characterization {
+                    spec,
+                    makespan_us: scheduled.makespan_us,
+                    report: characterize_with(
+                        &scheduled.circuit,
+                        &CharacterizationModel::ion_trap(),
+                    ),
+                }
+            }))
+    }
+
+    /// Runs the full chain for one spec.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError`] for an invalid spec.
+    pub fn compile(&self, spec: KernelSpec) -> Result<CompiledKernel, KernelError> {
+        Ok(CompiledKernel {
+            spec,
+            ir: self.ir(spec)?,
+            scheduled: self.scheduled(spec)?,
+            characterization: self.characterization(spec)?,
+        })
+    }
+
+    /// Compiles a batch of specs, chaining all three stages per item
+    /// on `threads` shared-pool workers (no barrier between stages —
+    /// one kernel can characterize while another is still lowering).
+    /// Results are returned in input order; every spec is validated
+    /// up front so nothing runs on a bad batch.
+    ///
+    /// # Errors
+    ///
+    /// The first [`KernelError`] in the batch.
+    pub fn compile_many(
+        &self,
+        specs: &[KernelSpec],
+        threads: usize,
+    ) -> Result<Vec<CompiledKernel>, KernelError> {
+        for spec in specs {
+            spec.validate()?;
+        }
+        Ok(qods_pool::run_indexed(specs.len(), threads, |i| {
+            self.compile(specs[i]).expect("specs validated above")
+        }))
+    }
+
+    /// Like [`Compiler::compile_many`] but materializing only the
+    /// characterization stage of each item (the IR and scheduled
+    /// artifacts are still produced — and cached — on the way).
+    ///
+    /// # Errors
+    ///
+    /// The first [`KernelError`] in the batch.
+    pub fn characterize_many(
+        &self,
+        specs: &[KernelSpec],
+        threads: usize,
+    ) -> Result<Vec<Arc<Characterization>>, KernelError> {
+        for spec in specs {
+            spec.validate()?;
+        }
+        Ok(qods_pool::run_indexed(specs.len(), threads, |i| {
+            self.characterization(specs[i])
+                .expect("specs validated above")
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qods_kernels::KernelFamily;
+
+    fn compiler() -> Compiler {
+        Compiler::new(
+            Arc::new(ArtifactStore::in_memory()),
+            SynthBudget {
+                max_t: 6,
+                target_distance: 5e-2,
+            },
+        )
+    }
+
+    #[test]
+    fn stages_chain_and_memoize() {
+        let c = compiler();
+        let spec = KernelSpec::new(KernelFamily::Qrca, 4).expect("valid");
+        let ch = c.characterization(spec).expect("compiles");
+        assert_eq!(ch.report.n_qubits, 13);
+        assert!(ch.makespan_us > 0.0);
+        // char pulled sched pulled ir: 3 computes, no hits yet beyond
+        // the chain's own store round-trips.
+        assert_eq!(c.store().stats().computed, 3);
+        let again = c.characterization(spec).expect("cached");
+        assert!(Arc::ptr_eq(&ch, &again));
+        assert_eq!(c.store().stats().computed, 3);
+    }
+
+    #[test]
+    fn adder_keys_ignore_the_synth_budget_and_rotation_keys_do_not() {
+        let store = Arc::new(ArtifactStore::in_memory());
+        let a = Compiler::new(Arc::clone(&store), SynthBudget::default());
+        let b = Compiler::new(
+            store,
+            SynthBudget {
+                max_t: 6,
+                target_distance: 5e-2,
+            },
+        );
+        let adder = KernelSpec::new(KernelFamily::Qrca, 8).expect("valid");
+        let qft = KernelSpec::new(KernelFamily::Qft, 8).expect("valid");
+        assert_eq!(a.scheduled_key(adder), b.scheduled_key(adder));
+        assert_ne!(a.scheduled_key(qft), b.scheduled_key(qft));
+        // And the chained char keys follow.
+        assert_eq!(a.characterization_key(adder), b.characterization_key(adder));
+        assert_ne!(a.characterization_key(qft), b.characterization_key(qft));
+    }
+
+    #[test]
+    fn keys_separate_stages_families_and_widths() {
+        let c = compiler();
+        let s1 = KernelSpec::new(KernelFamily::Qrca, 8).expect("valid");
+        let s2 = KernelSpec::new(KernelFamily::Qrca, 9).expect("valid");
+        let s3 = KernelSpec::new(KernelFamily::Qcla, 8).expect("valid");
+        assert_ne!(c.ir_key(s1), c.ir_key(s2));
+        assert_ne!(c.ir_key(s1), c.ir_key(s3));
+        assert_ne!(c.ir_key(s1).stage, c.scheduled_key(s1).stage);
+    }
+
+    #[test]
+    fn invalid_specs_are_typed_errors_and_cache_nothing() {
+        let c = compiler();
+        let bad = KernelSpec {
+            family: KernelFamily::Qft,
+            width: 0,
+        };
+        assert!(c.ir(bad).is_err());
+        assert!(c.scheduled(bad).is_err());
+        assert!(c.characterization(bad).is_err());
+        assert!(c.compile_many(&[bad], 2).is_err());
+        assert!(c.store().is_empty());
+    }
+
+    #[test]
+    fn compile_many_is_thread_count_invariant() {
+        let specs: Vec<KernelSpec> = [(KernelFamily::Qrca, 3), (KernelFamily::Qft, 4)]
+            .into_iter()
+            .map(|(f, w)| KernelSpec::new(f, w).expect("valid"))
+            .collect();
+        let base: Vec<Characterization> = compiler()
+            .compile_many(&specs, 1)
+            .expect("compiles")
+            .into_iter()
+            .map(|k| (*k.characterization).clone())
+            .collect();
+        for threads in [2, 8] {
+            let got: Vec<Characterization> = compiler()
+                .compile_many(&specs, threads)
+                .expect("compiles")
+                .into_iter()
+                .map(|k| (*k.characterization).clone())
+                .collect();
+            assert_eq!(got, base, "threads = {threads}");
+        }
+    }
+}

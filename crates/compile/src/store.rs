@@ -1,0 +1,472 @@
+//! The two-tier content-addressed artifact store.
+//!
+//! Tier 1 is an in-process map of `Arc`-shared artifacts (warm-process
+//! hits: any number of study contexts in one process share each
+//! compiled artifact). Tier 2 is an optional on-disk store of
+//! versioned JSON files (cold-process hits: a fresh process reuses
+//! what an earlier one compiled).
+//!
+//! ## Disk format and versioning
+//!
+//! One file per artifact, named `<stage>-<hash16>.json`, holding a
+//! versioned envelope:
+//!
+//! ```text
+//! {"schema": 1, "stage": "sched", "key": "1f2e...", "payload": {...}}
+//! ```
+//!
+//! Writes are atomic (temp file + rename) so a crashed or concurrent
+//! writer can never leave a half-written artifact under the final
+//! name. Reads are corruption-tolerant: *any* defect — unreadable
+//! file, malformed JSON, schema/stage/key mismatch, payload that
+//! fails typed deserialization — counts as a miss (and bumps
+//! [`StoreStats::corrupt_reads`]); the artifact is recomputed and the
+//! file rewritten. A bad cache can cost a recompute, never a crash
+//! and never a wrong answer.
+//!
+//! ## Invalidation
+//!
+//! There is none, by construction: keys are content hashes of
+//! everything the artifact depends on (spec, stage, relevant
+//! parameters, [`ARTIFACT_SCHEMA`]), so changing any input addresses
+//! a different file and stale entries are simply never read again.
+//! Bumping [`ARTIFACT_SCHEMA`] (when an artifact *encoding* changes
+//! shape) retires every existing file the same way.
+//!
+//! ## Store location
+//!
+//! The `QODS_ARTIFACT_DIR` environment variable overrides the disk
+//! location everywhere (CI and sandboxes point it at a workspace-local
+//! or throwaway path); an empty value disables the disk tier. Library
+//! code that asks for [`ArtifactStore::process`] without an explicit
+//! directory gets memory-only unless the variable is set — binaries
+//! opt into the default `results/.artifacts/` via
+//! [`ArtifactStore::init_process`].
+
+use crate::hash::hash_hex;
+use serde::{Deserialize, Serialize, Value};
+use std::any::Any;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Version of the on-disk artifact encoding. Part of every content
+/// hash *and* checked in the envelope, so a schema change invalidates
+/// old files both ways.
+pub const ARTIFACT_SCHEMA: u32 = 1;
+
+/// Environment variable that overrides the disk-store location (empty
+/// value = disable the disk tier).
+pub const ARTIFACT_DIR_ENV: &str = "QODS_ARTIFACT_DIR";
+
+/// The disk directory binaries default to. One constant so `repro`
+/// and `qods-serve` can never drift onto different directories (which
+/// would silently break their shared cold-process cache).
+pub const DEFAULT_ARTIFACT_DIR: &str = "results/.artifacts";
+
+/// The address of one artifact: a pipeline stage name plus the
+/// content hash of everything the artifact depends on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArtifactKey {
+    /// Stage name (`"ir"`, `"sched"`, `"char"`), fixed per transform.
+    pub stage: &'static str,
+    /// Content hash of the stage's canonical input encoding.
+    pub hash: u64,
+}
+
+impl ArtifactKey {
+    /// The disk file name this key is stored under.
+    pub fn file_name(&self) -> String {
+        format!("{}-{}.json", self.stage, hash_hex(self.hash))
+    }
+}
+
+impl std::fmt::Display for ArtifactKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.stage, hash_hex(self.hash))
+    }
+}
+
+/// Store traffic counters (monotonic since store creation). The
+/// `computed` counter is the "did the cache actually work" number:
+/// a fully warm run reports 0.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Artifacts computed from scratch (both tiers missed).
+    pub computed: u64,
+    /// Lookups served by the in-process tier.
+    pub mem_hits: u64,
+    /// Lookups served by the disk tier (deserialized, then retained
+    /// in the memory tier).
+    pub disk_hits: u64,
+    /// Disk files that existed but were unusable (corrupt, stale
+    /// schema, wrong key) and were recomputed over.
+    pub corrupt_reads: u64,
+    /// Disk writes that failed (artifact stays memory-only).
+    pub write_errors: u64,
+}
+
+impl StoreStats {
+    /// Total lookups that found a usable cached artifact.
+    pub fn hits(&self) -> u64 {
+        self.mem_hits + self.disk_hits
+    }
+}
+
+/// The memory tier: one type-erased shared artifact per
+/// `(stage, hash)` key.
+type MemTier = Mutex<HashMap<(&'static str, u64), Arc<dyn Any + Send + Sync>>>;
+
+/// The two-tier content-addressed artifact store. Cheap to share
+/// (`Arc`); all methods take `&self`.
+#[derive(Debug)]
+pub struct ArtifactStore {
+    dir: Option<PathBuf>,
+    mem: MemTier,
+    computed: AtomicU64,
+    mem_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    corrupt_reads: AtomicU64,
+    write_errors: AtomicU64,
+    /// Monotonic temp-file sequence: `fetch_add` guarantees two
+    /// threads writing the same key concurrently get distinct temp
+    /// names (a stats counter could be observed at the same value by
+    /// both).
+    tmp_seq: AtomicU64,
+}
+
+/// The one store a process shares by default (see
+/// [`ArtifactStore::process`] / [`ArtifactStore::init_process`]).
+static PROCESS_STORE: OnceLock<Arc<ArtifactStore>> = OnceLock::new();
+
+impl ArtifactStore {
+    /// A store with no disk tier.
+    pub fn in_memory() -> Self {
+        ArtifactStore::with_dir(None)
+    }
+
+    /// A store persisting under `dir` (created lazily on first write).
+    pub fn persistent(dir: impl Into<PathBuf>) -> Self {
+        ArtifactStore::with_dir(Some(dir.into()))
+    }
+
+    /// A store honoring [`ARTIFACT_DIR_ENV`]: the variable's path when
+    /// set (empty = memory-only), otherwise `default_dir`, otherwise
+    /// memory-only.
+    pub fn from_env_or(default_dir: Option<&Path>) -> Self {
+        ArtifactStore::resolve(std::env::var(ARTIFACT_DIR_ENV).ok().as_deref(), default_dir)
+    }
+
+    /// The location policy behind [`ArtifactStore::from_env_or`],
+    /// with the environment value passed in — pure, so tests can
+    /// cover every branch without racing `set_var` against the
+    /// parallel test harness.
+    pub fn resolve(env_value: Option<&str>, default_dir: Option<&Path>) -> Self {
+        match env_value {
+            Some("") => ArtifactStore::in_memory(),
+            Some(dir) => ArtifactStore::persistent(dir),
+            None => match default_dir {
+                Some(dir) => ArtifactStore::persistent(dir),
+                None => ArtifactStore::in_memory(),
+            },
+        }
+    }
+
+    fn with_dir(dir: Option<PathBuf>) -> Self {
+        ArtifactStore {
+            dir,
+            mem: Mutex::new(HashMap::new()),
+            computed: AtomicU64::new(0),
+            mem_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            corrupt_reads: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
+            tmp_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide shared store, created on first use as
+    /// [`ArtifactStore::from_env_or`]`(None)` — i.e. memory-only
+    /// unless [`ARTIFACT_DIR_ENV`] says otherwise. This is the store
+    /// `StudyContext::new` and the service `ContextPool` share, which
+    /// is what makes warm-process artifact reuse span contexts.
+    pub fn process() -> Arc<ArtifactStore> {
+        Arc::clone(PROCESS_STORE.get_or_init(|| Arc::new(ArtifactStore::from_env_or(None))))
+    }
+
+    /// Initializes the process store with a default disk directory
+    /// (still overridden by [`ARTIFACT_DIR_ENV`]). Binaries call this
+    /// once at startup *before* any compilation; if the process store
+    /// already exists the call is a no-op and the existing store is
+    /// returned — location choices never change mid-process.
+    pub fn init_process(default_dir: &Path) -> Arc<ArtifactStore> {
+        Arc::clone(
+            PROCESS_STORE.get_or_init(|| Arc::new(ArtifactStore::from_env_or(Some(default_dir)))),
+        )
+    }
+
+    /// The disk directory, if this store has a disk tier.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Traffic so far.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            computed: self.computed.load(Ordering::Relaxed),
+            mem_hits: self.mem_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            corrupt_reads: self.corrupt_reads.load(Ordering::Relaxed),
+            write_errors: self.write_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// How many artifacts the memory tier holds.
+    pub fn len(&self) -> usize {
+        self.mem.lock().expect("artifact store poisoned").len()
+    }
+
+    /// Whether the memory tier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The exact bytes the disk tier writes for an artifact — the
+    /// versioned envelope as canonical JSON. Exposed so tests can
+    /// assert byte-identity between freshly compiled and disk-cached
+    /// artifacts.
+    pub fn encode_artifact<T: Serialize>(key: ArtifactKey, artifact: &T) -> String {
+        let envelope = Value::Object(vec![
+            ("schema".to_string(), ARTIFACT_SCHEMA.to_value()),
+            ("stage".to_string(), key.stage.to_value()),
+            ("key".to_string(), hash_hex(key.hash).to_value()),
+            ("payload".to_string(), artifact.to_value()),
+        ]);
+        serde_json::to_string(&envelope).expect("artifact encoding is always finite")
+    }
+
+    /// Fetches the artifact at `key`, trying memory, then disk, then
+    /// `compute` — computing at most stores, never alters, a result:
+    /// the returned value is bit-identical at any cache state because
+    /// `compute` must be a pure function of the key's inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same key was previously stored with a different
+    /// artifact type (a programming error in key derivation).
+    pub fn get_or_compute<T, F>(&self, key: ArtifactKey, compute: F) -> Arc<T>
+    where
+        T: Serialize + Deserialize + Send + Sync + 'static,
+        F: FnOnce() -> T,
+    {
+        let map_key = (key.stage, key.hash);
+        if let Some(hit) = self
+            .mem
+            .lock()
+            .expect("artifact store poisoned")
+            .get(&map_key)
+        {
+            self.mem_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit)
+                .downcast::<T>()
+                .expect("one artifact type per stage key");
+        }
+
+        let (artifact, from_disk) = match self.read_disk::<T>(key) {
+            Some(artifact) => {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                (artifact, true)
+            }
+            None => {
+                let artifact = compute();
+                self.computed.fetch_add(1, Ordering::Relaxed);
+                (artifact, false)
+            }
+        };
+        let artifact = Arc::new(artifact);
+        if !from_disk {
+            self.write_disk(key, artifact.as_ref());
+        }
+
+        // Two threads may have computed the same key concurrently
+        // (deterministically, so the results are identical); keep the
+        // first insertion as the one canonical Arc.
+        let mut mem = self.mem.lock().expect("artifact store poisoned");
+        let entry = mem
+            .entry(map_key)
+            .or_insert_with(|| Arc::clone(&artifact) as Arc<dyn Any + Send + Sync>);
+        Arc::clone(entry)
+            .downcast::<T>()
+            .expect("one artifact type per stage key")
+    }
+
+    /// Reads and validates the disk file for `key`; any defect is a
+    /// tolerated miss.
+    fn read_disk<T: Deserialize>(&self, key: ArtifactKey) -> Option<T> {
+        let dir = self.dir.as_ref()?;
+        let path = dir.join(key.file_name());
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            // Missing file: a plain cold miss, not corruption.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+            Err(_) => {
+                self.corrupt_reads.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match decode_envelope::<T>(&text, key) {
+            Some(artifact) => Some(artifact),
+            None => {
+                self.corrupt_reads.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Writes the artifact atomically; failures are counted, not
+    /// propagated (the store then behaves as memory-only for this
+    /// artifact).
+    fn write_disk<T: Serialize>(&self, key: ArtifactKey, artifact: &T) {
+        let Some(dir) = self.dir.as_ref() else {
+            return;
+        };
+        let encoded = ArtifactStore::encode_artifact(key, artifact);
+        let result = (|| -> std::io::Result<()> {
+            std::fs::create_dir_all(dir)?;
+            // Unique temp name: concurrent writers of the same key
+            // never collide, and rename is atomic within the dir.
+            let tmp = dir.join(format!(
+                ".tmp-{}-{}-{}",
+                std::process::id(),
+                self.tmp_seq.fetch_add(1, Ordering::Relaxed),
+                key.file_name()
+            ));
+            std::fs::write(&tmp, encoded)?;
+            std::fs::rename(&tmp, dir.join(key.file_name()))
+        })();
+        if result.is_err() {
+            self.write_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Parses and validates a disk envelope against the key it was looked
+/// up under. `None` for any mismatch.
+fn decode_envelope<T: Deserialize>(text: &str, key: ArtifactKey) -> Option<T> {
+    let v: Value = serde_json::from_str(text).ok()?;
+    let schema = u32::from_value(v.get("schema")?).ok()?;
+    if schema != ARTIFACT_SCHEMA {
+        return None;
+    }
+    let stage = String::from_value(v.get("stage")?).ok()?;
+    let hash = String::from_value(v.get("key")?).ok()?;
+    if stage != key.stage || hash != hash_hex(key.hash) {
+        return None;
+    }
+    T::from_value(v.get("payload")?).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("qods_store_test_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    const KEY: ArtifactKey = ArtifactKey {
+        stage: "ir",
+        hash: 0xdead_beef_0123_4567,
+    };
+
+    #[test]
+    fn memory_tier_shares_one_arc() {
+        let store = ArtifactStore::in_memory();
+        let a: Arc<String> = store.get_or_compute(KEY, || "artifact".to_string());
+        let b: Arc<String> = store.get_or_compute(KEY, || panic!("must be cached"));
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = store.stats();
+        assert_eq!((s.computed, s.mem_hits, s.disk_hits), (1, 1, 0));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn disk_tier_survives_a_fresh_store() {
+        let dir = temp_store_dir("persist");
+        let cold = ArtifactStore::persistent(&dir);
+        let a: Arc<String> = cold.get_or_compute(KEY, || "persisted".to_string());
+        assert_eq!(cold.stats().computed, 1);
+        assert!(dir.join(KEY.file_name()).is_file());
+
+        // A fresh store (fresh memory tier) over the same directory
+        // serves the artifact from disk without recomputing.
+        let warm = ArtifactStore::persistent(&dir);
+        let b: Arc<String> = warm.get_or_compute(KEY, || panic!("warm disk must hit"));
+        assert_eq!(*a, *b);
+        let s = warm.stats();
+        assert_eq!((s.computed, s.disk_hits), (0, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_and_stale_files_are_recomputed_not_fatal() {
+        let dir = temp_store_dir("corrupt");
+        let path = dir.join(KEY.file_name());
+        std::fs::create_dir_all(&dir).expect("mkdir");
+
+        // Garbage bytes.
+        std::fs::write(&path, b"{not json").expect("write");
+        let store = ArtifactStore::persistent(&dir);
+        let a: Arc<u64> = store.get_or_compute(KEY, || 42);
+        assert_eq!(*a, 42);
+        assert_eq!(store.stats().corrupt_reads, 1);
+        assert_eq!(store.stats().computed, 1);
+        // The recompute rewrote a valid file.
+        let fixed = ArtifactStore::persistent(&dir);
+        let b: Arc<u64> = fixed.get_or_compute(KEY, || panic!("rewritten file must hit"));
+        assert_eq!(*b, 42);
+
+        // Stale schema: valid JSON, wrong version.
+        let stale =
+            ArtifactStore::encode_artifact(KEY, &7u64).replace("\"schema\":1", "\"schema\":0");
+        std::fs::write(&path, stale).expect("write");
+        let store = ArtifactStore::persistent(&dir);
+        let c: Arc<u64> = store.get_or_compute(KEY, || 42);
+        assert_eq!(*c, 42);
+        assert_eq!(store.stats().corrupt_reads, 1);
+
+        // Wrong payload type for the key.
+        std::fs::write(
+            &path,
+            ArtifactStore::encode_artifact(KEY, &"a string".to_string()),
+        )
+        .expect("write");
+        let store = ArtifactStore::persistent(&dir);
+        let d: Arc<u64> = store.get_or_compute(KEY, || 42);
+        assert_eq!(*d, 42);
+        assert_eq!(store.stats().corrupt_reads, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn encode_is_deterministic_bytes() {
+        let x = ArtifactStore::encode_artifact(KEY, &"payload".to_string());
+        let y = ArtifactStore::encode_artifact(KEY, &"payload".to_string());
+        assert_eq!(x, y);
+        assert!(x.contains("\"schema\":1"));
+        assert!(x.contains("\"stage\":\"ir\""));
+    }
+
+    #[test]
+    fn missing_file_is_a_plain_miss() {
+        let dir = temp_store_dir("miss");
+        let store = ArtifactStore::persistent(&dir);
+        let _: Arc<u64> = store.get_or_compute(KEY, || 1);
+        assert_eq!(store.stats().corrupt_reads, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -9,7 +9,7 @@ use crate::output::{
     AreaShare, CascadeOut, CascadeRow, Fig15Out, Fig15Panel, Fig4Out, Fig4Row, LatencyOut,
     LatencyShares, NonTransversalOut, NonTransversalRow, PipelinedFactoryOut, Series, SeriesOut,
     SimpleFactoryOut, Table2Out, Table2Row, Table3Out, Table3Row, Table9Entry, Table9Out,
-    UnitCount,
+    UnitCount, WidthCurve, WidthPoint, WidthSweepOut,
 };
 use crate::study::ArchChoice;
 use qods_arch::machine::Arch;
@@ -390,6 +390,71 @@ impl Experiment for Fig15Experiment {
             })
             .collect();
         ExperimentOutput::Fig15(Fig15Out { panels })
+    }
+}
+
+/// The kernel width sweep: every family characterized at arbitrary
+/// operand widths through the `qods-compile` pipeline — the paper's
+/// fixed 32-bit benchmark points generalized to scaling curves (and
+/// extended past them).
+pub struct WidthSweepExperiment;
+
+impl Experiment for WidthSweepExperiment {
+    fn id(&self) -> &'static str {
+        "widthsweep"
+    }
+    fn title(&self) -> &'static str {
+        "Width sweep: kernel scaling across operand widths"
+    }
+    fn aliases(&self) -> &'static [&'static str] {
+        &["widths"]
+    }
+    fn run(&self, ctx: &StudyContext) -> ExperimentOutput {
+        use qods_kernels::{KernelFamily, KernelSpec};
+        // Invalid configured widths (0, beyond MAX_WIDTH) are dropped
+        // rather than panicking: the width list can arrive from an
+        // untrusted service request.
+        let widths: Vec<usize> = ctx
+            .config()
+            .width_sweep
+            .iter()
+            .copied()
+            .filter(|&w| KernelSpec::new(KernelFamily::Qrca, w).is_ok())
+            .collect();
+        let specs: Vec<KernelSpec> = KernelFamily::ALL
+            .iter()
+            .flat_map(|&family| {
+                widths
+                    .iter()
+                    .map(move |&width| KernelSpec { family, width })
+            })
+            .collect();
+        let compiled = ctx
+            .compiler()
+            .characterize_many(&specs, qods_pool::pool_threads(specs.len()))
+            .expect("widths validated above");
+        let curves = KernelFamily::ALL
+            .iter()
+            .enumerate()
+            .map(|(fi, family)| WidthCurve {
+                family: family.name().to_string(),
+                points: (0..widths.len())
+                    .map(|wi| {
+                        let c = &compiled[fi * widths.len() + wi];
+                        WidthPoint {
+                            width: c.spec.width,
+                            n_qubits: c.report.n_qubits,
+                            gates: c.report.gate_count,
+                            non_transversal_fraction: c.report.non_transversal_fraction,
+                            speed_of_data_us: c.makespan_us,
+                            zero_per_ms: c.report.bandwidth.zero_per_ms,
+                            pi8_per_ms: c.report.bandwidth.pi8_per_ms,
+                        }
+                    })
+                    .collect(),
+            })
+            .collect();
+        ExperimentOutput::WidthSweep(WidthSweepOut { widths, curves })
     }
 }
 

@@ -25,6 +25,7 @@
 //! | Fig 8 | `fig8` | [`qods_circuit::throughput`] |
 //! | Fig 11 | `fig11` | [`qods_factory::simple`] |
 //! | Fig 15 | `fig15`/`headline` | [`qods_arch::sweep`] |
+//! | Width sweep (ext.) | `widthsweep`/`widths` | [`qods_compile`] |
 //!
 //! # Quickstart
 //!
@@ -49,6 +50,7 @@ pub mod study;
 
 pub use qods_arch as arch;
 pub use qods_circuit as circuit;
+pub use qods_compile as compile;
 pub use qods_factory as factory;
 pub use qods_kernels as kernels;
 pub use qods_layout as layout;
@@ -77,12 +79,14 @@ pub mod prelude {
     pub use qods_circuit::circuit::Circuit;
     pub use qods_circuit::latency_model::CharacterizationModel;
     pub use qods_circuit::throughput::{execution_time_us, throughput_sweep};
+    pub use qods_compile::{ArtifactStore, Compiler, SynthBudget};
     pub use qods_factory::pi8::Pi8Factory;
     pub use qods_factory::simple::SimpleFactory;
     pub use qods_factory::supply::{FactoryFarm, ZeroFactoryKind};
     pub use qods_factory::zero::ZeroFactory;
     pub use qods_kernels::{
-        qcla, qcla_lowered, qft, qft_lowered, qrca, qrca_lowered, SynthAdapter,
+        qcla, qcla_lowered, qft, qft_lowered, qrca, qrca_lowered, KernelError, KernelFamily,
+        KernelSpec, SynthAdapter,
     };
     pub use qods_phys::error_model::ErrorModel;
     pub use qods_phys::latency::LatencyTable;

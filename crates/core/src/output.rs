@@ -281,3 +281,69 @@ pub struct CascadeOut {
     /// One row per precision.
     pub rows: Vec<CascadeRow>,
 }
+
+/// One point of the kernel width sweep: a family characterized at one
+/// operand width.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WidthPoint {
+    /// Operand width (bits).
+    pub width: usize,
+    /// Encoded qubits (data + data ancillae).
+    pub n_qubits: usize,
+    /// Lowered physical gate count.
+    pub gates: usize,
+    /// Fraction of non-transversal gates.
+    pub non_transversal_fraction: f64,
+    /// Speed-of-data execution time (µs): the makespan of the
+    /// data-dependency-limited schedule.
+    pub speed_of_data_us: f64,
+    /// Required encoded-zero bandwidth (per ms).
+    pub zero_per_ms: f64,
+    /// Required pi/8-ancilla bandwidth (per ms).
+    pub pi8_per_ms: f64,
+}
+
+/// One kernel family's scaling curve across widths.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WidthCurve {
+    /// Family id (`qrca`, `qcla`, `qft`, `draper`, `ctrladd`).
+    pub family: String,
+    /// One point per swept width, ascending.
+    pub points: Vec<WidthPoint>,
+}
+
+/// The kernel width sweep (`widthsweep`): every kernel family
+/// characterized across the configured operand widths — the paper's
+/// fixed 32-bit points generalized to scaling curves.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WidthSweepOut {
+    /// The widths actually swept (invalid configured widths are
+    /// dropped).
+    pub widths: Vec<usize>,
+    /// One curve per kernel family.
+    pub curves: Vec<WidthCurve>,
+}
+
+impl WidthSweepOut {
+    fn series_of(&self, f: impl Fn(&WidthPoint) -> f64) -> Vec<Series> {
+        self.curves
+            .iter()
+            .map(|c| {
+                Series::from_pairs(
+                    c.family.clone(),
+                    c.points.iter().map(|p| (p.width as f64, f(p))),
+                )
+            })
+            .collect()
+    }
+
+    /// Speed-of-data runtime vs width, one series per family.
+    pub fn speed_of_data_series(&self) -> Vec<Series> {
+        self.series_of(|p| p.speed_of_data_us)
+    }
+
+    /// Required encoded-zero bandwidth vs width, one series per family.
+    pub fn zero_bandwidth_series(&self) -> Vec<Series> {
+        self.series_of(|p| p.zero_per_ms)
+    }
+}

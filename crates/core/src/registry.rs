@@ -5,7 +5,8 @@ use crate::experiment::{Experiment, ExperimentRecord, StudyContext};
 use crate::experiments::{
     CascadeExperiment, Fig15Experiment, Fig4Experiment, Fig7Experiment, Fig8Experiment,
     LatencyExperiment, NonTransversalExperiment, Pi8FactoryExperiment, SimpleFactoryExperiment,
-    Table2Experiment, Table3Experiment, Table9Experiment, ZeroFactoryExperiment,
+    Table2Experiment, Table3Experiment, Table9Experiment, WidthSweepExperiment,
+    ZeroFactoryExperiment,
 };
 use std::time::Instant;
 
@@ -104,6 +105,7 @@ impl Registry {
         r.register(Box::new(Fig8Experiment));
         r.register(Box::new(Fig15Experiment));
         r.register(Box::new(CascadeExperiment));
+        r.register(Box::new(WidthSweepExperiment));
         r
     }
 
@@ -267,7 +269,7 @@ mod tests {
     #[test]
     fn registry_lists_and_resolves_all_ids() {
         let r = Registry::paper();
-        assert_eq!(r.len(), 13);
+        assert_eq!(r.len(), 14);
         for info in r.list() {
             assert_eq!(r.get(info.id).map(|e| e.id()), Some(info.id));
             for alias in info.aliases {

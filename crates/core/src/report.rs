@@ -10,7 +10,7 @@ use crate::experiment::ExperimentOutput;
 use crate::output::{
     CascadeOut, CascadeRow, Fig15Out, Fig15Panel, Fig4Out, Fig4Row, LatencyOut, NonTransversalOut,
     NonTransversalRow, PipelinedFactoryOut, Series, SeriesOut, SimpleFactoryOut, Table2Out,
-    Table2Row, Table3Out, Table3Row, Table9Entry, Table9Out,
+    Table2Row, Table3Out, Table3Row, Table9Entry, Table9Out, WidthSweepOut,
 };
 use crate::study::PaperReproduction;
 use std::fmt::Write as _;
@@ -237,6 +237,29 @@ impl Render for CascadeOut {
     }
 }
 
+impl Render for WidthSweepOut {
+    fn render_into(&self, w: &mut String) {
+        let _ = writeln!(w, "== Width sweep: kernel scaling across operand widths ==");
+        for c in &self.curves {
+            let _ = writeln!(w, "  {}:", c.family);
+            for p in &c.points {
+                let _ = writeln!(
+                    w,
+                    "    n={:<3} {:>4} qubits {:>7} gates  T-frac {:>5.3}  \
+                     {:>10.3e} us @ speed of data  zeros {:>8.1}/ms  pi/8 {:>7.1}/ms",
+                    p.width,
+                    p.n_qubits,
+                    p.gates,
+                    p.non_transversal_fraction,
+                    p.speed_of_data_us,
+                    p.zero_per_ms,
+                    p.pi8_per_ms
+                );
+            }
+        }
+    }
+}
+
 impl Render for ExperimentOutput {
     fn render_into(&self, w: &mut String) {
         match self {
@@ -263,6 +286,7 @@ impl Render for ExperimentOutput {
             }
             ExperimentOutput::Fig15(o) => o.render_into(w),
             ExperimentOutput::Cascade(o) => o.render_into(w),
+            ExperimentOutput::WidthSweep(o) => o.render_into(w),
         }
     }
 }

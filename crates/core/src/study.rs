@@ -94,6 +94,10 @@ pub struct StudyConfig {
     pub profile_samples: usize,
     /// Fig 15 architecture panel (paper: all four, FM first).
     pub arch_panel: Vec<ArchChoice>,
+    /// Operand widths the `widthsweep` experiment characterizes every
+    /// kernel family at (the paper's point is 32; the default ladder
+    /// extends past it).
+    pub width_sweep: Vec<usize>,
 }
 
 impl Default for StudyConfig {
@@ -113,6 +117,7 @@ impl Default for StudyConfig {
             },
             profile_samples: 256,
             arch_panel: ArchChoice::paper_panel(),
+            width_sweep: vec![4, 8, 16, 32, 48],
         }
     }
 }
@@ -128,6 +133,7 @@ impl StudyConfig {
             synth_max_t: 8,
             sweep_points: 7,
             profile_samples: 64,
+            width_sweep: vec![4, 8, 12],
             ..StudyConfig::default()
         }
     }
@@ -183,7 +189,10 @@ impl PaperReproduction {
         let mut cascade = None;
         for r in records {
             match &r.output {
-                ExperimentOutput::Latency(_) => {}
+                // Not part of the paper-shaped compat struct: Tables
+                // 1/4 render from constants, the width sweep is an
+                // extension artifact.
+                ExperimentOutput::Latency(_) | ExperimentOutput::WidthSweep(_) => {}
                 ExperimentOutput::Fig4(o) => fig4 = Some(o.rows.clone()),
                 ExperimentOutput::Table2(o) => table2 = Some(o.rows.clone()),
                 ExperimentOutput::Table3(o) => table3 = Some(o.rows.clone()),

@@ -20,6 +20,11 @@
 //! classical addition with the permutation simulator; the QFT against
 //! the DFT matrix with the statevector simulator.
 //!
+//! Every builder is parameterized by operand width; the [`family`]
+//! module packages them as typed [`KernelSpec`] values (`family` x
+//! `width`, with typed errors for bad input) — the unit the
+//! `qods-compile` pipeline content-addresses its artifacts by.
+//!
 //! # Example
 //!
 //! ```
@@ -32,6 +37,7 @@
 
 pub mod ctrl_add;
 pub mod draper;
+pub mod family;
 pub mod qcla;
 pub mod qft;
 pub mod qrca;
@@ -39,6 +45,7 @@ pub mod synth_adapter;
 
 pub use ctrl_add::{controlled_adder, controlled_adder_lowered};
 pub use draper::{draper_adder, draper_adder_lowered};
+pub use family::{KernelError, KernelFamily, KernelSpec, MAX_WIDTH};
 pub use qcla::{qcla, qcla_lowered};
 pub use qft::{qft, qft_lowered};
 pub use qrca::{qrca, qrca_lowered};

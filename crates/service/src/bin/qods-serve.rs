@@ -67,6 +67,7 @@ struct ProgressLine {
 
 fn usage() -> &'static str {
     "usage: qods-serve [--threads N] [--progress] [--no-cache] [--base quick|paper]\n\
+     \t\t  [--artifacts DIR]\n\
      \n\
      Reads one JSON request per stdin line:\n\
      {\"id\":\"j1\",\"experiments\":[\"table9\"],\"overrides\":{\"n_bits\":8}}\n\
@@ -75,7 +76,10 @@ fn usage() -> &'static str {
      --threads N   pin every worker pool in the process to N threads\n\
      --progress    stream `started`/`experiment` lines as work finishes\n\
      --no-cache    disable the content-addressed cache (cold service)\n\
-     --base quick  resolve overrides against the smoke config, not the paper's"
+     --base quick  resolve overrides against the smoke config, not the paper's\n\
+     --artifacts DIR  persist compiled kernel artifacts under DIR\n\
+     \t\t  (default results/.artifacts; QODS_ARTIFACT_DIR overrides;\n\
+     \t\t  empty DIR keeps artifacts in memory only)"
 }
 
 fn emit_line<T: Serialize>(line: &T) {
@@ -91,6 +95,7 @@ fn main() -> ExitCode {
     let mut threads: Option<usize> = None;
     let mut progress = false;
     let mut caching = true;
+    let mut artifacts: Option<String> = None;
     let mut base = StudyConfig::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -104,6 +109,13 @@ fn main() -> ExitCode {
             },
             "--progress" => progress = true,
             "--no-cache" => caching = false,
+            "--artifacts" => match args.next() {
+                Some(dir) => artifacts = Some(dir),
+                None => {
+                    eprintln!("--artifacts needs a directory (or \"\")\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
             "--base" => match args.next().as_deref() {
                 Some("quick") => base = StudyConfig::smoke(),
                 Some("paper") => base = StudyConfig::default(),
@@ -131,11 +143,25 @@ fn main() -> ExitCode {
     if let Some(n) = threads {
         qods_service::pool::set_thread_override(Some(n));
     }
+    // Attach the disk artifact tier before any compilation: warm-disk
+    // daemon starts skip kernel lowering entirely. An explicit empty
+    // `--artifacts` keeps the store in memory.
+    let artifacts =
+        artifacts.unwrap_or_else(|| qods_core::compile::DEFAULT_ARTIFACT_DIR.to_string());
+    let store = if artifacts.is_empty() {
+        qods_core::compile::ArtifactStore::process()
+    } else {
+        qods_core::compile::ArtifactStore::init_process(std::path::Path::new(&artifacts))
+    };
     let scheduler = Scheduler::with_options(base, qods_service::pool::host_threads(), caching);
     eprintln!(
-        "qods-serve: ready ({} worker threads, cache {})",
+        "qods-serve: ready ({} worker threads, cache {}, artifacts {})",
         scheduler.threads(),
         if caching { "on" } else { "off" },
+        store
+            .dir()
+            .map(|d| d.display().to_string())
+            .unwrap_or_else(|| "in-memory".to_string()),
     );
 
     let stdin = std::io::stdin();

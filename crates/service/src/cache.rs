@@ -12,6 +12,7 @@
 //! `lowering_runs` counter).
 
 use crate::request::Overrides;
+use qods_core::compile::ArtifactStore;
 use qods_core::experiment::{ExperimentOutput, StudyContext};
 use qods_core::study::StudyConfig;
 use std::collections::{HashMap, VecDeque};
@@ -35,10 +36,10 @@ pub struct PoolEntry {
 }
 
 impl PoolEntry {
-    fn new(hash: u64, config: StudyConfig) -> Self {
+    fn new(hash: u64, config: StudyConfig, store: Arc<ArtifactStore>) -> Self {
         PoolEntry {
             hash,
-            ctx: StudyContext::new(config),
+            ctx: StudyContext::with_store(config, store),
             outputs: Mutex::new(HashMap::new()),
         }
     }
@@ -102,13 +103,25 @@ impl CacheStats {
     }
 }
 
-/// The retained entries plus their insertion order (one lock covers
+/// The retained entries plus their recency order (one lock covers
 /// both so eviction and lookup can never disagree).
 #[derive(Debug, Default)]
 struct Retained {
     map: HashMap<u64, Arc<PoolEntry>>,
-    /// Insertion order, oldest first — the eviction order.
+    /// Least-recently-used first — the eviction order. A checkout hit
+    /// moves its hash to the back, so a hot configuration survives
+    /// any amount of one-off traffic.
     order: VecDeque<u64>,
+}
+
+impl Retained {
+    /// Marks `hash` as most recently used.
+    fn touch(&mut self, hash: u64) {
+        if let Some(pos) = self.order.iter().position(|&h| h == hash) {
+            self.order.remove(pos);
+            self.order.push_back(hash);
+        }
+    }
 }
 
 /// The content-addressed pool of study contexts.
@@ -117,6 +130,11 @@ pub struct ContextPool {
     base: StudyConfig,
     caching: bool,
     capacity: usize,
+    /// The artifact store every retained context compiles into —
+    /// kernel artifacts outlive context eviction, so re-admitting an
+    /// evicted configuration re-runs experiments but never re-lowers
+    /// circuits another configuration already compiled.
+    store: Arc<ArtifactStore>,
     entries: Mutex<Retained>,
     context_hits: AtomicU64,
     context_misses: AtomicU64,
@@ -139,21 +157,49 @@ impl ContextPool {
     }
 
     /// A pool retaining at most `capacity` distinct configurations;
-    /// inserting past the bound evicts the oldest-inserted entry
+    /// inserting past the bound evicts the least-recently-used entry
     /// (jobs still holding the evicted `Arc` finish normally — the
     /// cache is semantically transparent, eviction only costs a
     /// recompute on the next request for that configuration).
+    ///
+    /// A caching pool compiles into the process-wide shared
+    /// [`ArtifactStore`] (warm-process and — when a disk tier is
+    /// configured — cold-process kernel reuse); a non-caching pool
+    /// hands every checkout a throwaway in-memory store so the "cold
+    /// service" baseline really recompiles everything.
     pub fn with_capacity(base: StudyConfig, caching: bool, capacity: usize) -> Self {
+        let store = if caching {
+            ArtifactStore::process()
+        } else {
+            Arc::new(ArtifactStore::in_memory())
+        };
+        ContextPool::with_store(base, caching, capacity, store)
+    }
+
+    /// A pool compiling into an explicit artifact store (tests use
+    /// this to control cache scope).
+    pub fn with_store(
+        base: StudyConfig,
+        caching: bool,
+        capacity: usize,
+        store: Arc<ArtifactStore>,
+    ) -> Self {
         ContextPool {
             base,
             caching,
             capacity: capacity.max(1),
+            store,
             entries: Mutex::new(Retained::default()),
             context_hits: AtomicU64::new(0),
             context_misses: AtomicU64::new(0),
             output_hits: AtomicU64::new(0),
             output_misses: AtomicU64::new(0),
         }
+    }
+
+    /// The artifact store retained contexts compile into.
+    pub fn store(&self) -> &Arc<ArtifactStore> {
+        &self.store
     }
 
     /// The base configuration overrides resolve against.
@@ -173,22 +219,27 @@ impl ContextPool {
         let hash = crate::request::config_hash(&config);
         if !self.caching {
             self.context_misses.fetch_add(1, Ordering::Relaxed);
-            return (Arc::new(PoolEntry::new(hash, config)), false);
+            // Fresh throwaway store per checkout: the cold baseline
+            // recompiles everything, every time, by construction.
+            let store = Arc::new(ArtifactStore::in_memory());
+            return (Arc::new(PoolEntry::new(hash, config, store)), false);
         }
         let mut retained = self.entries.lock().expect("context pool poisoned");
         if let Some(entry) = retained.map.get(&hash) {
+            let entry = Arc::clone(entry);
+            retained.touch(hash);
             self.context_hits.fetch_add(1, Ordering::Relaxed);
-            return (Arc::clone(entry), true);
+            return (entry, true);
         }
         self.context_misses.fetch_add(1, Ordering::Relaxed);
         while retained.map.len() >= self.capacity {
-            let oldest = retained
+            let lru = retained
                 .order
                 .pop_front()
                 .expect("order tracks every retained entry");
-            retained.map.remove(&oldest);
+            retained.map.remove(&lru);
         }
-        let entry = Arc::new(PoolEntry::new(hash, config));
+        let entry = Arc::new(PoolEntry::new(hash, config, Arc::clone(&self.store)));
         retained.map.insert(hash, Arc::clone(&entry));
         retained.order.push_back(hash);
         (entry, false)
@@ -276,7 +327,7 @@ mod tests {
     }
 
     #[test]
-    fn capacity_bound_evicts_oldest_first() {
+    fn capacity_bound_evicts_least_recently_used() {
         let pool = ContextPool::with_capacity(StudyConfig::smoke(), true, 2);
         let ov = |n: usize| Overrides {
             seed: Some(n as u64),
@@ -285,18 +336,43 @@ mod tests {
         let (first, _) = pool.checkout(&ov(1));
         pool.checkout(&ov(2));
         assert_eq!(pool.len(), 2);
-        // A third distinct config evicts config 1 (oldest).
+        // Re-hitting config 1 makes config 2 the LRU entry...
+        let (_, hit) = pool.checkout(&ov(1));
+        assert!(hit);
+        // ...so a third distinct config evicts 2, not 1 (under FIFO
+        // it would be 1, the oldest-inserted).
         pool.checkout(&ov(3));
         assert_eq!(pool.len(), 2);
-        let (again, hit) = pool.checkout(&ov(1));
-        assert!(!hit, "evicted entry must be rebuilt");
-        assert!(!Arc::ptr_eq(&first, &again));
+        let (still_one, hit1) = pool.checkout(&ov(1));
+        assert!(hit1, "recently-used entry must survive eviction");
+        assert!(Arc::ptr_eq(&first, &still_one));
+        let (_, hit2) = pool.checkout(&ov(2));
+        assert!(!hit2, "LRU entry must have been evicted");
+        // That rebuild of 2 evicted 3 (LRU after the 1-hits above).
+        let (_, hit3) = pool.checkout(&ov(3));
+        assert!(!hit3);
         // The still-held Arc from before eviction stays usable.
         assert_eq!(first.context().config().seed, 1);
-        // Hits refresh nothing (FIFO, not LRU): 3 then 1 evicted 2.
-        let (_, hit2) = pool.checkout(&ov(2));
-        assert!(!hit2);
         assert_eq!(pool.capacity(), 2);
+    }
+
+    #[test]
+    fn repeated_hits_pin_a_hot_entry_through_churn() {
+        // The satellite contract: under a stream of one-off configs,
+        // an entry that keeps getting hit is never evicted.
+        let pool = ContextPool::with_capacity(StudyConfig::smoke(), true, 3);
+        let ov = |n: u64| Overrides {
+            seed: Some(n),
+            ..Overrides::default()
+        };
+        let (hot, _) = pool.checkout(&ov(0));
+        for n in 1..=20 {
+            pool.checkout(&ov(n)); // churn
+            let (again, hit) = pool.checkout(&ov(0)); // keep 0 hot
+            assert!(hit, "hot entry evicted after churn config {n}");
+            assert!(Arc::ptr_eq(&hot, &again));
+        }
+        assert_eq!(pool.len(), 3);
     }
 
     #[test]

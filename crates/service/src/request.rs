@@ -61,12 +61,14 @@ pub struct Overrides {
     pub profile_samples: Option<usize>,
     /// Fig 15 architecture panel selection.
     pub arch_panel: Option<Vec<ArchChoice>>,
+    /// Width-sweep operand widths (`widthsweep` experiment).
+    pub width_sweep: Option<Vec<usize>>,
 }
 
 /// The override field names, in canonical (declaration) order. One
 /// table drives serialization, deserialization, and the request
 /// validator, so they can never drift apart.
-const OVERRIDE_FIELDS: [&str; 11] = [
+const OVERRIDE_FIELDS: [&str; 12] = [
     "n_bits",
     "mc_trials",
     "noise_scale",
@@ -78,6 +80,7 @@ const OVERRIDE_FIELDS: [&str; 11] = [
     "sweep_max_area",
     "profile_samples",
     "arch_panel",
+    "width_sweep",
 ];
 
 impl Overrides {
@@ -124,6 +127,9 @@ impl Overrides {
         if let Some(v) = &self.arch_panel {
             cfg.arch_panel = v.clone();
         }
+        if let Some(v) = &self.width_sweep {
+            cfg.width_sweep = v.clone();
+        }
         cfg
     }
 
@@ -146,6 +152,7 @@ impl Overrides {
             "sweep_max_area" => self.sweep_max_area.to_value(),
             "profile_samples" => self.profile_samples.to_value(),
             "arch_panel" => self.arch_panel.to_value(),
+            "width_sweep" => self.width_sweep.to_value(),
             other => unreachable!("unknown override field `{other}`"),
         }
     }
@@ -163,6 +170,7 @@ impl Overrides {
             "sweep_max_area" => self.sweep_max_area = Deserialize::from_value(v)?,
             "profile_samples" => self.profile_samples = Deserialize::from_value(v)?,
             "arch_panel" => self.arch_panel = Deserialize::from_value(v)?,
+            "width_sweep" => self.width_sweep = Deserialize::from_value(v)?,
             other => {
                 return Err(Error::custom(format!(
                     "unknown override `{other}` (knobs: {})",
@@ -302,29 +310,23 @@ pub fn canonical_config_json(cfg: &StudyConfig) -> String {
             cfg.profile_samples.to_value(),
         ),
         ("arch_panel".to_string(), cfg.arch_panel.to_value()),
+        ("width_sweep".to_string(), cfg.width_sweep.to_value()),
     ]);
     serde_json::to_string(&v).expect("canonical config encoding is always finite")
 }
 
 /// The stable content hash cache entries are addressed by: FNV-1a
-/// (64-bit) over [`canonical_config_json`]. Stable across runs and
-/// platforms — safe to persist and to compare across processes.
+/// (64-bit) over [`canonical_config_json`] — the same hashing
+/// primitive the `qods-compile` artifact store uses
+/// ([`qods_core::compile::hash`]). Stable across runs and platforms —
+/// safe to persist and to compare across processes.
 pub fn config_hash(cfg: &StudyConfig) -> u64 {
-    fnv1a(canonical_config_json(cfg).as_bytes())
+    qods_core::compile::hash::fnv1a(canonical_config_json(cfg).as_bytes())
 }
 
 /// Formats a content hash the way responses and logs print it.
 pub fn hash_hex(hash: u64) -> String {
-    format!("{hash:016x}")
-}
-
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+    qods_core::compile::hash::hash_hex(hash)
 }
 
 #[cfg(test)]

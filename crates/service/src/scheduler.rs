@@ -5,6 +5,7 @@
 use crate::cache::{ContextPool, PoolEntry};
 use crate::request::RunRequest;
 use qods_core::experiment::{Experiment, ExperimentRecord};
+use qods_core::kernels::KernelError;
 use qods_core::registry::{Registry, RegistryError};
 use qods_core::study::StudyConfig;
 use std::sync::{Arc, Mutex};
@@ -15,12 +16,18 @@ use std::time::Instant;
 pub enum ServiceError {
     /// The experiment selection was invalid (unknown or duplicate id).
     Registry(RegistryError),
+    /// The resolved configuration asks for an impossible kernel
+    /// (e.g. `n_bits` of 0 or beyond the width bound) — rejected
+    /// before a context is built so a bad request can never panic
+    /// the daemon.
+    Kernel(KernelError),
 }
 
 impl std::fmt::Display for ServiceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServiceError::Registry(e) => e.fmt(f),
+            ServiceError::Kernel(e) => e.fmt(f),
         }
     }
 }
@@ -30,6 +37,12 @@ impl std::error::Error for ServiceError {}
 impl From<RegistryError> for ServiceError {
     fn from(e: RegistryError) -> Self {
         ServiceError::Registry(e)
+    }
+}
+
+impl From<KernelError> for ServiceError {
+    fn from(e: KernelError) -> Self {
+        ServiceError::Kernel(e)
     }
 }
 
@@ -167,6 +180,14 @@ impl Scheduler {
             request.experiments.iter().map(String::as_str).collect()
         };
         let selected = self.registry.resolve(&ids)?;
+
+        // Validate the benchmark width before building anything: an
+        // out-of-bounds `n_bits` must be a typed rejection, not a
+        // panic inside benchmark compilation.
+        let resolved = request.overrides.resolve(self.pool.base());
+        for spec in qods_core::compile::paper_specs(resolved.n_bits) {
+            spec.validate()?;
+        }
 
         let t0 = Instant::now();
         let (entry, context_hit) = self.pool.checkout(&request.overrides);
@@ -348,6 +369,21 @@ mod tests {
         ));
         assert_eq!(sched.pool().total_lowering_runs(), 0);
         assert!(sched.pool().is_empty());
+    }
+
+    #[test]
+    fn out_of_bounds_widths_are_typed_errors_not_panics() {
+        let sched = Scheduler::with_options(StudyConfig::smoke(), 2, true);
+        for bad in [0usize, 4096] {
+            let req = RunRequest::of(["table2"]).with_overrides(Overrides {
+                n_bits: Some(bad),
+                ..Overrides::default()
+            });
+            let err = sched.run(&req).expect_err("bad width must be rejected");
+            assert!(matches!(err, ServiceError::Kernel(_)), "{err}");
+            assert!(err.to_string().contains("invalid width"), "{err}");
+        }
+        assert!(sched.pool().is_empty(), "rejected jobs build no context");
     }
 
     #[test]

@@ -34,6 +34,7 @@ fn overrides_from(mask: u32, salt: u64) -> Overrides {
         sweep_max_area: (mask & 256 != 0).then_some(1e6 + (salt % 77) as f64),
         profile_samples: (mask & 512 != 0).then_some(16 + (salt % 200) as usize),
         arch_panel: (mask & 1024 != 0).then_some(panel),
+        width_sweep: (mask & 2048 != 0).then_some(vec![4, 4 + (salt % 28) as usize]),
     }
 }
 
@@ -52,7 +53,8 @@ fn set_explicit_default(ov: &mut Overrides, i: usize, base: &StudyConfig) {
         8 => ov.sweep_max_area = Some(base.sweep_area_range.max_area),
         9 => ov.profile_samples = Some(base.profile_samples),
         10 => ov.arch_panel = Some(base.arch_panel.clone()),
-        _ => unreachable!("11 override fields"),
+        11 => ov.width_sweep = Some(base.width_sweep.clone()),
+        _ => unreachable!("12 override fields"),
     }
 }
 
@@ -80,7 +82,12 @@ fn perturb(ov: &mut Overrides, i: usize, base: &StudyConfig) {
             }
             ov.arch_panel = Some(panel);
         }
-        _ => unreachable!("11 override fields"),
+        11 => {
+            let mut widths = resolved.width_sweep.clone();
+            widths.push(widths.last().copied().unwrap_or(4) + 1);
+            ov.width_sweep = Some(widths);
+        }
+        _ => unreachable!("12 override fields"),
     }
 }
 
@@ -91,8 +98,8 @@ proptest! {
     /// anyway never changes the hash — "default-vs-explicit" requests
     /// are the same content.
     #[test]
-    fn explicit_defaults_hash_identically(mask in 0u32..2048, salt in 0u64..1_000_000,
-                                          extra in 0u32..2048) {
+    fn explicit_defaults_hash_identically(mask in 0u32..4096, salt in 0u64..1_000_000,
+                                          extra in 0u32..4096) {
         let base = StudyConfig::default();
         let ov = overrides_from(mask, salt);
         let hash = ov.content_hash(&base);
@@ -100,7 +107,7 @@ proptest! {
         // with the value it resolves to today.
         let resolved = ov.resolve(&base);
         let mut explicit = ov.clone();
-        for i in 0..11 {
+        for i in 0..12 {
             if extra & (1 << i) != 0 {
                 set_explicit_default(&mut explicit, i, &resolved);
             }
@@ -111,7 +118,7 @@ proptest! {
     /// The hash survives a serde round-trip and arbitrary request
     /// field order (the canonical form is order-fixed).
     #[test]
-    fn field_order_and_round_trip_preserve_the_hash(mask in 0u32..2048, salt in 0u64..1_000_000) {
+    fn field_order_and_round_trip_preserve_the_hash(mask in 0u32..4096, salt in 0u64..1_000_000) {
         let base = StudyConfig::default();
         let ov = overrides_from(mask, salt);
         let json = serde_json::to_string(&ov).map_err(|e| TestCaseError::fail(e.to_string()))?;
@@ -133,8 +140,8 @@ proptest! {
     /// Changing any single knob changes the hash — no two distinct
     /// workloads can share a cache line.
     #[test]
-    fn any_changed_knob_changes_the_hash(mask in 0u32..2048, salt in 0u64..1_000_000,
-                                         field in 0usize..11) {
+    fn any_changed_knob_changes_the_hash(mask in 0u32..4096, salt in 0u64..1_000_000,
+                                         field in 0usize..12) {
         let base = StudyConfig::default();
         let ov = overrides_from(mask, salt);
         let hash = ov.content_hash(&base);

@@ -29,7 +29,7 @@ const OVERRIDES_JSON: &str =
 
 fn run_daemon(input: &str) -> Vec<String> {
     let mut child = Command::new(env!("CARGO_BIN_EXE_qods-serve"))
-        .args(["--base", "quick", "--threads", "2"])
+        .args(["--base", "quick", "--threads", "2", "--artifacts", ""])
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
@@ -139,7 +139,15 @@ fn bad_lines_answer_typed_errors_and_do_not_kill_the_daemon() {
 #[test]
 fn progress_mode_streams_per_experiment_lines() {
     let mut child = Command::new(env!("CARGO_BIN_EXE_qods-serve"))
-        .args(["--base", "quick", "--threads", "2", "--progress"])
+        .args([
+            "--base",
+            "quick",
+            "--threads",
+            "2",
+            "--progress",
+            "--artifacts",
+            "",
+        ])
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .stderr(Stdio::null())

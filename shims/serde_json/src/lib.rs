@@ -289,12 +289,23 @@ impl Parser<'_> {
                     }
                 }
                 _ => {
-                    // Consume one UTF-8 scalar.
-                    let text =
-                        std::str::from_utf8(rest).map_err(|_| Error::custom("invalid UTF-8"))?;
-                    let c = text.chars().next().unwrap();
-                    s.push(c);
-                    self.pos += c.len_utf8();
+                    // Consume the whole run of unescaped bytes in one
+                    // shot. (Validating per character from the cursor
+                    // to the end of input made string parsing
+                    // quadratic — pathological for the multi-hundred-
+                    // kilobyte circuit artifacts the compile cache
+                    // stores.) The delimiters `"` and `\` are ASCII,
+                    // so the run boundary always falls on a UTF-8
+                    // character boundary of the (already validated)
+                    // input.
+                    let mut end = 1;
+                    while end < rest.len() && rest[end] != b'"' && rest[end] != b'\\' {
+                        end += 1;
+                    }
+                    let text = std::str::from_utf8(&rest[..end])
+                        .map_err(|_| Error::custom("invalid UTF-8"))?;
+                    s.push_str(text);
+                    self.pos += end;
                 }
             }
         }

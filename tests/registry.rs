@@ -37,7 +37,7 @@ fn registry_covers_every_documented_id() {
     let registry = Registry::paper();
     let ids = documented_ids();
     assert!(
-        ids.len() >= 13,
+        ids.len() >= 14,
         "docs table lists only {} ids: {ids:?}",
         ids.len()
     );
@@ -68,7 +68,7 @@ fn registry_covers_every_documented_id() {
 fn repro_list_shape_is_complete() {
     let registry = Registry::paper();
     let list = registry.list();
-    assert_eq!(list.len(), 13);
+    assert_eq!(list.len(), 14);
     for info in &list {
         assert!(!info.title.is_empty(), "{}: empty title", info.id);
         assert!(
@@ -149,7 +149,7 @@ fn aliases_run_the_same_experiment() {
 fn run_all_lowers_benchmarks_exactly_once_across_parallel_experiments() {
     let ctx = StudyContext::new(StudyConfig::smoke());
     let records = Registry::paper().run_all(&ctx);
-    assert_eq!(records.len(), 13);
+    assert_eq!(records.len(), 14);
     assert_eq!(ctx.lowering_runs(), 1);
 }
 
