@@ -54,21 +54,29 @@ fn usage() -> &'static str {
      requests (fraction F of them repeats, default 0.8) at a cold and\n\
      a warm job service and reports throughput and cache-hit rate;\n\
      with --load-gate R it exits nonzero unless warm/cold >= R.\n\
+     `--connections C` (C > 1) drives the same batch over TCP instead:\n\
+     C concurrent client connections against an in-process qods-net\n\
+     server, reporting coalescing counters and client-side latency\n\
+     percentiles alongside the throughput numbers.\n\
      \n\
      Perf smoke:\n\
-     `repro --bench-json [montecarlo] [sweep] [compile]` times the\n\
-     Fig 4 Monte-Carlo panel, the Fig 15 architecture sweep, and/or\n\
-     the cold-vs-warm-disk kernel compile (all three when no workload\n\
-     is named) and writes BENCH_montecarlo.json / BENCH_sweep.json /\n\
-     BENCH_compile.json (with `quick`: smaller workloads, written\n\
+     `repro --bench-json [montecarlo] [sweep] [compile] [serve]` times\n\
+     the Fig 4 Monte-Carlo panel, the Fig 15 architecture sweep, the\n\
+     cold-vs-warm-disk kernel compile, and/or the concurrent TCP\n\
+     serving layer (all four when no workload is named) and writes\n\
+     BENCH_montecarlo.json / BENCH_sweep.json / BENCH_compile.json /\n\
+     BENCH_serve.json (with `quick`: smaller workloads, written\n\
      under results/ so the committed baselines are not clobbered).\n\
      `repro --bench-check PATH` runs the quick Monte-Carlo smoke,\n\
-     `repro --bench-check-sweep PATH` the quick sweep smoke, and\n\
-     `repro --bench-check-compile PATH` the quick compile smoke; each\n\
+     `repro --bench-check-sweep PATH` the quick sweep smoke,\n\
+     `repro --bench-check-compile PATH` the quick compile smoke, and\n\
+     `repro --bench-check-serve PATH` the quick serving smoke; each\n\
      writes its results/ JSON and exits nonzero when machine-normalized\n\
      throughput regressed more than 2x against the baseline at PATH\n\
      (the compile check additionally requires zero warm-disk recompiles\n\
-     and a >= 1.2x disk speedup). The checks combine in one invocation."
+     and a >= 1.2x disk speedup; the serve check requires coalesced\n\
+     duplicates to execute exactly once and >= 3x concurrency scaling).\n\
+     The checks combine in one invocation."
 }
 
 fn main() -> ExitCode {
@@ -83,10 +91,12 @@ fn main() -> ExitCode {
     let mut load: Option<usize> = None;
     let mut repeat = 0.8f64;
     let mut load_gate: Option<f64> = None;
+    let mut connections = 1usize;
     let mut bench_json = false;
     let mut bench_check: Option<String> = None;
     let mut bench_check_sweep: Option<String> = None;
     let mut bench_check_compile: Option<String> = None;
+    let mut bench_check_serve: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -131,6 +141,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--connections" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => connections = n,
+                _ => {
+                    eprintln!("--connections needs a positive integer\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
             "--bench-json" => bench_json = true,
             "--bench-check" => match it.next() {
                 Some(path) => bench_check = Some(path),
@@ -150,6 +167,13 @@ fn main() -> ExitCode {
                 Some(path) => bench_check_compile = Some(path),
                 None => {
                     eprintln!("--bench-check-compile needs a baseline path\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--bench-check-serve" => match it.next() {
+                Some(path) => bench_check_serve = Some(path),
+                None => {
+                    eprintln!("--bench-check-serve needs a baseline path\n{}", usage());
                     return ExitCode::FAILURE;
                 }
             },
@@ -191,13 +215,14 @@ fn main() -> ExitCode {
     }
 
     if let Some(requests) = load {
-        return run_load_generator(requests, repeat, load_gate);
+        return run_load_generator(requests, repeat, load_gate, connections);
     }
 
     if bench_json
         || bench_check.is_some()
         || bench_check_sweep.is_some()
         || bench_check_compile.is_some()
+        || bench_check_serve.is_some()
     {
         // Workload selection: positional ids name smoke workloads in
         // bench mode; `--bench-json` with no ids means both. A
@@ -209,12 +234,14 @@ fn main() -> ExitCode {
         let mut json_mc = false;
         let mut json_sweep = false;
         let mut json_compile = false;
+        let mut json_serve = false;
         if bench_json {
             for id in &ids {
                 match id.as_str() {
                     "montecarlo" | "mc" | "fig4" => json_mc = true,
                     "sweep" | "fig15" => json_sweep = true,
                     "compile" => json_compile = true,
+                    "serve" | "net" => json_serve = true,
                     other => {
                         eprintln!("unknown bench workload `{other}`\n{}", usage());
                         return ExitCode::FAILURE;
@@ -225,11 +252,13 @@ fn main() -> ExitCode {
                 json_mc = true;
                 json_sweep = true;
                 json_compile = true;
+                json_serve = true;
             }
         }
         let run_mc = json_mc || bench_check.is_some();
         let run_sweep = json_sweep || bench_check_sweep.is_some();
         let run_compile = json_compile || bench_check_compile.is_some();
+        let run_serve = json_serve || bench_check_serve.is_some();
         let mut code = ExitCode::SUCCESS;
         if run_mc && run_bench_smoke(quick || !json_mc, bench_check.as_deref()) == ExitCode::FAILURE
         {
@@ -243,6 +272,12 @@ fn main() -> ExitCode {
         }
         if run_compile
             && run_compile_smoke(quick || !json_compile, bench_check_compile.as_deref())
+                == ExitCode::FAILURE
+        {
+            code = ExitCode::FAILURE;
+        }
+        if run_serve
+            && run_serve_smoke(quick || !json_serve, bench_check_serve.as_deref())
                 == ExitCode::FAILURE
         {
             code = ExitCode::FAILURE;
@@ -427,8 +462,17 @@ fn run_compile_kernels(specs: &[String], quick: bool) -> ExitCode {
 /// earlier configurations — at a cold service (caching off: every
 /// request recomputes) and a warm one (the content-addressed cache),
 /// and reports throughput, speedup, cache-hit rate, and how many
-/// benchmark lowerings each service actually performed.
-fn run_load_generator(requests: usize, repeat: f64, gate: Option<f64>) -> ExitCode {
+/// benchmark lowerings each service actually performed. With
+/// `--connections C > 1` the same batch is served over TCP by an
+/// in-process `qods-net` server instead, split round-robin across C
+/// concurrent client connections, adding coalescing counters and
+/// client-side latency percentiles to the report.
+fn run_load_generator(
+    requests: usize,
+    repeat: f64,
+    gate: Option<f64>,
+    connections: usize,
+) -> ExitCode {
     use qods_service::Overrides;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -471,6 +515,10 @@ fn run_load_generator(requests: usize, repeat: f64, gate: Option<f64>) -> ExitCo
             }
         }
         batch.push(RunRequest::of(selected).with_overrides(variant(config_index)));
+    }
+
+    if connections > 1 {
+        return run_load_over_tcp(&batch, unique, connections, gate);
     }
 
     let time_batch = |scheduler: &Scheduler| -> Result<f64, ExitCode> {
@@ -530,6 +578,175 @@ fn run_load_generator(requests: usize, repeat: f64, gate: Option<f64>) -> ExitCo
         "  warm, steady:    {warm_s:.3}s  ({:.1} req/s, {} lowerings total)",
         requests as f64 / warm_s,
         warm.pool().total_lowering_runs(),
+    );
+    let first_ratio = cold_s / fill_s;
+    let ratio = cold_s / warm_s;
+    println!("  speedup: {first_ratio:.1}x cache-filling, {ratio:.1}x steady-state (vs cold)");
+    match gate {
+        Some(need) if ratio < need => {
+            eprintln!("load gate FAILED: {ratio:.2}x < required {need:.2}x");
+            ExitCode::FAILURE
+        }
+        Some(need) => {
+            println!("load gate OK: {ratio:.2}x >= {need:.2}x");
+            ExitCode::SUCCESS
+        }
+        None => ExitCode::SUCCESS,
+    }
+}
+
+/// The TCP arm of the load generator: the cold/warm passes of
+/// [`run_load_generator`], but every request travels a real socket
+/// through the `qods-net` server — so the numbers include framing,
+/// admission, and in-flight coalescing, which the in-process arm
+/// cannot exercise.
+fn run_load_over_tcp(
+    batch: &[RunRequest],
+    unique: usize,
+    connections: usize,
+    gate: Option<f64>,
+) -> ExitCode {
+    use qods_bench::perf::LatencyHistogram;
+    use qods_net::{Client, NetServer, ServeCore, ServeOptions, StatsLine};
+    use std::net::SocketAddr;
+    use std::sync::Arc;
+    use std::thread::JoinHandle;
+
+    let requests = batch.len();
+    let lines: Arc<Vec<String>> = Arc::new(batch.iter().map(qods_net::protocol::render).collect());
+
+    let start = |caching: bool| -> (SocketAddr, JoinHandle<()>, Arc<ServeCore>) {
+        let scheduler = Scheduler::with_options(
+            StudyConfig::smoke(),
+            qods_service::pool::host_threads(),
+            caching,
+        );
+        let core = Arc::new(ServeCore::new(
+            scheduler,
+            ServeOptions {
+                // Every connection must admit at once: the generator
+                // measures throughput, not shedding.
+                max_inflight: 2 * connections,
+                ..ServeOptions::default()
+            },
+        ));
+        let server = NetServer::bind(Arc::clone(&core), "127.0.0.1:0").expect("bind load server");
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.serve().expect("load server serves"));
+        (addr, handle, core)
+    };
+
+    // One timed pass: the batch split round-robin across the client
+    // connections, each roundtrip recorded into the shared histogram.
+    let one_pass = |addr: SocketAddr, latency: &Arc<LatencyHistogram>| -> Result<f64, ExitCode> {
+        let t0 = std::time::Instant::now();
+        let workers: Vec<JoinHandle<Result<(), String>>> = (0..connections)
+            .map(|c| {
+                let lines = Arc::clone(&lines);
+                let latency = Arc::clone(latency);
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+                    for line in lines.iter().skip(c).step_by(connections) {
+                        let t = std::time::Instant::now();
+                        let response = client
+                            .roundtrip(line)
+                            .map_err(|e| e.to_string())?
+                            .ok_or_else(|| "server closed the connection".to_string())?;
+                        latency.record(t.elapsed());
+                        if !response.contains("\"event\":\"result\"") {
+                            return Err(format!("request rejected: {response}"));
+                        }
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        let mut failed = false;
+        for w in workers {
+            if let Err(e) = w.join().expect("load client thread") {
+                eprintln!("load client failed: {e}");
+                failed = true;
+            }
+        }
+        if failed {
+            return Err(ExitCode::FAILURE);
+        }
+        Ok(t0.elapsed().as_secs_f64())
+    };
+
+    // A fresh probe connection per stats read; the counters must not
+    // include the probe's own traffic beyond its connection.
+    let read_stats = |addr: SocketAddr| -> StatsLine {
+        let mut probe = Client::connect(addr).expect("connect stats probe");
+        probe.stats().expect("stats verb answers")
+    };
+    let stop = |addr: SocketAddr, server: JoinHandle<()>| {
+        Client::connect(addr)
+            .expect("connect for shutdown")
+            .shutdown()
+            .expect("shutdown acknowledged");
+        server.join().expect("load server exits");
+    };
+
+    println!(
+        "load generator: {requests} requests over TCP, {unique} distinct configs \
+         ({:.0}% repeats), {connections} connections, {} worker threads",
+        100.0 * (1.0 - unique as f64 / requests as f64),
+        qods_service::pool::host_threads(),
+    );
+
+    let latency = Arc::new(LatencyHistogram::new());
+
+    // Cold service: no cache, so only *in-flight* coalescing can save
+    // a duplicate — exactly the serving layer's contribution.
+    let (addr, server, _core) = start(false);
+    let cold_s = match one_pass(addr, &latency) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let cold_stats = read_stats(addr);
+    stop(addr, server);
+    println!(
+        "  cold service:    {cold_s:.3}s  ({:.1} req/s, {} executed, {} coalesced in flight)",
+        requests as f64 / cold_s,
+        cold_stats.executed,
+        cold_stats.coalesced,
+    );
+
+    // Warm service: fill pass, then the steady-state pass a
+    // long-running server sustains on repeat-heavy traffic.
+    let (addr, server, _core) = start(true);
+    let fill_s = match one_pass(addr, &latency) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let fill_stats = read_stats(addr);
+    println!(
+        "  warm, 1st pass:  {fill_s:.3}s  ({:.1} req/s, {} executed, {} coalesced, \
+         {:.0}% context hits)",
+        requests as f64 / fill_s,
+        fill_stats.executed,
+        fill_stats.coalesced,
+        100.0 * fill_stats.context_hits as f64
+            / (fill_stats.context_hits + fill_stats.context_misses).max(1) as f64,
+    );
+    let warm_s = match one_pass(addr, &latency) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    stop(addr, server);
+    println!(
+        "  warm, steady:    {warm_s:.3}s  ({:.1} req/s)",
+        requests as f64 / warm_s,
+    );
+
+    let summary = latency.summary();
+    println!(
+        "  latency over {} roundtrips: p50 {:.2} ms, p99 {:.2} ms, max {:.2} ms",
+        summary.count,
+        summary.p50_us / 1e3,
+        summary.p99_us / 1e3,
+        summary.max_us / 1e3,
     );
     let first_ratio = cold_s / fill_s;
     let ratio = cold_s / warm_s;
@@ -689,6 +906,57 @@ fn run_compile_smoke(quick: bool, baseline_path: Option<&str>) -> ExitCode {
         }
         Err(verdict) => {
             eprintln!("compile perf gate FAILED: {verdict}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Runs the concurrent-serving perf smoke (`--bench-json serve` /
+/// `--bench-check-serve`): 8 lockstep connections vs 1 sequential one
+/// against cache-off TCP servers, gated on exactly-once execution of
+/// coalesced duplicates and the >= 3x concurrency-scaling floor.
+fn run_serve_smoke(quick: bool, baseline_path: Option<&str>) -> ExitCode {
+    let rounds = if quick {
+        perf::QUICK_SERVE_ROUNDS
+    } else {
+        perf::SERVE_ROUNDS
+    };
+    let report = perf::serve_smoke(perf::SERVE_CONNECTIONS, rounds);
+    print!("{}", perf::render_serve_report(&report));
+    let out = if quick {
+        Path::new("results/BENCH_serve.json")
+    } else {
+        Path::new("BENCH_serve.json")
+    };
+    if let Err(e) = write_json(out, &report) {
+        eprintln!("failed to write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {}", out.display());
+    let Some(path) = baseline_path else {
+        return ExitCode::SUCCESS;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read baseline {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline: perf::ServeBenchReport = match serde_json::from_str(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot parse baseline {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match perf::check_serve_against(&report, &baseline, 2.0, 3.0) {
+        Ok(verdict) => {
+            println!("serve perf gate OK: {verdict}");
+            ExitCode::SUCCESS
+        }
+        Err(verdict) => {
+            eprintln!("serve perf gate FAILED: {verdict}");
             ExitCode::FAILURE
         }
     }

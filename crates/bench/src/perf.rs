@@ -1,6 +1,8 @@
 //! Machine-readable performance smokes: the Fig 4 Monte-Carlo panel
-//! (`BENCH_montecarlo.json`) and the Fig 15 architecture sweep
-//! (`BENCH_sweep.json`), so the perf trajectory of both hot paths is
+//! (`BENCH_montecarlo.json`), the Fig 15 architecture sweep
+//! (`BENCH_sweep.json`), the staged kernel compile
+//! (`BENCH_compile.json`), and the concurrent TCP serving layer
+//! (`BENCH_serve.json`), so the perf trajectory of every hot path is
 //! tracked across PRs instead of living in commit messages.
 //!
 //! The committed JSON files at the repo root double as perf baselines:
@@ -727,4 +729,387 @@ pub fn check_compile_against(
         return Err(verdict);
     }
     Ok(verdict)
+}
+
+/// The serving layer's latency accounting, re-exported so bench
+/// callers (the load generator, external harnesses) address one
+/// crate: `qods_bench::perf::LatencyHistogram` *is*
+/// [`qods_service::stats::LatencyHistogram`] — the same type the
+/// `stats` verb reports through.
+pub use qods_service::stats::{LatencyHistogram, LatencySummary};
+
+/// Connections for the committed serve smoke (the ISSUE's workload).
+pub const SERVE_CONNECTIONS: usize = 8;
+/// Lockstep rounds for the full (committed-baseline) serve smoke.
+pub const SERVE_ROUNDS: usize = 10;
+/// Lockstep rounds for the quick (CI) serve smoke.
+pub const QUICK_SERVE_ROUNDS: usize = 5;
+/// Monte-Carlo trials per served job: sized so one job costs ~100 ms
+/// in release — two orders of magnitude above client-thread
+/// scheduling skew, which is what makes the exactly-once coalescing
+/// assertion below robust rather than a timing lottery.
+pub const SERVE_TRIALS: u64 = 200_000;
+
+/// The full report written to `BENCH_serve.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeBenchReport {
+    /// Format tag.
+    pub schema: String,
+    /// Concurrent client connections in the multi-connection run.
+    pub connections: usize,
+    /// Lockstep rounds; each round is one fresh configuration that
+    /// every connection requests simultaneously.
+    pub rounds: usize,
+    /// Requests answered per run (`rounds * connections`, both runs).
+    pub requests_total: usize,
+    /// Fraction of requests that duplicate another in-flight request
+    /// (`1 - 1/connections`: everything but each round's leader).
+    pub repeat_fraction: f64,
+    /// Monte-Carlo trials per job (the per-job cost knob).
+    pub trials_per_job: u64,
+    /// Wall seconds for one connection submitting all requests
+    /// sequentially against a cache-off server (nothing coalesces,
+    /// nothing is cached: every duplicate pays full price).
+    pub single_wall_s: f64,
+    /// Requests per second of the single-connection baseline.
+    pub single_rps: f64,
+    /// Wall seconds for `connections` lockstep connections against an
+    /// identical cache-off server (duplicates coalesce in flight).
+    pub multi_wall_s: f64,
+    /// Requests per second of the multi-connection run.
+    pub multi_rps: f64,
+    /// `multi_rps / single_rps` — the serving layer's concurrency
+    /// win. Coalescing alone collapses each round's `connections`
+    /// duplicates onto one execution, so this holds on a single-core
+    /// host; worker parallelism only adds to it.
+    pub scaling: f64,
+    /// Jobs the multi-connection server actually executed — the
+    /// exactly-once contract: must equal `rounds`, and the gate
+    /// hard-fails otherwise.
+    pub executed_jobs: u64,
+    /// Requests answered by joining an in-flight execution (must be
+    /// `rounds * (connections - 1)` when coalescing is airtight).
+    pub coalesced_jobs: u64,
+    /// Client-observed per-request latency over the multi-connection
+    /// run, from the same [`LatencyHistogram`] the `stats` verb uses.
+    pub latency: LatencySummary,
+    /// Host-speed yardstick shared with the other smokes; the CI gate
+    /// compares `multi_rps * calibration_ns_per_op`.
+    pub calibration_ns_per_op: f64,
+}
+
+/// One serve-smoke job line: round `round` as seen from client
+/// `client`. The seed varies per round (each round is a distinct
+/// configuration) but not per client (a round's requests must share
+/// their coalescing key).
+fn serve_job_line(round: usize, client: usize) -> String {
+    format!(
+        "{{\"id\":\"r{round}c{client}\",\"experiments\":[\"fig4\"],\
+         \"overrides\":{{\"mc_trials\":{SERVE_TRIALS},\"seed\":{}}}}}",
+        1_000 + round as u64
+    )
+}
+
+/// Starts an in-process cache-off TCP server for the smoke. Caching
+/// is off so the counters prove *in-flight coalescing*, not the
+/// content-addressed cache (which the service smokes already gate);
+/// one worker thread so the scaling number can only come from the
+/// serving layer, never from engine parallelism.
+fn serve_smoke_server() -> (
+    std::net::SocketAddr,
+    std::thread::JoinHandle<()>,
+    std::sync::Arc<qods_net::ServeCore>,
+) {
+    use qods_core::study::StudyConfig;
+    use qods_net::{NetServer, ServeCore, ServeOptions};
+    use qods_service::Scheduler;
+    use std::sync::Arc;
+
+    let scheduler = Scheduler::with_options(StudyConfig::smoke(), 1, false);
+    let core = Arc::new(ServeCore::new(
+        scheduler,
+        ServeOptions {
+            max_inflight: 2 * SERVE_CONNECTIONS,
+            ..ServeOptions::default()
+        },
+    ));
+    let server = NetServer::bind(Arc::clone(&core), "127.0.0.1:0").expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.serve().expect("smoke server serves"));
+    (addr, handle, core)
+}
+
+/// Runs the concurrent-serving smoke: the same `rounds x connections`
+/// request stream (every round one fresh config, duplicated across
+/// all connections) against two identical cache-off servers — once
+/// over a single connection sequentially, once over `connections`
+/// lockstep connections — and reports the throughput scaling plus the
+/// coalescing counters that prove duplicates executed exactly once.
+///
+/// # Panics
+///
+/// Panics when a request errors or a transport fails — a broken
+/// server is not a perf number.
+pub fn serve_smoke(connections: usize, rounds: usize) -> ServeBenchReport {
+    use qods_net::Client;
+    use std::sync::{Arc, Barrier};
+
+    let connections = connections.max(2);
+    let rounds = rounds.max(1);
+    let requests_total = rounds * connections;
+
+    // Warm the code paths (and the in-process artifact store) once so
+    // neither run pays one-time compilation.
+    {
+        let (addr, server, _core) = serve_smoke_server();
+        let mut c = Client::connect(addr).expect("connect warmup");
+        let line = "{\"experiments\":[\"fig4\"],\"overrides\":{\"mc_trials\":2000}}";
+        let r = c.roundtrip(line).expect("warmup").expect("warmup answers");
+        assert!(r.contains("\"event\":\"result\""), "{r}");
+        c.shutdown().expect("warmup shutdown");
+        server.join().expect("warmup server exits");
+    }
+
+    // Single-connection baseline: every request in sequence; with the
+    // cache off each of the `connections` duplicates per round pays
+    // the full computation.
+    let (addr, server, _core) = serve_smoke_server();
+    let mut client = Client::connect(addr).expect("connect baseline");
+    let t0 = Instant::now();
+    for round in 0..rounds {
+        for c in 0..connections {
+            let line = client
+                .roundtrip(&serve_job_line(round, c))
+                .expect("roundtrip")
+                .expect("result line");
+            assert!(line.contains("\"event\":\"result\""), "{line}");
+        }
+    }
+    let single_wall_s = t0.elapsed().as_secs_f64();
+    client.shutdown().expect("baseline shutdown");
+    server.join().expect("baseline server exits");
+
+    // Multi-connection run: `connections` clients in lockstep rounds;
+    // each round's duplicates arrive together and coalesce onto one
+    // execution. Latency is recorded client-side into the shared
+    // lock-free histogram.
+    let (addr, server, core) = serve_smoke_server();
+    let barrier = Arc::new(Barrier::new(connections + 1));
+    let latency = Arc::new(LatencyHistogram::new());
+    let workers: Vec<_> = (0..connections)
+        .map(|c| {
+            let barrier = Arc::clone(&barrier);
+            let latency = Arc::clone(&latency);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect worker");
+                for round in 0..rounds {
+                    barrier.wait();
+                    let t = Instant::now();
+                    let line = client
+                        .roundtrip(&serve_job_line(round, c))
+                        .expect("roundtrip")
+                        .expect("result line");
+                    latency.record(t.elapsed());
+                    assert!(line.contains("\"event\":\"result\""), "{line}");
+                }
+            })
+        })
+        .collect();
+    let t0 = Instant::now();
+    for _ in 0..rounds {
+        barrier.wait();
+    }
+    for w in workers {
+        w.join().expect("worker thread");
+    }
+    let multi_wall_s = t0.elapsed().as_secs_f64();
+
+    let mut probe = Client::connect(addr).expect("connect probe");
+    let stats = probe.stats().expect("stats verb");
+    probe.shutdown().expect("smoke shutdown");
+    server.join().expect("smoke server exits");
+    drop(core);
+
+    let single_rps = requests_total as f64 / single_wall_s;
+    let multi_rps = requests_total as f64 / multi_wall_s;
+    ServeBenchReport {
+        schema: "qods-bench-serve/v1".to_string(),
+        connections,
+        rounds,
+        requests_total,
+        repeat_fraction: 1.0 - 1.0 / connections as f64,
+        trials_per_job: SERVE_TRIALS,
+        single_wall_s,
+        single_rps,
+        multi_wall_s,
+        multi_rps,
+        scaling: multi_rps / single_rps,
+        executed_jobs: stats.executed,
+        coalesced_jobs: stats.coalesced,
+        latency: latency.summary(),
+        calibration_ns_per_op: calibration_ns_per_op(SMOKE_REPS),
+    }
+}
+
+/// Renders the serve report as the human-readable side of the smoke.
+pub fn render_serve_report(r: &ServeBenchReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Concurrent serving smoke ({} connections x {} rounds, {:.0}% duplicates, \
+         {} trials/job, cache off):",
+        r.connections,
+        r.rounds,
+        100.0 * r.repeat_fraction,
+        r.trials_per_job
+    );
+    let _ = writeln!(
+        out,
+        "  single connection: {:>7.3} s  ({:>6.1} req/s, every duplicate recomputed)",
+        r.single_wall_s, r.single_rps
+    );
+    let _ = writeln!(
+        out,
+        "  {} connections:     {:>7.3} s  ({:>6.1} req/s, {} executions + {} coalesced)",
+        r.connections, r.multi_wall_s, r.multi_rps, r.executed_jobs, r.coalesced_jobs
+    );
+    let _ = writeln!(
+        out,
+        "  scaling {:.1}x; client latency p50 {:.1} ms / p99 {:.1} ms / max {:.1} ms",
+        r.scaling,
+        r.latency.p50_us / 1e3,
+        r.latency.p99_us / 1e3,
+        r.latency.max_us / 1e3
+    );
+    out
+}
+
+/// Compares a fresh serve smoke against a checked-in baseline:
+/// fails when coalesced duplicates did not execute exactly once
+/// (`executed_jobs != rounds`), when nothing coalesced at all, when
+/// throughput scaling fell below `min_scaling` (CI uses 3.0, the
+/// ISSUE's floor), or when machine-normalized multi-connection
+/// throughput regressed more than `max_regression` (CI uses 2.0).
+pub fn check_serve_against(
+    current: &ServeBenchReport,
+    baseline: &ServeBenchReport,
+    max_regression: f64,
+    min_scaling: f64,
+) -> Result<String, String> {
+    let normalize = |r: &ServeBenchReport| r.multi_rps * r.calibration_ns_per_op;
+    let ratio = normalize(baseline) / normalize(current);
+    let verdict = format!(
+        "serving: {} executions for {} rounds, {} coalesced; scaling {:.2}x \
+         (floor {min_scaling:.2}x); current {:.1} req/s x {:.2} ns calib vs \
+         baseline {:.1} req/s x {:.2} ns calib (normalized slowdown {ratio:.2}, \
+         limit {max_regression:.2})",
+        current.executed_jobs,
+        current.rounds,
+        current.coalesced_jobs,
+        current.scaling,
+        current.multi_rps,
+        current.calibration_ns_per_op,
+        baseline.multi_rps,
+        baseline.calibration_ns_per_op,
+    );
+    if current.executed_jobs != current.rounds as u64 {
+        return Err(format!(
+            "{verdict} -- coalesced duplicates must execute exactly once"
+        ));
+    }
+    if current.coalesced_jobs == 0 {
+        return Err(format!("{verdict} -- nothing coalesced"));
+    }
+    if current.scaling < min_scaling {
+        return Err(format!("{verdict} -- concurrency scaling below the floor"));
+    }
+    if ratio > max_regression {
+        return Err(verdict);
+    }
+    Ok(verdict)
+}
+
+#[cfg(test)]
+mod serve_tests {
+    use super::*;
+
+    fn synthetic_serve_report() -> ServeBenchReport {
+        // Synthetic report: the JSON contract and the gate logic,
+        // without paying for 80 x ~100 ms served jobs in a debug test
+        // (CI's quick smoke runs the real thing in release).
+        ServeBenchReport {
+            schema: "qods-bench-serve/v1".to_string(),
+            connections: 8,
+            rounds: 10,
+            requests_total: 80,
+            repeat_fraction: 0.875,
+            trials_per_job: SERVE_TRIALS,
+            single_wall_s: 8.0,
+            single_rps: 10.0,
+            multi_wall_s: 1.2,
+            multi_rps: 66.7,
+            scaling: 6.67,
+            executed_jobs: 10,
+            coalesced_jobs: 70,
+            latency: LatencySummary {
+                count: 80,
+                mean_us: 105_000.0,
+                p50_us: 101_000.0,
+                p99_us: 140_000.0,
+                max_us: 150_000.0,
+            },
+            calibration_ns_per_op: 2.0,
+        }
+    }
+
+    #[test]
+    fn serve_report_roundtrips_and_gate_passes_itself() {
+        let r = synthetic_serve_report();
+        let json = serde_json::to_string_pretty(&r).expect("serialize");
+        let back: ServeBenchReport = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back.connections, 8);
+        assert_eq!(back.executed_jobs, 10);
+        assert_eq!(back.latency.count, 80);
+        let verdict = check_serve_against(&back, &r, 2.0, 3.0);
+        assert!(verdict.is_ok(), "{verdict:?}");
+    }
+
+    #[test]
+    fn serve_gate_fails_on_every_broken_contract() {
+        let good = synthetic_serve_report();
+        // Duplicate executed twice: exactly-once broken.
+        let mut double = good.clone();
+        double.executed_jobs = 11;
+        let err = check_serve_against(&double, &good, 2.0, 3.0).unwrap_err();
+        assert!(err.contains("exactly once"), "{err}");
+        // Nothing coalesced.
+        let mut cold = good.clone();
+        cold.coalesced_jobs = 0;
+        assert!(check_serve_against(&cold, &good, 2.0, 3.0)
+            .unwrap_err()
+            .contains("nothing coalesced"));
+        // Scaling below the ISSUE's 3x floor.
+        let mut flat = good.clone();
+        flat.scaling = 2.4;
+        assert!(check_serve_against(&flat, &good, 2.0, 3.0)
+            .unwrap_err()
+            .contains("below the floor"));
+        // A 3x normalized slowdown fails the 2x rule.
+        let mut slow = good.clone();
+        slow.multi_rps /= 3.0;
+        assert!(check_serve_against(&slow, &good, 2.0, 3.0).is_err());
+    }
+
+    #[test]
+    fn latency_histogram_is_reachable_through_perf() {
+        // The satellite contract: one histogram type serves the
+        // `stats` verb, the load generator, and bench callers.
+        let h = LatencyHistogram::new();
+        h.record(std::time::Duration::from_millis(3));
+        h.record(std::time::Duration::from_millis(5));
+        let s = h.summary();
+        assert_eq!(s.count, 2);
+        assert!(s.p99_us >= s.p50_us);
+    }
 }

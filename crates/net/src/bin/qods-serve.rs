@@ -1,0 +1,210 @@
+//! `qods-serve` — the speed-of-data job service daemon.
+//!
+//! Speaks newline-delimited JSON: each input line is one
+//! [`RunRequest`] —
+//!
+//! ```text
+//! {"id":"j1","experiments":["table9","fig7"],"overrides":{"n_bits":8}}
+//! ```
+//!
+//! — answered by exactly one `result` (or `error`) line, or a control
+//! verb (`{"verb":"stats"}`, `ping`, `shutdown`). By default the
+//! daemon serves stdin/stdout; with `--listen ADDR` it serves many
+//! concurrent TCP clients (thread-per-connection) through the same
+//! core: in-flight duplicates coalesce onto one execution, admission
+//! control sheds load past the queue bound with typed `overloaded`
+//! errors, and `stats` reports latency percentiles, cache hit rates,
+//! and coalesce counts. Result lines carry no timing, so for a fixed
+//! request sequence the output stream is byte-reproducible on either
+//! transport (CI pipes a batch through and diffs against direct
+//! registry runs).
+//!
+//! ```text
+//! qods-serve [--listen ADDR] [--threads N] [--progress] [--no-cache]
+//!            [--base quick|paper] [--artifacts DIR]
+//!            [--max-connections N] [--max-inflight N] [--max-queue N]
+//!            [--max-requests-per-conn N]
+//! ```
+
+use qods_net::server::{serve_stdio, NetServer, ServeCore, ServeOptions};
+use qods_service::prelude::*;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn usage() -> &'static str {
+    "usage: qods-serve [--listen ADDR] [--threads N] [--progress] [--no-cache]\n\
+     \t\t  [--base quick|paper] [--artifacts DIR]\n\
+     \t\t  [--max-connections N] [--max-inflight N] [--max-queue N]\n\
+     \t\t  [--max-requests-per-conn N]\n\
+     \n\
+     Reads one JSON request per line:\n\
+     {\"id\":\"j1\",\"experiments\":[\"table9\"],\"overrides\":{\"n_bits\":8}}\n\
+     (empty `experiments` = the full registry; overrides are sparse)\n\
+     or a control verb ({\"verb\":\"stats\"|\"ping\"|\"shutdown\"}), and\n\
+     writes one `result`/`error` (or verb-answer) JSON line per request.\n\
+     --listen ADDR serve TCP clients on ADDR (e.g. 127.0.0.1:7878; port 0\n\
+     \t\t  picks one — see the `listening on` stderr line); default\n\
+     \t\t  is the stdio daemon\n\
+     --threads N   pin every worker pool in the process to N threads\n\
+     --progress    stream `started`/`experiment` lines as work finishes\n\
+     --no-cache    disable the content-addressed cache (cold service)\n\
+     --base quick  resolve overrides against the smoke config, not the paper's\n\
+     --artifacts DIR  persist compiled kernel artifacts under DIR\n\
+     \t\t  (default results/.artifacts; QODS_ARTIFACT_DIR overrides;\n\
+     \t\t  empty DIR keeps artifacts in memory only)\n\
+     --max-connections N      concurrent TCP clients (default 64)\n\
+     --max-inflight N         jobs executing concurrently (default 32)\n\
+     --max-queue N            jobs waiting for a slot; more shed as\n\
+     \t\t  `overloaded` errors (default 64)\n\
+     --max-requests-per-conn N  job lines one connection may submit\n\
+     \t\t  (default 0 = unlimited)"
+}
+
+/// Parses one `--flag N` unsigned argument or prints usage and fails.
+fn parse_count(flag: &str, value: Option<String>) -> Result<usize, ExitCode> {
+    match value.and_then(|n| n.parse::<usize>().ok()) {
+        Some(n) => Ok(n),
+        None => {
+            eprintln!("{flag} needs a non-negative integer\n{}", usage());
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut threads: Option<usize> = None;
+    let mut listen: Option<String> = None;
+    let mut caching = true;
+    let mut artifacts: Option<String> = None;
+    let mut base = StudyConfig::default();
+    let mut options = ServeOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threads" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => threads = Some(n),
+                _ => {
+                    eprintln!("--threads needs a positive integer\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--listen" => match args.next() {
+                Some(addr) => listen = Some(addr),
+                None => {
+                    eprintln!(
+                        "--listen needs an address (e.g. 127.0.0.1:7878)\n{}",
+                        usage()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--progress" => options.progress = true,
+            "--no-cache" => caching = false,
+            "--artifacts" => match args.next() {
+                Some(dir) => artifacts = Some(dir),
+                None => {
+                    eprintln!("--artifacts needs a directory (or \"\")\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--base" => match args.next().as_deref() {
+                Some("quick") => base = StudyConfig::smoke(),
+                Some("paper") => base = StudyConfig::default(),
+                other => {
+                    eprintln!(
+                        "--base must be `quick` or `paper`, got {other:?}\n{}",
+                        usage()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--max-connections" => match parse_count(&a, args.next()) {
+                Ok(n) if n >= 1 => options.max_connections = n,
+                Ok(_) => {
+                    eprintln!("--max-connections needs a positive integer\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+                Err(code) => return code,
+            },
+            "--max-inflight" => match parse_count(&a, args.next()) {
+                Ok(n) if n >= 1 => options.max_inflight = n,
+                Ok(_) => {
+                    eprintln!("--max-inflight needs a positive integer\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+                Err(code) => return code,
+            },
+            "--max-queue" => match parse_count(&a, args.next()) {
+                Ok(n) => options.max_queue = n,
+                Err(code) => return code,
+            },
+            "--max-requests-per-conn" => match parse_count(&a, args.next()) {
+                Ok(n) => options.max_requests_per_conn = n as u64,
+                Err(code) => return code,
+            },
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // Pin every pool in the process (sweeps and Monte-Carlo included),
+    // then build the scheduler on the same count.
+    if let Some(n) = threads {
+        qods_service::pool::set_thread_override(Some(n));
+    }
+    // Attach the disk artifact tier before any compilation: warm-disk
+    // daemon starts skip kernel lowering entirely. An explicit empty
+    // `--artifacts` keeps the store in memory.
+    let artifacts =
+        artifacts.unwrap_or_else(|| qods_core::compile::DEFAULT_ARTIFACT_DIR.to_string());
+    let store = if artifacts.is_empty() {
+        qods_core::compile::ArtifactStore::process()
+    } else {
+        qods_core::compile::ArtifactStore::init_process(std::path::Path::new(&artifacts))
+    };
+    let scheduler = Scheduler::with_options(base, qods_service::pool::host_threads(), caching);
+    eprintln!(
+        "qods-serve: ready ({} worker threads, cache {}, artifacts {})",
+        scheduler.threads(),
+        if caching { "on" } else { "off" },
+        store
+            .dir()
+            .map(|d| d.display().to_string())
+            .unwrap_or_else(|| "in-memory".to_string()),
+    );
+    let core = Arc::new(ServeCore::new(scheduler, options));
+
+    match listen {
+        None => match serve_stdio(&core) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some(addr) => {
+            let server = match NetServer::bind(core, &addr) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("bind {addr} failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            // Tests and scripts parse this line for the resolved port.
+            eprintln!("qods-serve: listening on {}", server.local_addr());
+            match server.serve() {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("serve failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+    }
+}

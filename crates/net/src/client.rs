@@ -1,0 +1,119 @@
+//! A minimal blocking NDJSON client for the TCP transport — what the
+//! integration tests and the `repro --load --connections N` load
+//! generator drive the server with.
+
+use crate::protocol::StatsLine;
+use serde::Serialize;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// One NDJSON connection to a `qods-serve --listen` server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// The connect/clone error.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { reader, writer })
+    }
+
+    /// Sends one raw request line (the newline is added here).
+    ///
+    /// # Errors
+    ///
+    /// The write error.
+    pub fn send_line(&mut self, line: &str) -> std::io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Sends one serializable request (e.g. a `RunRequest`).
+    ///
+    /// # Errors
+    ///
+    /// The write error.
+    pub fn send<T: Serialize>(&mut self, request: &T) -> std::io::Result<()> {
+        self.send_line(&serde_json::to_string(request).expect("requests always serialize"))
+    }
+
+    /// Reads the next response line; `None` on server EOF.
+    ///
+    /// # Errors
+    ///
+    /// The read error.
+    pub fn recv_line(&mut self) -> std::io::Result<Option<String>> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(Some(line))
+    }
+
+    /// Sends one request line and returns its (single) response line;
+    /// `None` if the server closed instead of answering. Only valid
+    /// when the server is not in `--progress` mode (progress lines
+    /// would arrive first).
+    ///
+    /// # Errors
+    ///
+    /// The transport error.
+    pub fn roundtrip(&mut self, line: &str) -> std::io::Result<Option<String>> {
+        self.send_line(line)?;
+        self.recv_line()
+    }
+
+    /// Issues the `stats` verb and parses the answer.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or `InvalidData` when the answer does not
+    /// parse as a stats line (or the server closed first).
+    pub fn stats(&mut self) -> std::io::Result<StatsLine> {
+        let line = self
+            .roundtrip("{\"verb\":\"stats\"}")?
+            .ok_or_else(|| invalid("server closed before answering stats"))?;
+        serde_json::from_str(&line)
+            .map_err(|e| invalid(&format!("stats line did not parse: {e}: {line}")))
+    }
+
+    /// Issues the `ping` verb and checks for the `pong` answer.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or `InvalidData` on a non-pong answer.
+    pub fn ping(&mut self) -> std::io::Result<()> {
+        match self.roundtrip("{\"verb\":\"ping\"}")? {
+            Some(line) if line.contains("\"event\":\"pong\"") => Ok(()),
+            other => Err(invalid(&format!("expected pong, got {other:?}"))),
+        }
+    }
+
+    /// Issues the `shutdown` verb and returns the acknowledgement
+    /// line (the server drains and exits after it).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or `InvalidData` when the server closed
+    /// without acknowledging.
+    pub fn shutdown(&mut self) -> std::io::Result<String> {
+        self.roundtrip("{\"verb\":\"shutdown\"}")?
+            .ok_or_else(|| invalid("server closed before acknowledging shutdown"))
+    }
+}
+
+fn invalid(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}

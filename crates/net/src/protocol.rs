@@ -1,0 +1,356 @@
+//! The NDJSON wire protocol both transports (stdio and TCP) speak.
+//!
+//! One JSON object per input line. A line is either a **job** — a
+//! [`RunRequest`] (`{"id":..,"experiments":[..],"overrides":{..}}`)
+//! answered by exactly one `result` or `error` line — or a **verb**
+//! (`{"verb":"stats"}`): a control-plane request answered by one
+//! typed line. Verbs bypass admission control, so `stats` still
+//! answers while the job queue is refusing work.
+//!
+//! Result lines carry no timing and are rendered from deterministic
+//! fields only, so for a fixed request sequence the response stream
+//! is byte-reproducible — the transport byte-identity tests pipe the
+//! same batch through stdio and TCP and diff the bytes against direct
+//! `Registry` runs. These structs moved verbatim from the old stdio
+//! daemon; changing their field set or order changes served bytes and
+//! fails those tests.
+
+use qods_service::prelude::*;
+use serde::{Deserialize, Serialize, Value};
+
+/// One experiment's result in a `result` line (no timing: the line
+/// must be byte-reproducible for a fixed request sequence).
+#[derive(Serialize)]
+pub struct RecordLine {
+    /// Experiment id.
+    pub id: String,
+    /// Experiment title.
+    pub title: String,
+    /// The full experiment output.
+    pub output: qods_core::experiment::ExperimentOutput,
+}
+
+/// The one `result` line a successful job answers with.
+#[derive(Serialize)]
+pub struct ResultLine {
+    /// Always `"result"`.
+    pub event: &'static str,
+    /// The request's correlation id (the *caller's*, also for
+    /// coalesced responses).
+    pub id: Option<String>,
+    /// Content hash of the resolved configuration, hex.
+    pub config: String,
+    /// Whether the study context came from the cache.
+    pub context_hit: bool,
+    /// Experiments served from the output cache.
+    pub output_hits: usize,
+    /// Experiments actually computed.
+    pub computed: usize,
+    /// One record per requested experiment, in request order.
+    pub records: Vec<RecordLine>,
+}
+
+/// Why a request was refused — the typed half of an [`ErrorLine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The line was not a parseable request.
+    BadRequest,
+    /// The scheduler rejected the job ([`ServiceError`]).
+    Rejected,
+    /// Admission control refused the job: queue full.
+    Overloaded,
+    /// The server is draining and accepts no new jobs.
+    ShuttingDown,
+    /// This connection exceeded its per-connection request limit.
+    ConnectionLimit,
+}
+
+impl ErrorKind {
+    /// The wire tag (`"kind"` field of an error line).
+    pub fn tag(self) -> &'static str {
+        match self {
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::Rejected => "rejected",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::ShuttingDown => "shutting_down",
+            ErrorKind::ConnectionLimit => "connection_limit",
+        }
+    }
+}
+
+/// The one `error` line a refused job (or unparseable line) answers
+/// with. `kind` is machine-checkable; `error` is the human-readable
+/// diagnostic.
+#[derive(Serialize)]
+pub struct ErrorLine {
+    /// Always `"error"`.
+    pub event: &'static str,
+    /// The request's correlation id when one was parseable.
+    pub id: Option<String>,
+    /// Machine-checkable refusal class ([`ErrorKind::tag`]).
+    pub kind: &'static str,
+    /// Human-readable diagnostic.
+    pub error: String,
+}
+
+impl ErrorLine {
+    /// Builds an error line of the given kind.
+    pub fn new(kind: ErrorKind, id: Option<String>, error: String) -> Self {
+        ErrorLine {
+            event: "error",
+            id,
+            kind: kind.tag(),
+            error,
+        }
+    }
+}
+
+/// A `--progress` stream line.
+#[derive(Serialize)]
+pub struct ProgressLine {
+    /// `"started"` or `"experiment"`.
+    pub event: &'static str,
+    /// The request's correlation id.
+    pub id: Option<String>,
+    /// Config hash hex (on `started`).
+    pub config: Option<String>,
+    /// Experiment id (on `experiment`).
+    pub experiment: Option<String>,
+    /// Cache hit flag.
+    pub cache_hit: Option<bool>,
+    /// Wall-clock seconds (on `experiment`).
+    pub seconds: Option<f64>,
+}
+
+/// The control verbs a line can carry instead of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verb {
+    /// Answer one `stats` line (serving counters + latency summary).
+    Stats,
+    /// Answer one `pong` line (liveness probe).
+    Ping,
+    /// Acknowledge, stop accepting, drain in-flight jobs, exit 0.
+    Shutdown,
+}
+
+/// One parsed input line.
+#[derive(Debug)]
+pub enum Request {
+    /// A job to run.
+    Job(Box<RunRequest>),
+    /// A control verb.
+    Verb(Verb),
+}
+
+/// Parses one wire line: an object with a `"verb"` key is a control
+/// verb; anything else must parse as a [`RunRequest`].
+///
+/// # Errors
+///
+/// A human-readable diagnostic (the caller wraps it in an
+/// [`ErrorLine`] of kind [`ErrorKind::BadRequest`]).
+pub fn parse_line(line: &str) -> Result<Request, String> {
+    let value: Value = serde_json::from_str(line).map_err(|e| format!("bad request: {e}"))?;
+    if let Some(verb) = value.get("verb") {
+        let name = match verb {
+            Value::Str(s) => s.as_str(),
+            _ => return Err("bad request: `verb` must be a string".to_string()),
+        };
+        return match name {
+            "stats" => Ok(Request::Verb(Verb::Stats)),
+            "ping" => Ok(Request::Verb(Verb::Ping)),
+            "shutdown" => Ok(Request::Verb(Verb::Shutdown)),
+            other => Err(format!(
+                "bad request: unknown verb `{other}` (verbs: stats, ping, shutdown)"
+            )),
+        };
+    }
+    match Deserialize::from_value(&value) {
+        Ok(request) => Ok(Request::Job(Box::new(request))),
+        Err(e) => Err(format!("bad request: {e}")),
+    }
+}
+
+/// The one `stats` line the `stats` verb answers with.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StatsLine {
+    /// Always `"stats"`.
+    pub event: String,
+    /// Connections open right now (0 in stdio mode).
+    pub connections: u64,
+    /// Connections accepted since start (0 in stdio mode).
+    pub connections_total: u64,
+    /// Request lines admitted for execution since start.
+    pub requests: u64,
+    /// `result` lines served.
+    pub results: u64,
+    /// `error` lines served (all kinds).
+    pub errors: u64,
+    /// Jobs refused by admission control.
+    pub overloaded: u64,
+    /// Jobs this server executed itself (coalescing leaders).
+    pub executed: u64,
+    /// Jobs answered by joining an in-flight execution.
+    pub coalesced: u64,
+    /// Jobs executing right now.
+    pub in_flight: u64,
+    /// Jobs waiting for an admission slot right now.
+    pub queue_depth: u64,
+    /// Context-cache hits (shared lowering).
+    pub context_hits: u64,
+    /// Context-cache misses (fresh lowering).
+    pub context_misses: u64,
+    /// Output-cache hits (experiment served without compute).
+    pub output_hits: u64,
+    /// Output-cache misses (experiment computed).
+    pub output_misses: u64,
+    /// Request latency summary (admission wait included).
+    pub latency: LatencySummary,
+}
+
+/// Renders a response line as its wire bytes (no trailing newline).
+pub fn render<T: Serialize>(line: &T) -> String {
+    serde_json::to_string(line).expect("response lines always serialize")
+}
+
+/// Builds the `result` line for a finished job. `id` is the *caller's*
+/// correlation id: a coalesced follower echoes its own id, not the
+/// leader's.
+pub fn result_line(id: Option<String>, result: &JobResult) -> ResultLine {
+    ResultLine {
+        event: "result",
+        id,
+        config: hash_hex(result.config_hash),
+        context_hit: result.context_hit,
+        output_hits: result.output_hits,
+        computed: result.computed,
+        records: result
+            .records
+            .iter()
+            .map(|r| RecordLine {
+                id: r.id.clone(),
+                title: r.title.clone(),
+                output: r.output.clone(),
+            })
+            .collect(),
+    }
+}
+
+/// Builds the progress line for one [`JobEvent`].
+pub fn progress_line(event: JobEvent) -> ProgressLine {
+    match event {
+        JobEvent::Started {
+            request_id,
+            config_hash,
+            context_hit,
+            ..
+        } => ProgressLine {
+            event: "started",
+            id: request_id,
+            config: Some(hash_hex(config_hash)),
+            experiment: None,
+            cache_hit: Some(context_hit),
+            seconds: None,
+        },
+        JobEvent::ExperimentDone {
+            request_id,
+            experiment,
+            cache_hit,
+            seconds,
+        } => ProgressLine {
+            event: "experiment",
+            id: request_id,
+            config: None,
+            experiment: Some(experiment),
+            cache_hit: Some(cache_hit),
+            seconds: Some(seconds),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verbs_and_jobs_parse_apart() {
+        assert!(matches!(
+            parse_line("{\"verb\":\"stats\"}"),
+            Ok(Request::Verb(Verb::Stats))
+        ));
+        assert!(matches!(
+            parse_line("{\"verb\":\"shutdown\"}"),
+            Ok(Request::Verb(Verb::Shutdown))
+        ));
+        assert!(matches!(
+            parse_line("{\"verb\":\"ping\"}"),
+            Ok(Request::Verb(Verb::Ping))
+        ));
+        let parsed = parse_line("{\"id\":\"j\",\"experiments\":[\"table9\"]}");
+        match parsed {
+            Ok(Request::Job(job)) => {
+                assert_eq!(job.id.as_deref(), Some("j"));
+                assert_eq!(job.experiments, vec!["table9".to_string()]);
+            }
+            _ => panic!("job line must parse as a job"),
+        }
+    }
+
+    #[test]
+    fn bad_lines_are_diagnostic_errors() {
+        assert!(parse_line("not json").unwrap_err().contains("bad request"));
+        assert!(parse_line("{\"verb\":\"reboot\"}")
+            .unwrap_err()
+            .contains("unknown verb `reboot`"));
+        assert!(parse_line("{\"verb\":1}")
+            .unwrap_err()
+            .contains("must be a string"));
+        assert!(parse_line("{\"experimentz\":[]}")
+            .unwrap_err()
+            .contains("unknown request field"));
+    }
+
+    #[test]
+    fn error_lines_carry_the_typed_kind() {
+        let line = render(&ErrorLine::new(
+            ErrorKind::Overloaded,
+            Some("j9".to_string()),
+            "queue full".to_string(),
+        ));
+        assert!(line.contains("\"event\":\"error\""));
+        assert!(line.contains("\"kind\":\"overloaded\""));
+        assert!(line.contains("\"id\":\"j9\""));
+    }
+
+    #[test]
+    fn stats_line_round_trips() {
+        let line = StatsLine {
+            event: "stats".to_string(),
+            connections: 3,
+            connections_total: 10,
+            requests: 100,
+            results: 95,
+            errors: 5,
+            overloaded: 2,
+            executed: 40,
+            coalesced: 55,
+            in_flight: 1,
+            queue_depth: 0,
+            context_hits: 90,
+            context_misses: 10,
+            output_hits: 300,
+            output_misses: 50,
+            latency: LatencySummary {
+                count: 100,
+                mean_us: 1200.0,
+                p50_us: 900.0,
+                p99_us: 4000.0,
+                max_us: 5000.0,
+            },
+        };
+        let text = render(&line);
+        let back: StatsLine = serde_json::from_str(&text).expect("parse");
+        assert_eq!(back.coalesced, 55);
+        assert_eq!(back.latency.count, 100);
+    }
+}

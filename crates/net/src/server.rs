@@ -1,0 +1,601 @@
+//! The transport-independent serving core and the two transports
+//! (stdio and multi-client TCP) that drive it.
+//!
+//! [`ServeCore`] owns the scheduler, the admission [`Gate`], the
+//! serving counters, and the latency histogram; its
+//! [`ServeCore::handle_line`] is the *whole* per-line behavior —
+//! parse, verb dispatch, admission, coalesced execution, response
+//! rendering. The transports only move bytes: [`serve_stdio`] reads
+//! stdin, [`NetServer`] accepts TCP connections and runs one reader
+//! thread per connection. Because both feed the same `handle_line`,
+//! the served bytes for a given request sequence are identical across
+//! transports (tested in `tests/serve_ndjson.rs`), and both share one
+//! graceful-drain path: stop taking input, let admitted jobs finish
+//! ([`Gate::wait_idle`]), then return — even when the input side
+//! failed mid-stream.
+
+use crate::admission::{Gate, Refusal};
+use crate::protocol::{
+    parse_line, progress_line, render, result_line, ErrorKind, ErrorLine, Request, StatsLine, Verb,
+};
+use qods_service::prelude::*;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Serving policy for one server instance.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Stream `started`/`experiment` progress lines per job.
+    pub progress: bool,
+    /// Jobs admitted to execute concurrently (admission slots).
+    pub max_inflight: usize,
+    /// Jobs allowed to wait for a slot; one more is `overloaded`.
+    pub max_queue: usize,
+    /// Job lines one connection may submit (0 = unlimited); the line
+    /// after the budget answers a `connection_limit` error.
+    pub max_requests_per_conn: u64,
+    /// Concurrent TCP connections; further accepts are refused with
+    /// one `overloaded` error line.
+    pub max_connections: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            progress: false,
+            max_inflight: 32,
+            max_queue: 64,
+            max_requests_per_conn: 0,
+            max_connections: 64,
+        }
+    }
+}
+
+/// Per-connection (or per-stdio-session) state `handle_line` threads
+/// through: the job-line budget.
+#[derive(Debug, Default)]
+pub struct ConnState {
+    jobs_submitted: u64,
+}
+
+/// What the transport should do after one line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineOutcome {
+    /// Keep reading.
+    Continue,
+    /// A `shutdown` verb was served: stop taking input and drain.
+    Shutdown,
+}
+
+/// A whole-line byte sink. Implementations must write the line plus a
+/// newline atomically with respect to other `emit` calls (progress
+/// lines arrive from worker threads) and swallow transport errors —
+/// a dead peer must never panic the server or abort the in-flight
+/// job other callers may be coalesced onto.
+pub trait LineSink: Sync {
+    /// Writes one response line (no trailing newline in `line`).
+    fn emit(&self, line: &str);
+}
+
+/// The transport-independent server: scheduler + admission gate +
+/// counters + latency accounting behind one `handle_line`.
+pub struct ServeCore {
+    scheduler: Scheduler,
+    gate: Gate,
+    options: ServeOptions,
+    latency: LatencyHistogram,
+    draining: AtomicBool,
+    requests: AtomicU64,
+    results: AtomicU64,
+    errors: AtomicU64,
+    overloaded: AtomicU64,
+    connections: AtomicU64,
+    connections_total: AtomicU64,
+}
+
+impl ServeCore {
+    /// A serving core over `scheduler` with the given policy.
+    pub fn new(scheduler: Scheduler, options: ServeOptions) -> Self {
+        let gate = Gate::new(options.max_inflight, options.max_queue);
+        ServeCore {
+            scheduler,
+            gate,
+            options,
+            latency: LatencyHistogram::new(),
+            draining: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            results: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            overloaded: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            connections_total: AtomicU64::new(0),
+        }
+    }
+
+    /// The scheduler this core serves.
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    /// The serving policy.
+    pub fn options(&self) -> &ServeOptions {
+        &self.options
+    }
+
+    /// Serves one input line: empty lines are ignored, verbs answer
+    /// their typed line, job lines run (behind admission, coalesced)
+    /// and answer exactly one `result` or `error` line.
+    pub fn handle_line(
+        &self,
+        line: &str,
+        conn: &mut ConnState,
+        sink: &dyn LineSink,
+    ) -> LineOutcome {
+        if line.trim().is_empty() {
+            return LineOutcome::Continue;
+        }
+        let request = match parse_line(line) {
+            Ok(r) => r,
+            Err(diag) => {
+                self.emit_error(sink, ErrorKind::BadRequest, None, diag);
+                return LineOutcome::Continue;
+            }
+        };
+        match request {
+            Request::Verb(Verb::Ping) => {
+                sink.emit("{\"event\":\"pong\"}");
+                LineOutcome::Continue
+            }
+            Request::Verb(Verb::Stats) => {
+                sink.emit(&render(&self.stats_line()));
+                LineOutcome::Continue
+            }
+            Request::Verb(Verb::Shutdown) => {
+                sink.emit("{\"event\":\"shutting_down\"}");
+                self.begin_drain();
+                LineOutcome::Shutdown
+            }
+            Request::Job(job) => {
+                self.serve_job(&job, conn, sink);
+                LineOutcome::Continue
+            }
+        }
+    }
+
+    /// Runs one job line end to end: per-connection budget, admission,
+    /// coalesced execution, latency accounting, one response line.
+    fn serve_job(&self, job: &RunRequest, conn: &mut ConnState, sink: &dyn LineSink) {
+        let budget = self.options.max_requests_per_conn;
+        if budget > 0 && conn.jobs_submitted >= budget {
+            self.emit_error(
+                sink,
+                ErrorKind::ConnectionLimit,
+                job.id.clone(),
+                format!("connection exceeded its request budget of {budget}"),
+            );
+            return;
+        }
+        conn.jobs_submitted += 1;
+
+        let t0 = Instant::now();
+        let permit = match self.gate.admit() {
+            Ok(p) => p,
+            Err(refusal) => {
+                let kind = match refusal {
+                    Refusal::QueueFull => {
+                        self.overloaded.fetch_add(1, Ordering::Relaxed);
+                        ErrorKind::Overloaded
+                    }
+                    Refusal::Draining => ErrorKind::ShuttingDown,
+                };
+                self.emit_error(sink, kind, job.id.clone(), refusal.to_string());
+                return;
+            }
+        };
+        self.requests.fetch_add(1, Ordering::Relaxed);
+
+        let progress = self.options.progress;
+        let mut emit_event = |event: JobEvent| {
+            if progress {
+                sink.emit(&render(&progress_line(event)));
+            }
+        };
+        let outcome = self
+            .scheduler
+            .run_coalesced_with_events(job, &mut emit_event);
+        drop(permit);
+        self.latency.record(t0.elapsed());
+
+        match outcome {
+            Ok((result, _coalesced)) => {
+                // Echo the *caller's* id: a coalesced response carries
+                // the leader's records but this request's identity.
+                sink.emit(&render(&result_line(job.id.clone(), &result)));
+                self.results.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => self.emit_error(sink, ErrorKind::Rejected, job.id.clone(), e.to_string()),
+        }
+    }
+
+    fn emit_error(&self, sink: &dyn LineSink, kind: ErrorKind, id: Option<String>, diag: String) {
+        sink.emit(&render(&ErrorLine::new(kind, id, diag)));
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Stops admitting jobs (they answer `shutting_down` errors);
+    /// already-admitted jobs keep running.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.gate.drain();
+    }
+
+    /// True once [`ServeCore::begin_drain`] has run.
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until every admitted job has finished.
+    pub fn wait_idle(&self) {
+        self.gate.wait_idle();
+    }
+
+    fn connection_opened(&self) {
+        self.connections.fetch_add(1, Ordering::SeqCst);
+        self.connections_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn connection_closed(&self) {
+        self.connections.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Connections open right now.
+    pub fn connection_count(&self) -> u64 {
+        self.connections.load(Ordering::SeqCst)
+    }
+
+    /// The `stats` verb's answer, assembled from the scheduler, the
+    /// cache, the gate, and this core's counters. Allocation cost is
+    /// one `StatsLine`; recording latency on the hot path is
+    /// allocation-free ([`LatencyHistogram`]).
+    pub fn stats_line(&self) -> StatsLine {
+        let sched = self.scheduler.stats();
+        let cache = self.scheduler.pool().stats();
+        StatsLine {
+            event: "stats".to_string(),
+            connections: self.connection_count(),
+            connections_total: self.connections_total.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            results: self.results.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            overloaded: self.overloaded.load(Ordering::Relaxed),
+            executed: sched.jobs_led,
+            coalesced: sched.jobs_coalesced,
+            in_flight: self.gate.active() as u64,
+            queue_depth: self.gate.waiting() as u64,
+            context_hits: cache.context_hits,
+            context_misses: cache.context_misses,
+            output_hits: cache.output_hits,
+            output_misses: cache.output_misses,
+            latency: self.latency.summary(),
+        }
+    }
+}
+
+/// The stdio sink: one locked write per line keeps lines whole even
+/// with progress events arriving from worker threads.
+struct StdoutSink;
+
+impl LineSink for StdoutSink {
+    fn emit(&self, line: &str) {
+        let mut out = std::io::stdout().lock();
+        // A closed stdout must not panic the drain path; the read
+        // side ends the session.
+        let _ = writeln!(out, "{line}");
+        let _ = out.flush();
+    }
+}
+
+/// Serves the NDJSON protocol on stdin/stdout until EOF, a `shutdown`
+/// verb, or a read error — all three paths drain admitted jobs before
+/// returning (the read-error case used to abandon them).
+///
+/// # Errors
+///
+/// The read-error diagnostic, after draining.
+pub fn serve_stdio(core: &ServeCore) -> Result<(), String> {
+    let sink = StdoutSink;
+    let mut conn = ConnState::default();
+    let mut read_error = None;
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                read_error = Some(format!("stdin read failed: {e}"));
+                break;
+            }
+        };
+        if let LineOutcome::Shutdown = core.handle_line(&line, &mut conn, &sink) {
+            break;
+        }
+    }
+    // One drain path for EOF, shutdown verb, and read error alike.
+    core.begin_drain();
+    core.wait_idle();
+    match read_error {
+        None => Ok(()),
+        Some(e) => Err(e),
+    }
+}
+
+/// A TCP connection's sink: the write half behind a mutex, errors
+/// swallowed (a dead peer ends the session via the read half).
+struct StreamSink {
+    writer: Mutex<TcpStream>,
+}
+
+impl LineSink for StreamSink {
+    fn emit(&self, line: &str) {
+        let mut buf = Vec::with_capacity(line.len() + 1);
+        buf.extend_from_slice(line.as_bytes());
+        buf.push(b'\n');
+        if let Ok(mut w) = self.writer.lock() {
+            let _ = w.write_all(&buf);
+            let _ = w.flush();
+        }
+    }
+}
+
+/// The multi-client TCP transport: thread-per-connection over one
+/// shared [`ServeCore`].
+pub struct NetServer {
+    core: Arc<ServeCore>,
+    listener: TcpListener,
+    local: SocketAddr,
+}
+
+impl NetServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// The bind error.
+    pub fn bind(core: Arc<ServeCore>, addr: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        Ok(NetServer {
+            core,
+            listener,
+            local,
+        })
+    }
+
+    /// The bound address (with the resolved port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Accepts and serves connections until a `shutdown` verb arrives
+    /// on any of them, then drains: stop accepting, half-close every
+    /// connection's read side (their threads finish the job they are
+    /// on, answer it, and exit on EOF), wait for all admitted jobs,
+    /// join every connection thread.
+    ///
+    /// # Errors
+    ///
+    /// Fatal listener errors only; per-connection failures (including
+    /// mid-request disconnects) are contained to their thread.
+    pub fn serve(self) -> std::io::Result<()> {
+        let stop = Arc::new(AtomicBool::new(false));
+        // Read-half clones of every live connection, for the drain's
+        // half-close.
+        let readers: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut threads = Vec::new();
+
+        for incoming in self.listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match incoming {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            // The shutdown self-connect lands here: drop it and stop.
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            if self.core.connection_count() >= self.core.options().max_connections as u64 {
+                let sink = StreamSink {
+                    writer: Mutex::new(stream),
+                };
+                sink.emit(&render(&ErrorLine::new(
+                    ErrorKind::Overloaded,
+                    None,
+                    format!(
+                        "server overloaded: connection limit {} reached",
+                        self.core.options().max_connections
+                    ),
+                )));
+                continue; // dropping the stream closes it
+            }
+            if let Ok(read_half) = stream.try_clone() {
+                readers
+                    .lock()
+                    .expect("reader registry poisoned")
+                    .push(read_half);
+            }
+            let core = self.core.clone();
+            let stop = stop.clone();
+            let local = self.local;
+            threads.push(std::thread::spawn(move || {
+                serve_connection(&core, stream, &stop, local);
+            }));
+        }
+
+        // Drain: no new jobs, half-close every reader so connection
+        // threads fall out of their read loop after the line they are
+        // serving, then wait for the work and the threads.
+        self.core.begin_drain();
+        for reader in readers.lock().expect("reader registry poisoned").iter() {
+            let _ = reader.shutdown(Shutdown::Read);
+        }
+        for thread in threads {
+            let _ = thread.join();
+        }
+        self.core.wait_idle();
+        Ok(())
+    }
+}
+
+/// One connection's read loop. A `shutdown` verb flips the stop flag
+/// and pokes the accept loop awake with a self-connect.
+fn serve_connection(core: &ServeCore, stream: TcpStream, stop: &AtomicBool, local: SocketAddr) {
+    core.connection_opened();
+    let reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => {
+            core.connection_closed();
+            return;
+        }
+    };
+    let sink = StreamSink {
+        writer: Mutex::new(stream),
+    };
+    let mut conn = ConnState::default();
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if let LineOutcome::Shutdown = core.handle_line(&line, &mut conn, &sink) {
+            stop.store(true, Ordering::SeqCst);
+            // Unblock the accept loop so it can run the drain.
+            let _ = TcpStream::connect(local);
+            break;
+        }
+    }
+    core.connection_closed();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct VecSink(Mutex<Vec<String>>);
+
+    impl VecSink {
+        fn new() -> Self {
+            VecSink(Mutex::new(Vec::new()))
+        }
+        fn lines(&self) -> Vec<String> {
+            self.0.lock().expect("sink").clone()
+        }
+    }
+
+    impl LineSink for VecSink {
+        fn emit(&self, line: &str) {
+            self.0.lock().expect("sink").push(line.to_string());
+        }
+    }
+
+    fn quick_core(options: ServeOptions) -> ServeCore {
+        let scheduler = Scheduler::with_options(StudyConfig::smoke(), 1, true);
+        ServeCore::new(scheduler, options)
+    }
+
+    #[test]
+    fn verbs_answer_without_touching_admission() {
+        // A gate nobody can pass: verbs must still answer.
+        let core = quick_core(ServeOptions {
+            max_inflight: 1,
+            max_queue: 0,
+            ..ServeOptions::default()
+        });
+        let sink = VecSink::new();
+        let mut conn = ConnState::default();
+        assert_eq!(
+            core.handle_line("{\"verb\":\"ping\"}", &mut conn, &sink),
+            LineOutcome::Continue
+        );
+        assert_eq!(
+            core.handle_line("{\"verb\":\"stats\"}", &mut conn, &sink),
+            LineOutcome::Continue
+        );
+        let lines = sink.lines();
+        assert_eq!(lines[0], "{\"event\":\"pong\"}");
+        assert!(lines[1].contains("\"event\":\"stats\""));
+        assert!(lines[1].contains("\"queue_depth\":0"));
+    }
+
+    #[test]
+    fn job_lines_after_drain_answer_shutting_down() {
+        let core = quick_core(ServeOptions::default());
+        core.begin_drain();
+        let sink = VecSink::new();
+        let mut conn = ConnState::default();
+        core.handle_line(
+            "{\"id\":\"late\",\"experiments\":[\"fig6\"]}",
+            &mut conn,
+            &sink,
+        );
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 1);
+        assert!(
+            lines[0].contains("\"kind\":\"shutting_down\""),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[0].contains("\"id\":\"late\""));
+    }
+
+    #[test]
+    fn per_connection_budget_is_a_typed_error() {
+        let core = quick_core(ServeOptions {
+            max_requests_per_conn: 1,
+            ..ServeOptions::default()
+        });
+        let sink = VecSink::new();
+        let mut conn = ConnState::default();
+        let line = "{\"id\":\"a\",\"experiments\":[\"table9\"],\"overrides\":{\"n_bits\":8}}";
+        core.handle_line(line, &mut conn, &sink);
+        core.handle_line(line, &mut conn, &sink);
+        // Verbs are free: the budget only meters job lines.
+        core.handle_line("{\"verb\":\"ping\"}", &mut conn, &sink);
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"event\":\"result\""));
+        assert!(
+            lines[1].contains("\"kind\":\"connection_limit\""),
+            "{}",
+            lines[1]
+        );
+        assert_eq!(lines[2], "{\"event\":\"pong\"}");
+        // A fresh connection has a fresh budget.
+        let mut conn2 = ConnState::default();
+        core.handle_line(line, &mut conn2, &sink);
+        assert!(sink.lines()[3].contains("\"event\":\"result\""));
+    }
+
+    #[test]
+    fn stats_line_counts_jobs_and_latency() {
+        let core = quick_core(ServeOptions::default());
+        let sink = VecSink::new();
+        let mut conn = ConnState::default();
+        let line = "{\"experiments\":[\"table9\"],\"overrides\":{\"n_bits\":8}}";
+        core.handle_line(line, &mut conn, &sink);
+        core.handle_line(line, &mut conn, &sink);
+        core.handle_line("{\"experiments\":[\"bogus\"]}", &mut conn, &sink);
+        let stats = core.stats_line();
+        assert_eq!(stats.requests, 3, "rejections pass admission too");
+        assert_eq!(stats.results, 2);
+        assert_eq!(stats.errors, 1);
+        // The rejection failed key resolution before leading a run.
+        assert_eq!(stats.executed, 2);
+        assert_eq!(stats.coalesced, 0);
+        assert_eq!(stats.in_flight, 0);
+        assert_eq!(stats.latency.count, 3);
+        assert!(stats.latency.p50_us > 0.0);
+        // The repeat was served from cache.
+        assert_eq!(stats.output_hits, 1);
+    }
+}

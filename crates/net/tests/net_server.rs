@@ -1,0 +1,241 @@
+//! Integration tests of the TCP transport run in-process: a
+//! [`NetServer`] on an ephemeral port, real [`Client`] connections,
+//! and the serving contracts the ISSUE pins down — typed overload
+//! shedding, coalescing across connections, mid-request disconnect
+//! survival, and graceful drain on shutdown.
+//!
+//! Timing discipline: anything that must observe an *in-flight* job
+//! first parks a deliberately slow `fig4` Monte-Carlo job (seconds of
+//! work) and then polls the `stats` verb — which bypasses admission —
+//! until `in_flight` reports it, so the assertions race a window of
+//! seconds, not microseconds.
+
+use qods_net::{Client, NetServer, ServeCore, ServeOptions, StatsLine};
+use qods_service::prelude::*;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// A fast job at smoke scale.
+const QUICK_JOB: &str =
+    "{\"id\":\"quick\",\"experiments\":[\"table9\"],\"overrides\":{\"n_bits\":8}}";
+
+/// A deliberately slow job: `fig4` at a trial count that takes
+/// seconds even in debug builds, so tests can observe it in flight.
+const SLOW_JOB: &str =
+    "{\"id\":\"slow\",\"experiments\":[\"fig4\"],\"overrides\":{\"mc_trials\":400000}}";
+
+fn start_server(caching: bool, options: ServeOptions) -> (SocketAddr, JoinHandle<()>) {
+    let scheduler = Scheduler::with_options(StudyConfig::smoke(), 2, caching);
+    let core = Arc::new(ServeCore::new(scheduler, options));
+    let server = NetServer::bind(core, "127.0.0.1:0").expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let handle = thread::spawn(move || server.serve().expect("serve returns cleanly"));
+    (addr, handle)
+}
+
+/// Polls the `stats` verb on a dedicated connection until `pred`
+/// holds (or panics after `secs` seconds).
+fn await_stats(addr: SocketAddr, secs: u64, pred: impl Fn(&StatsLine) -> bool) -> StatsLine {
+    let mut probe = Client::connect(addr).expect("connect probe");
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    loop {
+        let stats = probe.stats().expect("stats verb answers");
+        if pred(&stats) {
+            return stats;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "stats condition not reached in {secs}s: {stats:?}"
+        );
+        thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn verbs_answer_and_shutdown_drains_cleanly() {
+    let (addr, server) = start_server(true, ServeOptions::default());
+    let mut client = Client::connect(addr).expect("connect");
+    client.ping().expect("pong");
+
+    let result = client
+        .roundtrip(QUICK_JOB)
+        .expect("roundtrip")
+        .expect("one result line");
+    assert!(result.contains("\"event\":\"result\""), "{result}");
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.results, 1);
+    assert_eq!(stats.executed, 1);
+    assert_eq!(stats.connections, 1);
+    assert_eq!(stats.connections_total, 1);
+    assert_eq!(stats.latency.count, 1);
+    assert!(stats.latency.p99_us >= stats.latency.p50_us);
+
+    let ack = client.shutdown().expect("ack");
+    assert!(ack.contains("\"event\":\"shutting_down\""), "{ack}");
+    server.join().expect("server thread exits");
+    // The drained server closed the connection.
+    assert_eq!(client.recv_line().expect("read"), None);
+}
+
+#[test]
+fn overload_burst_answers_typed_errors_and_the_server_survives() {
+    // One execution slot, no wait queue: any second concurrent job
+    // must shed.
+    let (addr, server) = start_server(
+        true,
+        ServeOptions {
+            max_inflight: 1,
+            max_queue: 0,
+            ..ServeOptions::default()
+        },
+    );
+
+    let mut slow = Client::connect(addr).expect("connect slow");
+    slow.send_line(SLOW_JOB).expect("send slow job");
+    await_stats(addr, 60, |s| s.in_flight == 1);
+
+    // The slot is held for seconds; these refusals race nothing.
+    let mut burst = Client::connect(addr).expect("connect burst");
+    for i in 0..3 {
+        let line = burst
+            .roundtrip("{\"id\":\"shed\",\"experiments\":[\"table9\"]}")
+            .expect("roundtrip")
+            .expect("typed refusal");
+        assert!(
+            line.contains("\"kind\":\"overloaded\""),
+            "burst {i} got {line}"
+        );
+        assert!(line.contains("\"id\":\"shed\""), "{line}");
+    }
+    let stats = await_stats(addr, 5, |s| s.overloaded >= 3);
+    assert_eq!(stats.errors, stats.overloaded);
+
+    // The parked job still completes: shedding never kills work.
+    let result = slow.recv_line().expect("read").expect("slow job answers");
+    assert!(result.contains("\"event\":\"result\""), "{result}");
+    assert!(result.contains("\"id\":\"slow\""), "{result}");
+
+    Client::connect(addr)
+        .expect("connect")
+        .shutdown()
+        .expect("ack");
+    server.join().expect("server thread exits");
+}
+
+#[test]
+fn concurrent_duplicates_coalesce_onto_one_execution() {
+    // Caching OFF: any duplicate that is *not* coalesced would
+    // re-execute, so the counters below prove single-flight, not the
+    // cache.
+    let (addr, server) = start_server(false, ServeOptions::default());
+
+    let mut leader = Client::connect(addr).expect("connect leader");
+    leader.send_line(SLOW_JOB).expect("send leader job");
+    await_stats(addr, 60, |s| s.in_flight == 1);
+
+    // Joined while the leader is verifiably in flight: these must
+    // coalesce, not execute.
+    let followers: Vec<JoinHandle<String>> = (0..3)
+        .map(|i| {
+            thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("connect follower");
+                let line = format!(
+                    "{{\"id\":\"f{i}\",\"experiments\":[\"fig4\"],\"overrides\":{{\"mc_trials\":400000}}}}"
+                );
+                c.roundtrip(&line).expect("roundtrip").expect("result line")
+            })
+        })
+        .collect();
+    await_stats(addr, 60, |s| s.coalesced >= 3 || s.executed > 1);
+
+    let leader_line = leader.recv_line().expect("read").expect("leader answers");
+    let follower_lines: Vec<String> = followers
+        .into_iter()
+        .map(|h| h.join().expect("follower thread"))
+        .collect();
+
+    let stats = await_stats(addr, 5, |s| s.results >= 4);
+    assert_eq!(stats.executed, 1, "duplicates must execute exactly once");
+    assert_eq!(stats.coalesced, 3);
+
+    // Identical payloads, each echoing its own correlation id.
+    let payload = |line: &str| {
+        line.split("\"config\":")
+            .nth(1)
+            .expect("config")
+            .to_string()
+    };
+    assert!(leader_line.contains("\"id\":\"slow\""));
+    for (i, line) in follower_lines.iter().enumerate() {
+        assert!(line.contains(&format!("\"id\":\"f{i}\"")), "{line}");
+        assert_eq!(
+            payload(line),
+            payload(&leader_line),
+            "coalesced responses must carry the leader's bytes"
+        );
+    }
+
+    Client::connect(addr)
+        .expect("connect")
+        .shutdown()
+        .expect("ack");
+    server.join().expect("server thread exits");
+}
+
+#[test]
+fn mid_request_disconnects_do_not_kill_the_server_or_the_job() {
+    let (addr, server) = start_server(false, ServeOptions::default());
+
+    // Park a job, then slam the connection shut while it runs.
+    {
+        let mut doomed = Client::connect(addr).expect("connect");
+        doomed.send_line(SLOW_JOB).expect("send");
+        await_stats(addr, 60, |s| s.in_flight == 1);
+    } // drop = disconnect, result line has nowhere to go
+
+    // The orphaned job still runs to completion (a coalesced follower
+    // may depend on it), and the server keeps serving. The probe
+    // itself is one connection; the dead one must be reaped.
+    let stats = await_stats(addr, 60, |s| s.in_flight == 0 && s.connections == 1);
+    assert_eq!(stats.executed, 1);
+
+    let mut client = Client::connect(addr).expect("connect survivor");
+    let result = client
+        .roundtrip(QUICK_JOB)
+        .expect("roundtrip")
+        .expect("result line");
+    assert!(result.contains("\"event\":\"result\""), "{result}");
+
+    client.shutdown().expect("ack");
+    server.join().expect("server thread exits");
+}
+
+#[test]
+fn shutdown_drains_the_in_flight_job_before_exiting() {
+    let (addr, server) = start_server(true, ServeOptions::default());
+
+    let mut worker = Client::connect(addr).expect("connect worker");
+    worker.send_line(SLOW_JOB).expect("send");
+    await_stats(addr, 60, |s| s.in_flight == 1);
+
+    // Shut down from a second connection while the job is running.
+    let mut admin = Client::connect(addr).expect("connect admin");
+    let ack = admin.shutdown().expect("ack");
+    assert!(ack.contains("\"event\":\"shutting_down\""), "{ack}");
+
+    // Drain contract: the in-flight job answers before the server
+    // exits — then the connection closes.
+    let result = worker.recv_line().expect("read").expect("drained result");
+    assert!(result.contains("\"event\":\"result\""), "{result}");
+    assert!(result.contains("\"id\":\"slow\""), "{result}");
+    assert_eq!(worker.recv_line().expect("read"), None);
+
+    server.join().expect("server thread exits");
+
+    // Late jobs (raced against the drain) would have answered
+    // `shutting_down`; late *connections* are simply refused.
+    assert!(Client::connect(addr).is_err(), "listener is gone");
+}

@@ -1,16 +1,19 @@
-//! End-to-end test of the `qods-serve` NDJSON daemon: pipes a
-//! 3-request batch (one repeat, to exercise the cache) through the
-//! real binary and asserts the served outputs are **byte-identical**
-//! to direct `Registry` runs of the same resolved configuration —
-//! the CI service-smoke contract.
+//! End-to-end transport byte-identity for the `qods-serve` daemon:
+//! pipes a 3-request batch (one repeat, to exercise the cache)
+//! through the real binary on **both transports** and asserts the
+//! served outputs are byte-identical to each other and to direct
+//! `Registry` runs of the same resolved configuration — the CI
+//! service-smoke contract.
 
 use qods_core::experiment::StudyContext;
 use qods_core::registry::Registry;
 use qods_core::study::StudyConfig;
+use qods_net::Client;
 use qods_service::Overrides;
 use serde::{Serialize, Value};
-use std::io::Write;
-use std::process::{Command, Stdio};
+use std::io::{BufRead, BufReader, Write};
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
 
 /// The overrides all three requests share, as the daemon will parse
 /// them.
@@ -48,6 +51,72 @@ fn run_daemon(input: &str) -> Vec<String> {
         .lines()
         .map(str::to_string)
         .collect()
+}
+
+/// Spawns `qods-serve --listen 127.0.0.1:0` and parses the resolved
+/// address from its `listening on` stderr line.
+fn spawn_tcp_daemon(extra_args: &[&str]) -> (Child, SocketAddr) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_qods-serve"))
+        .args([
+            "--base",
+            "quick",
+            "--threads",
+            "2",
+            "--artifacts",
+            "",
+            "--listen",
+            "127.0.0.1:0",
+        ])
+        .args(extra_args)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn qods-serve --listen");
+    let stderr = BufReader::new(child.stderr.take().expect("piped stderr"));
+    let mut addr = None;
+    for line in stderr.lines() {
+        let line = line.expect("stderr line");
+        if let Some(rest) = line.strip_prefix("qods-serve: listening on ") {
+            addr = Some(rest.trim().parse().expect("socket address"));
+            break;
+        }
+    }
+    (child, addr.expect("daemon printed its listening address"))
+}
+
+#[test]
+fn tcp_transport_serves_the_same_bytes_as_stdio() {
+    let r1 = format!(
+        "{{\"id\":\"r1\",\"experiments\":[\"table2\",\"table9\"],\"overrides\":{OVERRIDES_JSON}}}"
+    );
+    let r2 = format!("{{\"id\":\"r2\",\"experiments\":[\"fig7\"],\"overrides\":{OVERRIDES_JSON}}}");
+    let batch = [r1.as_str(), r2.as_str(), r1.as_str()];
+
+    let stdio_lines = run_daemon(&format!("{}\n{}\n{}\n", batch[0], batch[1], batch[2]));
+
+    let (mut child, addr) = spawn_tcp_daemon(&[]);
+    let mut client = Client::connect(addr).expect("connect");
+    let tcp_lines: Vec<String> = batch
+        .iter()
+        .map(|line| {
+            client
+                .roundtrip(line)
+                .expect("roundtrip")
+                .expect("one response line per request")
+        })
+        .collect();
+
+    assert_eq!(
+        stdio_lines, tcp_lines,
+        "the two transports must serve byte-identical response lines"
+    );
+
+    // Graceful shutdown: acknowledged, then the process exits 0.
+    let ack = client.shutdown().expect("shutdown acknowledged");
+    assert!(ack.contains("\"event\":\"shutting_down\""), "{ack}");
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success(), "shutdown must exit 0, got {status:?}");
 }
 
 #[test]

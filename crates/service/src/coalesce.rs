@@ -1,0 +1,277 @@
+//! In-flight request coalescing: N concurrent submissions of the same
+//! job key block on **one** execution and all receive the same
+//! outcome.
+//!
+//! The cache (`ContextPool`) already dedupes *sequential* repeats —
+//! a finished output is served without recomputation. What it cannot
+//! dedupe is the thundering herd: eight connections submitting the
+//! same cold configuration within the same millisecond would each
+//! start the full computation, because none of them has finished
+//! populating the cache yet. [`InflightTable`] closes that window:
+//! the first arrival for a key becomes the **leader** and runs the
+//! job; every arrival while the leader is in flight becomes a
+//! **follower** and blocks on the leader's outcome.
+//!
+//! ## Leader-failure semantics
+//!
+//! A leader that panics (its [`LeaderGuard`] drops without
+//! [`LeaderGuard::complete`]) marks the slot *abandoned*: followers
+//! wake, observe no outcome, and retry from the top — one of them
+//! becomes the new leader. Work is therefore never lost to a crashed
+//! peer, and a poisoned outcome is never served.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// What followers observe when a leader finishes (or vanishes).
+enum SlotState<T> {
+    /// The leader is still running.
+    Running,
+    /// The leader finished with this shared outcome.
+    Done(T),
+    /// The leader dropped without completing (panic/unwind); retry.
+    Abandoned,
+}
+
+/// One in-flight job: the leader's eventual outcome plus the wakeup
+/// channel followers block on.
+struct Slot<T> {
+    state: Mutex<SlotState<T>>,
+    cv: Condvar,
+}
+
+/// The in-flight jobs, keyed by job hash.
+pub struct InflightTable<T> {
+    slots: Mutex<HashMap<u64, Arc<Slot<T>>>>,
+}
+
+impl<T> std::fmt::Debug for InflightTable<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InflightTable")
+            .field("in_flight", &self.len())
+            .finish()
+    }
+}
+
+impl<T> Default for InflightTable<T> {
+    fn default() -> Self {
+        InflightTable::new()
+    }
+}
+
+/// The role [`InflightTable::begin`] assigns an arrival.
+pub enum Begin<'a, T> {
+    /// First arrival: run the job, then [`LeaderGuard::complete`] it.
+    Leader(LeaderGuard<'a, T>),
+    /// A leader is already running this key: [`Follower::wait`].
+    Follower(Follower<T>),
+}
+
+/// The leader's obligation: completing publishes the outcome to every
+/// follower; dropping without completing marks the slot abandoned so
+/// followers retry instead of hanging or seeing a poisoned value.
+pub struct LeaderGuard<'a, T> {
+    table: &'a InflightTable<T>,
+    key: u64,
+    slot: Arc<Slot<T>>,
+    completed: bool,
+}
+
+/// A follower's handle on the leader's in-flight slot.
+pub struct Follower<T> {
+    slot: Arc<Slot<T>>,
+}
+
+impl<T> InflightTable<T> {
+    /// An empty table.
+    pub fn new() -> Self {
+        InflightTable {
+            slots: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// How many jobs are in flight right now (the `stats` gauge).
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("inflight table poisoned").len()
+    }
+
+    /// Whether no job is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Joins the in-flight job for `key`, or starts one: the first
+    /// caller per key gets [`Begin::Leader`], concurrent callers get
+    /// [`Begin::Follower`].
+    pub fn begin(&self, key: u64) -> Begin<'_, T> {
+        let mut slots = self.slots.lock().expect("inflight table poisoned");
+        if let Some(slot) = slots.get(&key) {
+            return Begin::Follower(Follower {
+                slot: Arc::clone(slot),
+            });
+        }
+        let slot = Arc::new(Slot {
+            state: Mutex::new(SlotState::Running),
+            cv: Condvar::new(),
+        });
+        slots.insert(key, Arc::clone(&slot));
+        Begin::Leader(LeaderGuard {
+            table: self,
+            key,
+            slot,
+            completed: false,
+        })
+    }
+}
+
+impl<T: Clone> LeaderGuard<'_, T> {
+    /// Publishes the outcome: the key leaves the in-flight table (new
+    /// arrivals start fresh — the cache takes over from here) and
+    /// every blocked follower wakes with a clone of `outcome`.
+    pub fn complete(mut self, outcome: T) {
+        self.finish(SlotState::Done(outcome));
+        self.completed = true;
+    }
+}
+
+impl<T> Drop for LeaderGuard<'_, T> {
+    fn drop(&mut self) {
+        if !self.completed {
+            // Leader unwound without an outcome: wake followers to
+            // retry rather than leaving them blocked forever.
+            self.finish(SlotState::Abandoned);
+        }
+    }
+}
+
+// `finish` is the body shared between `complete` and `Drop`; it
+// lives on the unbounded impl so Drop can call it by reference.
+impl<T> LeaderGuard<'_, T> {
+    fn finish(&self, state: SlotState<T>) {
+        self.table
+            .slots
+            .lock()
+            .expect("inflight table poisoned")
+            .remove(&self.key);
+        *self.slot.state.lock().expect("inflight slot poisoned") = state;
+        self.slot.cv.notify_all();
+    }
+}
+
+impl<T: Clone> Follower<T> {
+    /// Blocks until the leader publishes. `Some(outcome)` on
+    /// completion; `None` when the leader was abandoned — call
+    /// [`InflightTable::begin`] again (the caller may now lead).
+    pub fn wait(self) -> Option<T> {
+        let mut state = self.slot.state.lock().expect("inflight slot poisoned");
+        loop {
+            match &*state {
+                SlotState::Running => {
+                    state = self
+                        .slot
+                        .cv
+                        .wait(state)
+                        .expect("inflight slot poisoned while waiting");
+                }
+                SlotState::Done(outcome) => return Some(outcome.clone()),
+                SlotState::Abandoned => return None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+
+    #[test]
+    fn second_arrival_is_a_follower_and_gets_the_leaders_outcome() {
+        let table: InflightTable<u32> = InflightTable::new();
+        let Begin::Leader(leader) = table.begin(7) else {
+            panic!("first arrival must lead");
+        };
+        let Begin::Follower(follower) = table.begin(7) else {
+            panic!("second arrival must follow");
+        };
+        assert_eq!(table.len(), 1);
+        let waiter = std::thread::spawn(move || follower.wait());
+        leader.complete(42);
+        assert_eq!(waiter.join().expect("follower thread"), Some(42));
+        assert!(table.is_empty(), "completion removes the key");
+        // The next arrival for the same key leads again.
+        assert!(matches!(table.begin(7), Begin::Leader(_)));
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let table: InflightTable<u32> = InflightTable::new();
+        let _a = match table.begin(1) {
+            Begin::Leader(l) => l,
+            Begin::Follower(_) => panic!("fresh key must lead"),
+        };
+        assert!(matches!(table.begin(2), Begin::Leader(_)));
+    }
+
+    #[test]
+    fn abandoned_leader_wakes_followers_to_retry() {
+        let table: InflightTable<u32> = InflightTable::new();
+        let leader = match table.begin(9) {
+            Begin::Leader(l) => l,
+            Begin::Follower(_) => panic!("must lead"),
+        };
+        let Begin::Follower(follower) = table.begin(9) else {
+            panic!("must follow");
+        };
+        drop(leader); // unwind path: no outcome published
+        assert_eq!(follower.wait(), None, "abandonment yields no outcome");
+        // The key is free: the retrying follower becomes the leader.
+        assert!(matches!(table.begin(9), Begin::Leader(_)));
+    }
+
+    #[test]
+    fn herd_of_threads_runs_the_job_exactly_once() {
+        const THREADS: usize = 8;
+        let table: InflightTable<usize> = InflightTable::new();
+        let executions = AtomicUsize::new(0);
+        let barrier = Barrier::new(THREADS);
+        let outcomes: Vec<usize> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    s.spawn(|| {
+                        barrier.wait();
+                        loop {
+                            match table.begin(1234) {
+                                Begin::Leader(leader) => {
+                                    let n = executions.fetch_add(1, Ordering::SeqCst);
+                                    // Let followers pile up before
+                                    // publishing.
+                                    std::thread::sleep(std::time::Duration::from_millis(30));
+                                    leader.complete(n * 10 + 5);
+                                    return n * 10 + 5;
+                                }
+                                Begin::Follower(f) => {
+                                    if let Some(v) = f.wait() {
+                                        return v;
+                                    }
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("herd thread"))
+                .collect()
+        });
+        // Everyone observed the same value. (The execution count is
+        // timing-dependent in principle, but every thread entered
+        // `begin` before the first leader completed or was created
+        // after a completed one — either way outcomes agree.)
+        assert!(outcomes.windows(2).all(|w| w[0] == w[1]), "{outcomes:?}");
+        assert!(executions.load(Ordering::SeqCst) >= 1);
+        assert!(table.is_empty());
+    }
+}

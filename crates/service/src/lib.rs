@@ -16,11 +16,16 @@
 //!   pool ([`pool`] — re-exported `qods_pool`), streaming per-job
 //!   [`scheduler::JobEvent`]s as experiments finish.
 //!
-//! The `qods-serve` binary wraps the scheduler in a newline-delimited
-//! JSON request/response protocol on stdin/stdout (no network
-//! dependencies), and `repro --load` is a load generator that drives
-//! batches of randomized requests through it to measure throughput
-//! and cache-hit rate. See `DESIGN.md` §6 for the architecture.
+//! Concurrent submissions of the same job coalesce onto one
+//! execution ([`coalesce::InflightTable`], wired up as
+//! [`scheduler::Scheduler::run_coalesced`]), and
+//! [`stats::LatencyHistogram`] is the allocation-free latency
+//! accounting servers and load generators share. The `qods-net`
+//! crate wraps this scheduler in the NDJSON wire protocol (stdio and
+//! multi-client TCP via its `qods-serve` binary), and `repro --load`
+//! is a load generator that drives batches of randomized requests
+//! through it to measure throughput and cache-hit rate. See
+//! `DESIGN.md` §6–7 for the architecture.
 //!
 //! ## Quickstart
 //!
@@ -39,8 +44,10 @@
 //! ```
 
 pub mod cache;
+pub mod coalesce;
 pub mod request;
 pub mod scheduler;
+pub mod stats;
 
 /// The workspace's shared worker pool, re-exported so service callers
 /// address one crate: `qods_service::pool` *is* `qods_pool` (the
@@ -48,13 +55,16 @@ pub mod scheduler;
 pub use qods_pool as pool;
 
 pub use cache::{CacheStats, ContextPool, PoolEntry};
+pub use coalesce::InflightTable;
 pub use request::{canonical_config_json, config_hash, hash_hex, Overrides, RunRequest};
-pub use scheduler::{JobEvent, JobResult, Scheduler, ServiceError};
+pub use scheduler::{JobEvent, JobResult, Scheduler, SchedulerStats, ServiceError};
+pub use stats::{LatencyHistogram, LatencySummary};
 
 /// One-stop imports for service callers.
 pub mod prelude {
     pub use crate::cache::{CacheStats, ContextPool, PoolEntry};
     pub use crate::request::{config_hash, hash_hex, Overrides, RunRequest};
-    pub use crate::scheduler::{JobEvent, JobResult, Scheduler, ServiceError};
+    pub use crate::scheduler::{JobEvent, JobResult, Scheduler, SchedulerStats, ServiceError};
+    pub use crate::stats::{LatencyHistogram, LatencySummary};
     pub use qods_core::study::{ArchChoice, StudyConfig};
 }

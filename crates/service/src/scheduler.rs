@@ -3,11 +3,13 @@
 //! streaming per-job progress events.
 
 use crate::cache::{ContextPool, PoolEntry};
+use crate::coalesce::{Begin, InflightTable};
 use crate::request::RunRequest;
 use qods_core::experiment::{Experiment, ExperimentRecord};
 use qods_core::kernels::KernelError;
 use qods_core::registry::{Registry, RegistryError};
 use qods_core::study::StudyConfig;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -111,6 +113,25 @@ pub struct Scheduler {
     registry: Registry,
     pool: ContextPool,
     threads: usize,
+    /// In-flight jobs, keyed by [`Scheduler::job_key`]; concurrent
+    /// submissions of the same key share one execution.
+    inflight: InflightTable<Result<Arc<JobResult>, ServiceError>>,
+    jobs_led: AtomicU64,
+    jobs_coalesced: AtomicU64,
+}
+
+/// Scheduler traffic counters (monotonic since construction), the
+/// serving-layer complement of [`crate::cache::CacheStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// `run_coalesced` calls that led an execution themselves (every
+    /// call that did not join another caller's in-flight job; plain
+    /// `run` bypasses coalescing and is not counted here).
+    pub jobs_led: u64,
+    /// Jobs answered by joining another caller's in-flight execution.
+    pub jobs_coalesced: u64,
+    /// Jobs in flight right now (gauge, not a counter).
+    pub in_flight: usize,
 }
 
 impl Scheduler {
@@ -131,6 +152,9 @@ impl Scheduler {
             registry: Registry::paper(),
             pool: ContextPool::with_caching(base, caching),
             threads,
+            inflight: InflightTable::new(),
+            jobs_led: AtomicU64::new(0),
+            jobs_coalesced: AtomicU64::new(0),
         }
     }
 
@@ -147,6 +171,102 @@ impl Scheduler {
     /// The pinned worker count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Serving-layer traffic counters (led vs coalesced jobs, current
+    /// in-flight gauge).
+    pub fn stats(&self) -> SchedulerStats {
+        SchedulerStats {
+            jobs_led: self.jobs_led.load(Ordering::Relaxed),
+            jobs_coalesced: self.jobs_coalesced.load(Ordering::Relaxed),
+            in_flight: self.inflight.len(),
+        }
+    }
+
+    /// The identity two submissions must share to coalesce: the
+    /// canonical config hash ([`crate::request::config_hash`] of the
+    /// overrides resolved against this scheduler's base) extended with
+    /// the resolved experiment selection (primary ids, request
+    /// order). An empty selection and an explicit full-registry list
+    /// therefore key identically, and alias spellings collapse onto
+    /// their primary id.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Registry`] when the selection does not resolve.
+    pub fn job_key(&self, request: &RunRequest) -> Result<u64, ServiceError> {
+        let all_ids: Vec<&str>;
+        let ids: Vec<&str> = if request.experiments.is_empty() {
+            all_ids = self.registry.iter().map(|e| e.id()).collect();
+            all_ids.clone()
+        } else {
+            request.experiments.iter().map(String::as_str).collect()
+        };
+        let selected = self.registry.resolve(&ids)?;
+        let resolved = request.overrides.resolve(self.pool.base());
+        let mut identity = crate::request::canonical_config_json(&resolved);
+        for exp in &selected {
+            identity.push('|');
+            identity.push_str(exp.id());
+        }
+        Ok(qods_core::compile::hash::fnv1a(identity.as_bytes()))
+    }
+
+    /// Runs one job with in-flight coalescing: concurrent submissions
+    /// of the same [`Scheduler::job_key`] block on a single execution
+    /// and all receive the same shared [`JobResult`] (the leader's,
+    /// accounting fields included — a coalesced response is the
+    /// leader's response verbatim). The boolean is true when this call
+    /// was coalesced onto another caller's execution.
+    ///
+    /// Correlation ids are *not* part of the key, so a coalesced
+    /// caller's `request.id` may differ from the shared result's
+    /// `request_id`; transports echo the caller's own id alongside.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError`] when the selection or configuration is
+    /// invalid. Leaders share their error with every coalesced
+    /// follower (errors are as deterministic as results).
+    pub fn run_coalesced(
+        &self,
+        request: &RunRequest,
+    ) -> Result<(Arc<JobResult>, bool), ServiceError> {
+        self.run_coalesced_with_events(request, &mut |_| {})
+    }
+
+    /// [`Scheduler::run_coalesced`], streaming [`JobEvent`]s to `emit`
+    /// when this call ends up leading the execution. Followers receive
+    /// no events (the work happened on the leader's event stream).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError`] as for [`Scheduler::run_coalesced`].
+    pub fn run_coalesced_with_events(
+        &self,
+        request: &RunRequest,
+        emit: &mut (dyn FnMut(JobEvent) + Send),
+    ) -> Result<(Arc<JobResult>, bool), ServiceError> {
+        let key = self.job_key(request)?;
+        loop {
+            match self.inflight.begin(key) {
+                Begin::Leader(leader) => {
+                    self.jobs_led.fetch_add(1, Ordering::Relaxed);
+                    let outcome = self.run_with_events(request, emit).map(Arc::new);
+                    leader.complete(outcome.clone());
+                    return outcome.map(|r| (r, false));
+                }
+                Begin::Follower(follower) => match follower.wait() {
+                    Some(outcome) => {
+                        self.jobs_coalesced.fetch_add(1, Ordering::Relaxed);
+                        return outcome.map(|r| (r, true));
+                    }
+                    // Leader unwound without publishing: retry (this
+                    // caller may lead now).
+                    None => continue,
+                },
+            }
+        }
     }
 
     /// Runs one job to completion (no event streaming).
