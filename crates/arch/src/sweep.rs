@@ -92,6 +92,10 @@ pub fn area_sweep_in(
 ) -> Vec<ArchCurve> {
     let n_points = archs.len() * areas.len();
     let flat = qods_pool::run_indexed(n_points, threads, |i| {
+        // Point boundaries are the sweep's cancellation points: a
+        // deadline hit unwinds between points, never inside one, so a
+        // cancelled sweep exposes no partial curve.
+        qods_pool::check_deadline();
         let (ai, pi) = (i / areas.len(), i % areas.len());
         SweepPoint {
             area: areas[pi],

@@ -638,18 +638,23 @@ fn run_load_over_tcp(
 
     // One timed pass: the batch split round-robin across the client
     // connections, each roundtrip recorded into the shared histogram.
+    // Transient failures (overloaded sheds, resets) are retried with
+    // backoff; the retry count is the robustness counter reported
+    // below.
+    let retries = Arc::new(std::sync::atomic::AtomicU64::new(0));
     let one_pass = |addr: SocketAddr, latency: &Arc<LatencyHistogram>| -> Result<f64, ExitCode> {
         let t0 = std::time::Instant::now();
         let workers: Vec<JoinHandle<Result<(), String>>> = (0..connections)
             .map(|c| {
                 let lines = Arc::clone(&lines);
                 let latency = Arc::clone(latency);
+                let retries = Arc::clone(&retries);
                 std::thread::spawn(move || {
                     let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
                     for line in lines.iter().skip(c).step_by(connections) {
                         let t = std::time::Instant::now();
                         let response = client
-                            .roundtrip(line)
+                            .roundtrip_retrying(line)
                             .map_err(|e| e.to_string())?
                             .ok_or_else(|| "server closed the connection".to_string())?;
                         latency.record(t.elapsed());
@@ -657,6 +662,7 @@ fn run_load_over_tcp(
                             return Err(format!("request rejected: {response}"));
                         }
                     }
+                    retries.fetch_add(client.retries(), std::sync::atomic::Ordering::Relaxed);
                     Ok(())
                 })
             })
@@ -734,6 +740,7 @@ fn run_load_over_tcp(
         Ok(s) => s,
         Err(code) => return code,
     };
+    let warm_stats = read_stats(addr);
     stop(addr, server);
     println!(
         "  warm, steady:    {warm_s:.3}s  ({:.1} req/s)",
@@ -747,6 +754,14 @@ fn run_load_over_tcp(
         summary.p50_us / 1e3,
         summary.p99_us / 1e3,
         summary.max_us / 1e3,
+    );
+    println!(
+        "  robustness: {} panics caught, {} deadlines exceeded, {} client retries, \
+         {} lines rejected",
+        cold_stats.panics_caught + warm_stats.panics_caught,
+        cold_stats.deadline_exceeded + warm_stats.deadline_exceeded,
+        retries.load(std::sync::atomic::Ordering::Relaxed),
+        cold_stats.lines_rejected + warm_stats.lines_rejected,
     );
     let first_ratio = cold_s / fill_s;
     let ratio = cold_s / warm_s;

@@ -750,6 +750,23 @@ pub const QUICK_SERVE_ROUNDS: usize = 5;
 /// assertion below robust rather than a timing lottery.
 pub const SERVE_TRIALS: u64 = 200_000;
 
+/// The serving path's robustness counters, carried in
+/// `BENCH_serve.json` so the chaos-hardening work stays visible next
+/// to the throughput numbers: a healthy smoke run reports zeros
+/// everywhere except (possibly) `retries` under overload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeRobustness {
+    /// Job panics the scheduler caught and answered as typed
+    /// `internal_error` lines.
+    pub panics_caught: u64,
+    /// Requests cancelled at a deadline boundary.
+    pub deadline_exceeded: u64,
+    /// Client-side transparent retries (overloaded / timeout / reset).
+    pub retries: u64,
+    /// NDJSON lines rejected for exceeding the server's line cap.
+    pub lines_rejected: u64,
+}
+
 /// The full report written to `BENCH_serve.json`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServeBenchReport {
@@ -793,6 +810,9 @@ pub struct ServeBenchReport {
     /// Client-observed per-request latency over the multi-connection
     /// run, from the same [`LatencyHistogram`] the `stats` verb uses.
     pub latency: LatencySummary,
+    /// Robustness counters from the multi-connection run's server
+    /// (`stats` verb) and clients.
+    pub robustness: ServeRobustness,
     /// Host-speed yardstick shared with the other smokes; the CI gate
     /// compares `multi_rps * calibration_ns_per_op`.
     pub calibration_ns_per_op: f64,
@@ -896,22 +916,25 @@ pub fn serve_smoke(connections: usize, rounds: usize) -> ServeBenchReport {
     let (addr, server, core) = serve_smoke_server();
     let barrier = Arc::new(Barrier::new(connections + 1));
     let latency = Arc::new(LatencyHistogram::new());
+    let retries = Arc::new(std::sync::atomic::AtomicU64::new(0));
     let workers: Vec<_> = (0..connections)
         .map(|c| {
             let barrier = Arc::clone(&barrier);
             let latency = Arc::clone(&latency);
+            let retries = Arc::clone(&retries);
             std::thread::spawn(move || {
                 let mut client = Client::connect(addr).expect("connect worker");
                 for round in 0..rounds {
                     barrier.wait();
                     let t = Instant::now();
                     let line = client
-                        .roundtrip(&serve_job_line(round, c))
+                        .roundtrip_retrying(&serve_job_line(round, c))
                         .expect("roundtrip")
                         .expect("result line");
                     latency.record(t.elapsed());
                     assert!(line.contains("\"event\":\"result\""), "{line}");
                 }
+                retries.fetch_add(client.retries(), std::sync::atomic::Ordering::Relaxed);
             })
         })
         .collect();
@@ -933,7 +956,7 @@ pub fn serve_smoke(connections: usize, rounds: usize) -> ServeBenchReport {
     let single_rps = requests_total as f64 / single_wall_s;
     let multi_rps = requests_total as f64 / multi_wall_s;
     ServeBenchReport {
-        schema: "qods-bench-serve/v1".to_string(),
+        schema: "qods-bench-serve/v2".to_string(),
         connections,
         rounds,
         requests_total,
@@ -947,6 +970,12 @@ pub fn serve_smoke(connections: usize, rounds: usize) -> ServeBenchReport {
         executed_jobs: stats.executed,
         coalesced_jobs: stats.coalesced,
         latency: latency.summary(),
+        robustness: ServeRobustness {
+            panics_caught: stats.panics_caught,
+            deadline_exceeded: stats.deadline_exceeded,
+            retries: retries.load(std::sync::atomic::Ordering::Relaxed),
+            lines_rejected: stats.lines_rejected,
+        },
         calibration_ns_per_op: calibration_ns_per_op(SMOKE_REPS),
     }
 }
@@ -981,6 +1010,15 @@ pub fn render_serve_report(r: &ServeBenchReport) -> String {
         r.latency.p50_us / 1e3,
         r.latency.p99_us / 1e3,
         r.latency.max_us / 1e3
+    );
+    let _ = writeln!(
+        out,
+        "  robustness: {} panics caught, {} deadlines exceeded, {} retries, \
+         {} lines rejected",
+        r.robustness.panics_caught,
+        r.robustness.deadline_exceeded,
+        r.robustness.retries,
+        r.robustness.lines_rejected
     );
     out
 }
@@ -1039,7 +1077,7 @@ mod serve_tests {
         // without paying for 80 x ~100 ms served jobs in a debug test
         // (CI's quick smoke runs the real thing in release).
         ServeBenchReport {
-            schema: "qods-bench-serve/v1".to_string(),
+            schema: "qods-bench-serve/v2".to_string(),
             connections: 8,
             rounds: 10,
             requests_total: 80,
@@ -1059,6 +1097,12 @@ mod serve_tests {
                 p99_us: 140_000.0,
                 max_us: 150_000.0,
             },
+            robustness: ServeRobustness {
+                panics_caught: 0,
+                deadline_exceeded: 0,
+                retries: 0,
+                lines_rejected: 0,
+            },
             calibration_ns_per_op: 2.0,
         }
     }
@@ -1071,6 +1115,8 @@ mod serve_tests {
         assert_eq!(back.connections, 8);
         assert_eq!(back.executed_jobs, 10);
         assert_eq!(back.latency.count, 80);
+        assert_eq!(back.robustness.panics_caught, 0);
+        assert_eq!(back.robustness.retries, 0);
         let verdict = check_serve_against(&back, &r, 2.0, 3.0);
         assert!(verdict.is_ok(), "{verdict:?}");
     }

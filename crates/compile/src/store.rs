@@ -302,11 +302,14 @@ impl ArtifactStore {
     }
 
     /// Reads and validates the disk file for `key`; any defect is a
-    /// tolerated miss.
+    /// tolerated miss. The `store.read` fault site fires once per
+    /// successful file read: `io` makes the read report failure,
+    /// `corrupt` garbles the bytes before decoding (both then heal
+    /// through the ordinary recompute-and-rewrite path).
     fn read_disk<T: Deserialize>(&self, key: ArtifactKey) -> Option<T> {
         let dir = self.dir.as_ref()?;
         let path = dir.join(key.file_name());
-        let text = match std::fs::read_to_string(&path) {
+        let mut text = match std::fs::read_to_string(&path) {
             Ok(t) => t,
             // Missing file: a plain cold miss, not corruption.
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
@@ -315,6 +318,20 @@ impl ArtifactStore {
                 return None;
             }
         };
+        match qods_fault::check("store.read") {
+            Some(qods_fault::FaultAction::IoError) => {
+                self.corrupt_reads.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            Some(qods_fault::FaultAction::CorruptRead) => {
+                let mut keep = text.len() / 2;
+                while keep > 0 && !text.is_char_boundary(keep) {
+                    keep -= 1;
+                }
+                text.truncate(keep);
+            }
+            _ => {}
+        }
         match decode_envelope::<T>(&text, key) {
             Some(artifact) => Some(artifact),
             None => {
@@ -326,12 +343,33 @@ impl ArtifactStore {
 
     /// Writes the artifact atomically; failures are counted, not
     /// propagated (the store then behaves as memory-only for this
-    /// artifact).
+    /// artifact). The `store.write` fault site fires once per write:
+    /// `io` drops the write entirely (ENOSPC-style), `torn` lands a
+    /// truncated file under the *final* name — deliberately bypassing
+    /// the temp+rename discipline to simulate external corruption,
+    /// which the corruption-tolerant read path must heal.
     fn write_disk<T: Serialize>(&self, key: ArtifactKey, artifact: &T) {
         let Some(dir) = self.dir.as_ref() else {
             return;
         };
         let encoded = ArtifactStore::encode_artifact(key, artifact);
+        match qods_fault::check("store.write") {
+            Some(qods_fault::FaultAction::IoError) => {
+                self.write_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            Some(qods_fault::FaultAction::TornWrite) => {
+                self.write_errors.fetch_add(1, Ordering::Relaxed);
+                let mut keep = encoded.len() / 2;
+                while keep > 0 && !encoded.is_char_boundary(keep) {
+                    keep -= 1;
+                }
+                let _ = std::fs::create_dir_all(dir);
+                let _ = std::fs::write(dir.join(key.file_name()), &encoded[..keep]);
+                return;
+            }
+            _ => {}
+        }
         let result = (|| -> std::io::Result<()> {
             std::fs::create_dir_all(dir)?;
             // Unique temp name: concurrent writers of the same key

@@ -1,0 +1,542 @@
+//! # qods-fault — deterministic, seeded fault injection
+//!
+//! The serving stack (`qods-serve` over `qods-service` over the
+//! engines) claims to survive I/O failures, worker panics, slow
+//! clients, and expired deadlines. This crate is how those claims are
+//! *tested* rather than asserted: production code is instrumented
+//! with named **sites** (`store.read`, `store.write`, `pool.worker`,
+//! `net.conn`, `mc.chunk`), and a test arms a [`FaultPlan`] that
+//! fires a typed [`FaultAction`] on the N-th operation a site sees —
+//! optionally repeating, optionally scattered pseudo-randomly from a
+//! seed. Everything is counter-based, nothing is time-based, so a
+//! chaos run is reproducible: the same plan against the same request
+//! sequence injects the same faults at the same operations.
+//!
+//! ## Cost when disarmed
+//!
+//! [`check`] is a single relaxed atomic load when no plan is armed —
+//! cheap enough to leave in release binaries on warm paths (the
+//! instrumented sites are per-I/O or per-chunk, never per-trial).
+//!
+//! ## Driving a child process
+//!
+//! Plans round-trip through a compact spec string
+//! ([`FaultPlan::parse`] / [`FaultPlan::render`]) carried in the
+//! [`FAULT_PLAN_ENV`] environment variable, so the chaos integration
+//! suite can configure the *real* `qods-serve` binary it spawns:
+//!
+//! ```text
+//! QODS_FAULT_PLAN="store.write:3=io;pool.worker:2+5=panic;mc.chunk:1+1=delay:20"
+//! ```
+//!
+//! reads "fail the 3rd store write with an I/O error; panic pool
+//! workers on op 2 and every 5th after; delay every MC chunk by
+//! 20 ms".
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable a process reads its fault plan from (see
+/// [`arm_from_env`]). Unset or empty means "no faults".
+pub const FAULT_PLAN_ENV: &str = "QODS_FAULT_PLAN";
+
+/// What an armed site does when its spec fires. Sites act on the
+/// actions they understand and ignore the rest (a `Disconnect` at a
+/// store site is a no-op), so one plan can drive many layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Fail the operation with a synthetic I/O error (ENOSPC-style:
+    /// the operation reports failure, nothing is written/read).
+    IoError,
+    /// Write a torn/partial artifact: truncated bytes land under the
+    /// *final* name, bypassing the atomic temp+rename path —
+    /// simulating external corruption or a crashed writer.
+    TornWrite,
+    /// Corrupt the bytes an otherwise-successful read returns.
+    CorruptRead,
+    /// Drop the connection mid-request (close both halves).
+    Disconnect,
+    /// Sleep this many milliseconds before the operation proceeds.
+    Delay(u64),
+    /// Panic on the operation's thread (`catch_unwind` coverage).
+    Panic,
+}
+
+impl FaultAction {
+    fn render(self) -> String {
+        match self {
+            FaultAction::IoError => "io".to_string(),
+            FaultAction::TornWrite => "torn".to_string(),
+            FaultAction::CorruptRead => "corrupt".to_string(),
+            FaultAction::Disconnect => "disconnect".to_string(),
+            FaultAction::Delay(ms) => format!("delay:{ms}"),
+            FaultAction::Panic => "panic".to_string(),
+        }
+    }
+
+    fn parse(text: &str) -> Result<Self, String> {
+        match text {
+            "io" => Ok(FaultAction::IoError),
+            "torn" => Ok(FaultAction::TornWrite),
+            "corrupt" => Ok(FaultAction::CorruptRead),
+            "disconnect" => Ok(FaultAction::Disconnect),
+            "panic" => Ok(FaultAction::Panic),
+            other => match other.strip_prefix("delay:") {
+                Some(ms) => ms
+                    .parse::<u64>()
+                    .map(FaultAction::Delay)
+                    .map_err(|_| format!("bad delay milliseconds in `{other}`")),
+                None => Err(format!(
+                    "unknown fault action `{other}` (io, torn, corrupt, disconnect, delay:MS, panic)"
+                )),
+            },
+        }
+    }
+}
+
+/// One fire-on-nth-operation fault: at site `site`, on the `nth`
+/// operation (1-based) — and, with `every = Some(k)`, on every k-th
+/// operation after that.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// The instrumented site name (e.g. `store.write`).
+    pub site: String,
+    /// 1-based operation index of the first firing.
+    pub nth: u64,
+    /// Repeat period after the first firing (`None` = fire once).
+    pub every: Option<u64>,
+    /// What happens when the spec fires.
+    pub action: FaultAction,
+}
+
+impl FaultSpec {
+    /// Whether this spec fires on operation `op` (1-based).
+    fn fires(&self, op: u64) -> bool {
+        if op < self.nth {
+            return false;
+        }
+        match self.every {
+            None => op == self.nth,
+            Some(k) => (op - self.nth).is_multiple_of(k.max(1)),
+        }
+    }
+
+    fn render(&self) -> String {
+        match self.every {
+            None => format!("{}:{}={}", self.site, self.nth, self.action.render()),
+            Some(k) => format!("{}:{}+{}={}", self.site, self.nth, k, self.action.render()),
+        }
+    }
+}
+
+/// An ordered set of [`FaultSpec`]s. On each operation the *first*
+/// matching spec (plan order) fires; counters are per site.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan (arming it injects nothing).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds "on the `nth` operation at `site`, do `action`" (fires
+    /// once).
+    pub fn once(mut self, site: &str, nth: u64, action: FaultAction) -> Self {
+        self.specs.push(FaultSpec {
+            site: site.to_string(),
+            nth: nth.max(1),
+            every: None,
+            action,
+        });
+        self
+    }
+
+    /// Adds a repeating fault: first on operation `nth`, then every
+    /// `every`-th operation after it.
+    pub fn repeating(mut self, site: &str, nth: u64, every: u64, action: FaultAction) -> Self {
+        self.specs.push(FaultSpec {
+            site: site.to_string(),
+            nth: nth.max(1),
+            every: Some(every.max(1)),
+            action,
+        });
+        self
+    }
+
+    /// Adds `count` one-shot faults at pseudo-random distinct
+    /// operation indices in `1..=range`, deterministically derived
+    /// from `seed` — how a chaos test scatters a hundred faults over
+    /// a workload without hand-placing each one.
+    pub fn scatter(
+        mut self,
+        site: &str,
+        action: FaultAction,
+        seed: u64,
+        count: u64,
+        range: u64,
+    ) -> Self {
+        let range = range.max(1);
+        let count = count.min(range);
+        let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+        let mut picked = Vec::with_capacity(count as usize);
+        while (picked.len() as u64) < count {
+            state = splitmix64(state);
+            let nth = state % range + 1;
+            if !picked.contains(&nth) {
+                picked.push(nth);
+            }
+        }
+        picked.sort_unstable();
+        for nth in picked {
+            self.specs.push(FaultSpec {
+                site: site.to_string(),
+                nth,
+                every: None,
+                action,
+            });
+        }
+        self
+    }
+
+    /// The specs, in plan order.
+    pub fn specs(&self) -> &[FaultSpec] {
+        &self.specs
+    }
+
+    /// How many specs the plan holds.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Renders the compact spec string [`FaultPlan::parse`] accepts —
+    /// what a test exports as [`FAULT_PLAN_ENV`] for a child process.
+    pub fn render(&self) -> String {
+        self.specs
+            .iter()
+            .map(FaultSpec::render)
+            .collect::<Vec<_>>()
+            .join(";")
+    }
+
+    /// Parses a plan from its compact spec string:
+    /// `site:nth[+every]=action[:ms]` entries joined by `;`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable diagnostic naming the malformed entry.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::new();
+        for entry in text.split(';') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (head, action) = entry
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec `{entry}` is missing `=action`"))?;
+            let (site, position) = head
+                .split_once(':')
+                .ok_or_else(|| format!("fault spec `{entry}` is missing `site:nth`"))?;
+            if site.is_empty() {
+                return Err(format!("fault spec `{entry}` has an empty site"));
+            }
+            let (nth_text, every) = match position.split_once('+') {
+                Some((n, k)) => {
+                    let every = k
+                        .parse::<u64>()
+                        .map_err(|_| format!("bad repeat period in `{entry}`"))?;
+                    (n, Some(every.max(1)))
+                }
+                None => (position, None),
+            };
+            let nth = nth_text
+                .parse::<u64>()
+                .map_err(|_| format!("bad operation index in `{entry}`"))?;
+            plan.specs.push(FaultSpec {
+                site: site.to_string(),
+                nth: nth.max(1),
+                every,
+                action: FaultAction::parse(action)?,
+            });
+        }
+        Ok(plan)
+    }
+}
+
+/// The armed plan plus its per-site operation/fired counters.
+#[derive(Debug, Default)]
+struct Armed {
+    specs: Vec<FaultSpec>,
+    ops: HashMap<String, u64>,
+    fired: HashMap<String, u64>,
+    fired_total: u64,
+}
+
+/// Fast-path switch: `false` means [`check`] returns `None` after one
+/// relaxed load, without touching the mutex.
+static IS_ARMED: AtomicBool = AtomicBool::new(false);
+static STATE: Mutex<Option<Armed>> = Mutex::new(None);
+
+fn state() -> std::sync::MutexGuard<'static, Option<Armed>> {
+    // A panic while holding this lock (e.g. an injected Panic action
+    // unwinding through a caller that re-enters) must not wedge the
+    // injector: the data is counters, always valid.
+    STATE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Arms `plan` process-wide, resetting all counters. Replaces any
+/// previously armed plan.
+pub fn arm(plan: FaultPlan) {
+    let mut guard = state();
+    *guard = Some(Armed {
+        specs: plan.specs,
+        ..Armed::default()
+    });
+    IS_ARMED.store(true, Ordering::SeqCst);
+}
+
+/// Disarms fault injection (counters are dropped).
+pub fn disarm() {
+    let mut guard = state();
+    *guard = None;
+    IS_ARMED.store(false, Ordering::SeqCst);
+}
+
+/// Whether a plan is currently armed.
+pub fn is_armed() -> bool {
+    IS_ARMED.load(Ordering::SeqCst)
+}
+
+/// Arms the plan in [`FAULT_PLAN_ENV`], if the variable is set and
+/// non-empty. `Ok(true)` when a plan was armed.
+///
+/// # Errors
+///
+/// The parse diagnostic when the variable holds a malformed spec (the
+/// process stays disarmed — a typo must not silently run faultless).
+pub fn arm_from_env() -> Result<bool, String> {
+    match std::env::var(FAULT_PLAN_ENV) {
+        Ok(text) if !text.trim().is_empty() => {
+            let plan = FaultPlan::parse(&text)?;
+            arm(plan);
+            Ok(true)
+        }
+        _ => Ok(false),
+    }
+}
+
+/// The instrumented-site hook: counts one operation at `site` and
+/// returns the action to inject, if the armed plan says this
+/// operation faults. `None` (after one atomic load) when disarmed.
+pub fn check(site: &str) -> Option<FaultAction> {
+    if !IS_ARMED.load(Ordering::Relaxed) {
+        return None;
+    }
+    let mut guard = state();
+    let armed = guard.as_mut()?;
+    let op = armed.ops.entry(site.to_string()).or_insert(0);
+    *op += 1;
+    let op = *op;
+    let action = armed
+        .specs
+        .iter()
+        .find(|s| s.site == site && s.fires(op))
+        .map(|s| s.action)?;
+    *armed.fired.entry(site.to_string()).or_insert(0) += 1;
+    armed.fired_total += 1;
+    Some(action)
+}
+
+/// [`check`] with the [`FaultAction::Delay`] action applied in place
+/// (sleeps, returns `None`): the convenience form for sites where a
+/// delay needs no site-specific handling.
+pub fn check_sleeping(site: &str) -> Option<FaultAction> {
+    match check(site) {
+        Some(FaultAction::Delay(ms)) => {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            None
+        }
+        other => other,
+    }
+}
+
+/// Faults fired since arming (all sites).
+pub fn fired_total() -> u64 {
+    state().as_ref().map_or(0, |a| a.fired_total)
+}
+
+/// Faults fired at one site since arming.
+pub fn fired_at(site: &str) -> u64 {
+    state()
+        .as_ref()
+        .and_then(|a| a.fired.get(site).copied())
+        .unwrap_or(0)
+}
+
+/// Operations counted at one site since arming.
+pub fn ops_at(site: &str) -> u64 {
+    state()
+        .as_ref()
+        .and_then(|a| a.ops.get(site).copied())
+        .unwrap_or(0)
+}
+
+/// SplitMix64 — the scatter generator (self-contained; this crate
+/// deliberately has no dependencies).
+fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The injector is process-global; tests that arm it serialize
+    /// through this lock so the parallel harness cannot interleave
+    /// their plans.
+    static ARM_LOCK: Mutex<()> = Mutex::new(());
+
+    fn exclusive() -> std::sync::MutexGuard<'static, ()> {
+        ARM_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disarmed_checks_are_free_and_empty() {
+        let _x = exclusive();
+        disarm();
+        assert!(!is_armed());
+        for _ in 0..100 {
+            assert_eq!(check("store.write"), None);
+        }
+    }
+
+    #[test]
+    fn nth_operation_fires_exactly_once() {
+        let _x = exclusive();
+        arm(FaultPlan::new().once("store.write", 3, FaultAction::IoError));
+        assert_eq!(check("store.write"), None);
+        assert_eq!(check("store.read"), None, "sites count independently");
+        assert_eq!(check("store.write"), None);
+        assert_eq!(check("store.write"), Some(FaultAction::IoError));
+        assert_eq!(check("store.write"), None);
+        assert_eq!(fired_at("store.write"), 1);
+        assert_eq!(ops_at("store.write"), 4);
+        assert_eq!(fired_total(), 1);
+        disarm();
+    }
+
+    #[test]
+    fn repeating_faults_fire_on_the_period() {
+        let _x = exclusive();
+        arm(FaultPlan::new().repeating("pool.worker", 2, 3, FaultAction::Panic));
+        let fired: Vec<bool> = (0..9).map(|_| check("pool.worker").is_some()).collect();
+        assert_eq!(
+            fired,
+            vec![false, true, false, false, true, false, false, true, false]
+        );
+        disarm();
+    }
+
+    #[test]
+    fn scatter_is_deterministic_and_distinct() {
+        let a = FaultPlan::new().scatter("net.conn", FaultAction::Disconnect, 42, 10, 100);
+        let b = FaultPlan::new().scatter("net.conn", FaultAction::Disconnect, 42, 10, 100);
+        assert_eq!(a, b, "same seed, same plan");
+        assert_eq!(a.len(), 10);
+        let nths: Vec<u64> = a.specs().iter().map(|s| s.nth).collect();
+        let mut dedup = nths.clone();
+        dedup.dedup();
+        assert_eq!(nths, dedup, "scattered indices are distinct");
+        assert!(nths.iter().all(|&n| (1..=100).contains(&n)));
+        let c = FaultPlan::new().scatter("net.conn", FaultAction::Disconnect, 43, 10, 100);
+        assert_ne!(a, c, "different seed, different plan");
+    }
+
+    #[test]
+    fn plan_round_trips_through_the_spec_string() {
+        let plan = FaultPlan::new()
+            .once("store.write", 3, FaultAction::IoError)
+            .repeating("pool.worker", 2, 5, FaultAction::Panic)
+            .once("mc.chunk", 1, FaultAction::Delay(20))
+            .once("store.read", 7, FaultAction::CorruptRead)
+            .once("net.conn", 4, FaultAction::Disconnect)
+            .once("store.write", 9, FaultAction::TornWrite);
+        let text = plan.render();
+        assert_eq!(
+            text,
+            "store.write:3=io;pool.worker:2+5=panic;mc.chunk:1=delay:20;\
+             store.read:7=corrupt;net.conn:4=disconnect;store.write:9=torn"
+        );
+        let back = FaultPlan::parse(&text).expect("render must parse");
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn malformed_specs_are_loud_errors() {
+        assert!(FaultPlan::parse("store.write=io")
+            .unwrap_err()
+            .contains("site:nth"));
+        assert!(FaultPlan::parse("store.write:3")
+            .unwrap_err()
+            .contains("=action"));
+        assert!(FaultPlan::parse("store.write:x=io")
+            .unwrap_err()
+            .contains("operation index"));
+        assert!(FaultPlan::parse("store.write:3=explode")
+            .unwrap_err()
+            .contains("unknown fault action"));
+        assert!(FaultPlan::parse("store.write:3=delay:soon")
+            .unwrap_err()
+            .contains("delay milliseconds"));
+        assert!(FaultPlan::parse(":3=io")
+            .unwrap_err()
+            .contains("empty site"));
+        // Empty entries (trailing semicolons) are tolerated.
+        assert_eq!(
+            FaultPlan::parse("store.write:1=io;;")
+                .expect("parses")
+                .len(),
+            1
+        );
+        assert!(FaultPlan::parse("").expect("empty is fine").is_empty());
+    }
+
+    #[test]
+    fn check_sleeping_absorbs_delays_and_passes_the_rest() {
+        let _x = exclusive();
+        arm(FaultPlan::new()
+            .once("mc.chunk", 1, FaultAction::Delay(1))
+            .once("mc.chunk", 2, FaultAction::Panic));
+        let t0 = std::time::Instant::now();
+        assert_eq!(check_sleeping("mc.chunk"), None, "delay is applied inline");
+        assert!(t0.elapsed().as_millis() >= 1);
+        assert_eq!(check_sleeping("mc.chunk"), Some(FaultAction::Panic));
+        disarm();
+    }
+
+    #[test]
+    fn first_matching_spec_wins() {
+        let _x = exclusive();
+        arm(FaultPlan::new()
+            .once("s", 1, FaultAction::IoError)
+            .once("s", 1, FaultAction::Panic));
+        assert_eq!(check("s"), Some(FaultAction::IoError));
+        disarm();
+    }
+}

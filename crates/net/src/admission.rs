@@ -12,7 +12,7 @@
 //! permit while waiting (the slot accounts for the caller, not the
 //! work).
 
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, PoisonError};
 
 /// Why admission refused a job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,6 +44,11 @@ struct GateState {
 
 /// The bounded admission gate. All methods are callable from any
 /// thread; `&self` only.
+///
+/// Gate locks are poison-tolerant (`PoisonError::into_inner`): no
+/// critical section here calls user code, so a poisoned mutex can
+/// only mean a panic elsewhere unwound past a guard — and the serving
+/// path must keep admitting after a caught job panic, not deadlock.
 #[derive(Debug)]
 pub struct Gate {
     state: Mutex<GateState>,
@@ -80,7 +85,7 @@ impl Gate {
     /// [`Refusal::Draining`] once [`Gate::drain`] has been called
     /// (including for callers already queued when the drain started).
     pub fn admit(&self) -> Result<Permit<'_>, Refusal> {
-        let mut state = self.state.lock().expect("gate lock poisoned");
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         if state.draining {
             return Err(Refusal::Draining);
         }
@@ -90,7 +95,7 @@ impl Gate {
             }
             state.waiting += 1;
             while state.active >= self.max_inflight && !state.draining {
-                state = self.cv.wait(state).expect("gate lock poisoned");
+                state = self.cv.wait(state).unwrap_or_else(PoisonError::into_inner);
             }
             state.waiting -= 1;
             if state.draining {
@@ -105,33 +110,43 @@ impl Gate {
     /// call returns [`Refusal::Draining`]. Already-issued permits are
     /// unaffected — pair with [`Gate::wait_idle`] to drain them.
     pub fn drain(&self) {
-        let mut state = self.state.lock().expect("gate lock poisoned");
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         state.draining = true;
         self.cv.notify_all();
     }
 
     /// Blocks until every issued permit has been returned.
     pub fn wait_idle(&self) {
-        let mut state = self.state.lock().expect("gate lock poisoned");
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         while state.active > 0 {
-            state = self.cv.wait(state).expect("gate lock poisoned");
+            state = self.cv.wait(state).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Permits currently out (jobs admitted and not yet finished).
     pub fn active(&self) -> usize {
-        self.state.lock().expect("gate lock poisoned").active
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .active
     }
 
     /// Callers blocked in the wait queue right now.
     pub fn waiting(&self) -> usize {
-        self.state.lock().expect("gate lock poisoned").waiting
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .waiting
     }
 }
 
 impl Drop for Permit<'_> {
     fn drop(&mut self) {
-        let mut state = self.gate.state.lock().expect("gate lock poisoned");
+        let mut state = self
+            .gate
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         state.active -= 1;
         // Wake both queued admitters and `wait_idle`.
         self.gate.cv.notify_all();
@@ -139,6 +154,7 @@ impl Drop for Permit<'_> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};

@@ -23,8 +23,16 @@
 //! qods-serve [--listen ADDR] [--threads N] [--progress] [--no-cache]
 //!            [--base quick|paper] [--artifacts DIR]
 //!            [--max-connections N] [--max-inflight N] [--max-queue N]
-//!            [--max-requests-per-conn N]
+//!            [--max-requests-per-conn N] [--default-deadline MS]
+//!            [--max-line-len BYTES] [--idle-timeout SECS]
 //! ```
+//!
+//! Robustness knobs: `--default-deadline` budgets every request that
+//! does not carry its own `deadline_ms`; `--max-line-len` caps how
+//! many bytes one NDJSON line may hold before it answers
+//! `bad_request`; `--idle-timeout` reaps TCP connections that stall
+//! mid-line or go silent. Setting `QODS_FAULT_PLAN` arms the
+//! deterministic fault injector (chaos testing; see `qods-fault`).
 
 use qods_net::server::{serve_stdio, NetServer, ServeCore, ServeOptions};
 use qods_service::prelude::*;
@@ -35,7 +43,8 @@ fn usage() -> &'static str {
     "usage: qods-serve [--listen ADDR] [--threads N] [--progress] [--no-cache]\n\
      \t\t  [--base quick|paper] [--artifacts DIR]\n\
      \t\t  [--max-connections N] [--max-inflight N] [--max-queue N]\n\
-     \t\t  [--max-requests-per-conn N]\n\
+     \t\t  [--max-requests-per-conn N] [--default-deadline MS]\n\
+     \t\t  [--max-line-len BYTES] [--idle-timeout SECS]\n\
      \n\
      Reads one JSON request per line:\n\
      {\"id\":\"j1\",\"experiments\":[\"table9\"],\"overrides\":{\"n_bits\":8}}\n\
@@ -57,7 +66,14 @@ fn usage() -> &'static str {
      --max-queue N            jobs waiting for a slot; more shed as\n\
      \t\t  `overloaded` errors (default 64)\n\
      --max-requests-per-conn N  job lines one connection may submit\n\
-     \t\t  (default 0 = unlimited)"
+     \t\t  (default 0 = unlimited)\n\
+     --default-deadline MS    budget for requests without their own\n\
+     \t\t  deadline_ms; exceeded runs answer `deadline_exceeded`\n\
+     \t\t  (default 0 = no default budget)\n\
+     --max-line-len BYTES     longest accepted NDJSON request line;\n\
+     \t\t  longer lines answer `bad_request` (default 1048576)\n\
+     --idle-timeout SECS      close TCP connections idle this long\n\
+     \t\t  (default 300; 0 = never reap)"
 }
 
 /// Parses one `--flag N` unsigned argument or prints usage and fails.
@@ -142,6 +158,22 @@ fn main() -> ExitCode {
                 Ok(n) => options.max_requests_per_conn = n as u64,
                 Err(code) => return code,
             },
+            "--default-deadline" => match parse_count(&a, args.next()) {
+                Ok(n) => options.default_deadline_ms = n as u64,
+                Err(code) => return code,
+            },
+            "--max-line-len" => match parse_count(&a, args.next()) {
+                Ok(n) if n >= 1 => options.max_line_len = n,
+                Ok(_) => {
+                    eprintln!("--max-line-len needs a positive integer\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+                Err(code) => return code,
+            },
+            "--idle-timeout" => match parse_count(&a, args.next()) {
+                Ok(n) => options.idle_timeout_secs = n as u64,
+                Err(code) => return code,
+            },
             "--help" | "-h" => {
                 println!("{}", usage());
                 return ExitCode::SUCCESS;
@@ -150,6 +182,17 @@ fn main() -> ExitCode {
                 eprintln!("unknown argument `{other}`\n{}", usage());
                 return ExitCode::FAILURE;
             }
+        }
+    }
+
+    // Chaos testing: a QODS_FAULT_PLAN in the environment arms the
+    // deterministic fault injector before any serving state exists.
+    match qods_fault::arm_from_env() {
+        Ok(false) => {}
+        Ok(true) => eprintln!("qods-serve: fault injection armed from QODS_FAULT_PLAN"),
+        Err(e) => {
+            eprintln!("qods-serve: bad QODS_FAULT_PLAN: {e}");
+            return ExitCode::FAILURE;
         }
     }
 

@@ -32,6 +32,21 @@
 //! the transport byte-identity tests hold stdio bytes, TCP bytes, and
 //! direct `Registry` runs equal. See `DESIGN.md` §7 for the wire
 //! protocol and serving semantics.
+//!
+//! **Robustness (PR 7):** the serving path is hardened against
+//! misbehaving peers and its own bugs — capped NDJSON line reads
+//! (oversize lines answer `bad_request`, never unbounded buffering),
+//! socket read/write timeouts with an idle-connection reaper,
+//! per-request deadlines (`deadline_ms`) with a server-wide
+//! `--default-deadline`, panic isolation in the scheduler (a crashing
+//! job is a typed `internal_error` line, not a dead daemon), and a
+//! retrying [`client::Client`] with seeded exponential backoff. The
+//! whole path is chaos-tested under `qods-fault` injection.
+
+// Typed errors over in-band panics on the serving path: new code must
+// not add `unwrap`/`expect` here (CI runs clippy with `-D warnings`).
+// Test modules opt back in locally.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod admission;
 pub mod client;
@@ -39,6 +54,9 @@ pub mod protocol;
 pub mod server;
 
 pub use admission::{Gate, Permit, Refusal};
-pub use client::Client;
+pub use client::{Client, RetryPolicy};
 pub use protocol::{ErrorKind, Request, StatsLine, Verb};
-pub use server::{ConnState, LineOutcome, LineSink, NetServer, ServeCore, ServeOptions};
+pub use server::{
+    ConnState, LineOutcome, LineSink, NetServer, ServeCore, ServeOptions,
+    DEFAULT_IDLE_TIMEOUT_SECS, DEFAULT_MAX_LINE_LEN,
+};

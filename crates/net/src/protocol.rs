@@ -63,6 +63,15 @@ pub enum ErrorKind {
     ShuttingDown,
     /// This connection exceeded its per-connection request limit.
     ConnectionLimit,
+    /// The job panicked mid-execution; the scheduler caught the
+    /// unwind and the daemon keeps serving.
+    Internal,
+    /// The job overran its `deadline_ms` budget (or the server-wide
+    /// `--default-deadline`) and was cancelled at a chunk boundary.
+    DeadlineExceeded,
+    /// The connection went too long without completing a line and was
+    /// reaped (slow-loris protection; see `--idle-timeout`).
+    IdleTimeout,
 }
 
 impl ErrorKind {
@@ -74,6 +83,18 @@ impl ErrorKind {
             ErrorKind::Overloaded => "overloaded",
             ErrorKind::ShuttingDown => "shutting_down",
             ErrorKind::ConnectionLimit => "connection_limit",
+            ErrorKind::Internal => "internal_error",
+            ErrorKind::DeadlineExceeded => "deadline_exceeded",
+            ErrorKind::IdleTimeout => "idle_timeout",
+        }
+    }
+
+    /// The error kind a failed [`ServiceError`] maps to on the wire.
+    pub fn of_service_error(e: &ServiceError) -> Self {
+        match e {
+            ServiceError::Internal { .. } => ErrorKind::Internal,
+            ServiceError::DeadlineExceeded => ErrorKind::DeadlineExceeded,
+            ServiceError::Registry(_) | ServiceError::Kernel(_) => ErrorKind::Rejected,
         }
     }
 }
@@ -204,13 +225,23 @@ pub struct StatsLine {
     pub output_hits: u64,
     /// Output-cache misses (experiment computed).
     pub output_misses: u64,
+    /// Job panics caught at the scheduler boundary (each answered
+    /// with an `internal_error` line; the daemon kept serving).
+    pub panics_caught: u64,
+    /// Jobs cancelled with a `deadline_exceeded` error.
+    pub deadline_exceeded: u64,
+    /// Input lines refused for exceeding the line-length cap.
+    pub lines_rejected: u64,
+    /// Connections reaped by the idle timeout.
+    pub idle_reaped: u64,
     /// Request latency summary (admission wait included).
     pub latency: LatencySummary,
 }
 
 /// Renders a response line as its wire bytes (no trailing newline).
 pub fn render<T: Serialize>(line: &T) -> String {
-    serde_json::to_string(line).expect("response lines always serialize")
+    serde_json::to_string(line)
+        .unwrap_or_else(|e| unreachable!("response lines always serialize: {e}"))
 }
 
 /// Builds the `result` line for a finished job. `id` is the *caller's*
@@ -269,6 +300,7 @@ pub fn progress_line(event: JobEvent) -> ProgressLine {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -340,6 +372,10 @@ mod tests {
             context_misses: 10,
             output_hits: 300,
             output_misses: 50,
+            panics_caught: 1,
+            deadline_exceeded: 2,
+            lines_rejected: 3,
+            idle_reaped: 4,
             latency: LatencySummary {
                 count: 100,
                 mean_us: 1200.0,
@@ -352,5 +388,29 @@ mod tests {
         let back: StatsLine = serde_json::from_str(&text).expect("parse");
         assert_eq!(back.coalesced, 55);
         assert_eq!(back.latency.count, 100);
+        assert_eq!(
+            (
+                back.panics_caught,
+                back.deadline_exceeded,
+                back.lines_rejected,
+                back.idle_reaped
+            ),
+            (1, 2, 3, 4)
+        );
+    }
+
+    #[test]
+    fn service_errors_map_to_typed_wire_kinds() {
+        let internal = ServiceError::Internal {
+            message: "boom".to_string(),
+        };
+        assert_eq!(
+            ErrorKind::of_service_error(&internal).tag(),
+            "internal_error"
+        );
+        assert_eq!(
+            ErrorKind::of_service_error(&ServiceError::DeadlineExceeded).tag(),
+            "deadline_exceeded"
+        );
     }
 }

@@ -22,8 +22,23 @@ use qods_service::prelude::*;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Default cap on one NDJSON input line (bytes). Far above any real
+/// request, far below what an adversarial or broken client could
+/// otherwise make one connection thread buffer.
+pub const DEFAULT_MAX_LINE_LEN: usize = 1 << 20;
+
+/// Default idle-connection reap time (seconds since the last
+/// *completed* line — a trickling slow-loris peer never completes
+/// one, so the same clock covers both silence and drip-feeding).
+pub const DEFAULT_IDLE_TIMEOUT_SECS: u64 = 300;
+
+/// The read-timeout tick idle connections are polled at, and the cap
+/// on how long a stalled peer can block one response write.
+const SOCKET_TICK: Duration = Duration::from_secs(1);
+const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Serving policy for one server instance.
 #[derive(Debug, Clone)]
@@ -40,6 +55,16 @@ pub struct ServeOptions {
     /// Concurrent TCP connections; further accepts are refused with
     /// one `overloaded` error line.
     pub max_connections: usize,
+    /// Longest accepted input line in bytes; a longer line answers
+    /// one `bad_request` error and is discarded without buffering.
+    pub max_line_len: usize,
+    /// Seconds a TCP connection may go without completing a line
+    /// before it is reaped with an `idle_timeout` error (0 disables
+    /// the reaper; stdio is never reaped).
+    pub idle_timeout_secs: u64,
+    /// Deadline budget (ms) applied to jobs that carry no
+    /// `deadline_ms` of their own (0 = no default).
+    pub default_deadline_ms: u64,
 }
 
 impl Default for ServeOptions {
@@ -50,7 +75,127 @@ impl Default for ServeOptions {
             max_queue: 64,
             max_requests_per_conn: 0,
             max_connections: 64,
+            max_line_len: DEFAULT_MAX_LINE_LEN,
+            idle_timeout_secs: DEFAULT_IDLE_TIMEOUT_SECS,
+            default_deadline_ms: 0,
         }
+    }
+}
+
+/// What one attempt to read the next line produced.
+#[derive(Debug)]
+enum ReadLine {
+    /// A complete line (terminator stripped).
+    Line(String),
+    /// A line exceeded the cap; it was consumed and discarded.
+    TooLong {
+        /// Bytes thrown away (diagnostic only).
+        discarded: usize,
+    },
+    /// Clean end of input.
+    Eof,
+    /// The read timed out (socket tick); partial input is retained
+    /// and the next call continues it.
+    Idle,
+    /// The transport failed.
+    Failed,
+}
+
+/// A line reader with a hard per-line byte cap. Unlike
+/// `BufRead::lines`, an oversized line costs one bounded buffer and a
+/// typed error — not an allocation the size of whatever the peer
+/// cares to send before its first newline — and a read timeout
+/// surfaces as [`ReadLine::Idle`] instead of losing buffered input,
+/// which is what lets the TCP loop poll its idle reaper.
+struct CappedLineReader<R> {
+    inner: R,
+    max_len: usize,
+    buf: Vec<u8>,
+    /// Inside an over-cap line: consume to the newline, count, and
+    /// report instead of buffering.
+    discarding: bool,
+    discarded: usize,
+}
+
+impl<R: BufRead> CappedLineReader<R> {
+    fn new(inner: R, max_len: usize) -> Self {
+        CappedLineReader {
+            inner,
+            max_len: max_len.max(1),
+            buf: Vec::new(),
+            discarding: false,
+            discarded: 0,
+        }
+    }
+
+    fn next_line(&mut self) -> ReadLine {
+        loop {
+            let chunk = match self.inner.fill_buf() {
+                Ok(c) => c,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return ReadLine::Idle
+                }
+                Err(_) => return ReadLine::Failed,
+            };
+            if chunk.is_empty() {
+                // EOF. An unterminated trailing line still serves
+                // (matching `BufRead::lines`); a truncated over-cap
+                // line still reports.
+                if self.discarding {
+                    self.discarding = false;
+                    return ReadLine::TooLong {
+                        discarded: std::mem::take(&mut self.discarded),
+                    };
+                }
+                if self.buf.is_empty() {
+                    return ReadLine::Eof;
+                }
+                return ReadLine::Line(self.take_line());
+            }
+            let newline = chunk.iter().position(|&b| b == b'\n');
+            let upto = newline.map_or(chunk.len(), |i| i + 1);
+            if self.discarding {
+                self.discarded += upto;
+                self.inner.consume(upto);
+                if newline.is_some() {
+                    self.discarding = false;
+                    return ReadLine::TooLong {
+                        discarded: std::mem::take(&mut self.discarded),
+                    };
+                }
+                continue;
+            }
+            self.buf.extend_from_slice(&chunk[..upto]);
+            self.inner.consume(upto);
+            if self.buf.len() > self.max_len {
+                // Too long: drop what we buffered and drain the rest
+                // of the line (possibly across many reads).
+                self.discarded = self.buf.len();
+                self.buf.clear();
+                if newline.is_some() {
+                    return ReadLine::TooLong {
+                        discarded: std::mem::take(&mut self.discarded),
+                    };
+                }
+                self.discarding = true;
+                continue;
+            }
+            if newline.is_some() {
+                return ReadLine::Line(self.take_line());
+            }
+        }
+    }
+
+    fn take_line(&mut self) -> String {
+        let mut bytes = std::mem::take(&mut self.buf);
+        while bytes.last() == Some(&b'\n') || bytes.last() == Some(&b'\r') {
+            bytes.pop();
+        }
+        String::from_utf8_lossy(&bytes).into_owned()
     }
 }
 
@@ -94,12 +239,15 @@ pub struct ServeCore {
     overloaded: AtomicU64,
     connections: AtomicU64,
     connections_total: AtomicU64,
+    lines_rejected: AtomicU64,
+    idle_reaped: AtomicU64,
 }
 
 impl ServeCore {
     /// A serving core over `scheduler` with the given policy.
     pub fn new(scheduler: Scheduler, options: ServeOptions) -> Self {
         let gate = Gate::new(options.max_inflight, options.max_queue);
+        scheduler.set_default_deadline_ms(options.default_deadline_ms);
         ServeCore {
             scheduler,
             gate,
@@ -112,6 +260,8 @@ impl ServeCore {
             overloaded: AtomicU64::new(0),
             connections: AtomicU64::new(0),
             connections_total: AtomicU64::new(0),
+            lines_rejected: AtomicU64::new(0),
+            idle_reaped: AtomicU64::new(0),
         }
     }
 
@@ -216,8 +366,32 @@ impl ServeCore {
                 sink.emit(&render(&result_line(job.id.clone(), &result)));
                 self.results.fetch_add(1, Ordering::Relaxed);
             }
-            Err(e) => self.emit_error(sink, ErrorKind::Rejected, job.id.clone(), e.to_string()),
+            // A panicked or deadline-cancelled job answers with its
+            // own typed kind (`internal_error` / `deadline_exceeded`)
+            // so clients can tell a crashed experiment from a refused
+            // request.
+            Err(e) => self.emit_error(
+                sink,
+                ErrorKind::of_service_error(&e),
+                job.id.clone(),
+                e.to_string(),
+            ),
         }
+    }
+
+    /// Answers an over-cap input line with one typed `bad_request`
+    /// error and counts it.
+    fn reject_line(&self, sink: &dyn LineSink, discarded: usize) {
+        self.lines_rejected.fetch_add(1, Ordering::Relaxed);
+        self.emit_error(
+            sink,
+            ErrorKind::BadRequest,
+            None,
+            format!(
+                "bad request: line exceeded the {}-byte cap ({discarded} bytes discarded)",
+                self.options.max_line_len
+            ),
+        );
     }
 
     fn emit_error(&self, sink: &dyn LineSink, kind: ErrorKind, id: Option<String>, diag: String) {
@@ -279,6 +453,10 @@ impl ServeCore {
             context_misses: cache.context_misses,
             output_hits: cache.output_hits,
             output_misses: cache.output_misses,
+            panics_caught: sched.panics_caught,
+            deadline_exceeded: sched.deadlines_exceeded,
+            lines_rejected: self.lines_rejected.load(Ordering::Relaxed),
+            idle_reaped: self.idle_reaped.load(Ordering::Relaxed),
             latency: self.latency.summary(),
         }
     }
@@ -310,16 +488,23 @@ pub fn serve_stdio(core: &ServeCore) -> Result<(), String> {
     let mut conn = ConnState::default();
     let mut read_error = None;
     let stdin = std::io::stdin();
-    for line in stdin.lock().lines() {
-        let line = match line {
-            Ok(l) => l,
-            Err(e) => {
-                read_error = Some(format!("stdin read failed: {e}"));
+    let mut reader = CappedLineReader::new(stdin.lock(), core.options().max_line_len);
+    loop {
+        match reader.next_line() {
+            ReadLine::Line(line) => {
+                if let LineOutcome::Shutdown = core.handle_line(&line, &mut conn, &sink) {
+                    break;
+                }
+            }
+            ReadLine::TooLong { discarded } => core.reject_line(&sink, discarded),
+            ReadLine::Eof => break,
+            // Stdin has no read timeout; treat a spurious tick as a
+            // retry.
+            ReadLine::Idle => continue,
+            ReadLine::Failed => {
+                read_error = Some("stdin read failed".to_string());
                 break;
             }
-        };
-        if let LineOutcome::Shutdown = core.handle_line(&line, &mut conn, &sink) {
-            break;
         }
     }
     // One drain path for EOF, shutdown verb, and read error alike.
@@ -342,10 +527,9 @@ impl LineSink for StreamSink {
         let mut buf = Vec::with_capacity(line.len() + 1);
         buf.extend_from_slice(line.as_bytes());
         buf.push(b'\n');
-        if let Ok(mut w) = self.writer.lock() {
-            let _ = w.write_all(&buf);
-            let _ = w.flush();
-        }
+        let mut w = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        let _ = w.write_all(&buf);
+        let _ = w.flush();
     }
 }
 
@@ -424,7 +608,7 @@ impl NetServer {
             if let Ok(read_half) = stream.try_clone() {
                 readers
                     .lock()
-                    .expect("reader registry poisoned")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .push(read_half);
             }
             let core = self.core.clone();
@@ -439,7 +623,11 @@ impl NetServer {
         // threads fall out of their read loop after the line they are
         // serving, then wait for the work and the threads.
         self.core.begin_drain();
-        for reader in readers.lock().expect("reader registry poisoned").iter() {
+        for reader in readers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+        {
             let _ = reader.shutdown(Shutdown::Read);
         }
         for thread in threads {
@@ -452,8 +640,25 @@ impl NetServer {
 
 /// One connection's read loop. A `shutdown` verb flips the stop flag
 /// and pokes the accept loop awake with a self-connect.
+///
+/// Socket robustness: reads tick every [`SOCKET_TICK`] so the idle
+/// reaper can run (a connection that goes `idle_timeout_secs` without
+/// *completing* a line — silent or drip-feeding — answers one
+/// `idle_timeout` error and is closed), writes time out after
+/// [`WRITE_TIMEOUT`] so a stalled peer cannot pin the thread, and
+/// over-cap lines answer `bad_request` without unbounded buffering.
+/// The `net.conn` fault site injects disconnects and delays here, one
+/// op per served line.
 fn serve_connection(core: &ServeCore, stream: TcpStream, stop: &AtomicBool, local: SocketAddr) {
     core.connection_opened();
+    let idle_timeout = match core.options().idle_timeout_secs {
+        0 => None,
+        secs => Some(Duration::from_secs(secs)),
+    };
+    if idle_timeout.is_some() {
+        let _ = stream.set_read_timeout(Some(SOCKET_TICK));
+    }
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
     let reader = match stream.try_clone() {
         Ok(s) => BufReader::new(s),
         Err(_) => {
@@ -461,25 +666,135 @@ fn serve_connection(core: &ServeCore, stream: TcpStream, stop: &AtomicBool, loca
             return;
         }
     };
+    let half_close = stream.try_clone();
     let sink = StreamSink {
         writer: Mutex::new(stream),
     };
+    let mut reader = CappedLineReader::new(reader, core.options().max_line_len);
     let mut conn = ConnState::default();
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if let LineOutcome::Shutdown = core.handle_line(&line, &mut conn, &sink) {
-            stop.store(true, Ordering::SeqCst);
-            // Unblock the accept loop so it can run the drain.
-            let _ = TcpStream::connect(local);
-            break;
+    let mut last_line_done = Instant::now();
+    loop {
+        match reader.next_line() {
+            ReadLine::Line(line) => {
+                if let Some(qods_fault::FaultAction::Disconnect) =
+                    qods_fault::check_sleeping("net.conn")
+                {
+                    // Injected mid-request connection drop: the peer
+                    // sees a reset, the server must shrug.
+                    if let Ok(s) = &half_close {
+                        let _ = s.shutdown(Shutdown::Both);
+                    }
+                    break;
+                }
+                if let LineOutcome::Shutdown = core.handle_line(&line, &mut conn, &sink) {
+                    stop.store(true, Ordering::SeqCst);
+                    // Unblock the accept loop so it can run the drain.
+                    let _ = TcpStream::connect(local);
+                    break;
+                }
+                last_line_done = Instant::now();
+            }
+            ReadLine::TooLong { discarded } => {
+                last_line_done = Instant::now();
+                core.reject_line(&sink, discarded);
+            }
+            ReadLine::Idle => {
+                if let Some(timeout) = idle_timeout {
+                    if last_line_done.elapsed() >= timeout {
+                        core.idle_reaped.fetch_add(1, Ordering::Relaxed);
+                        core.emit_error(
+                            &sink,
+                            ErrorKind::IdleTimeout,
+                            None,
+                            format!(
+                                "connection idle for {}s without completing a line",
+                                timeout.as_secs()
+                            ),
+                        );
+                        if let Ok(s) = &half_close {
+                            let _ = s.shutdown(Shutdown::Both);
+                        }
+                        break;
+                    }
+                }
+            }
+            ReadLine::Eof | ReadLine::Failed => break,
         }
     }
     core.connection_closed();
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
+
+    /// Runs `input` through a [`CappedLineReader`] with `cap` and
+    /// collects every outcome until EOF.
+    fn read_all(input: &[u8], cap: usize) -> Vec<ReadLine> {
+        let mut reader = CappedLineReader::new(std::io::Cursor::new(input.to_vec()), cap);
+        let mut out = Vec::new();
+        loop {
+            let next = reader.next_line();
+            let eof = matches!(next, ReadLine::Eof);
+            out.push(next);
+            if eof {
+                return out;
+            }
+        }
+    }
+
+    #[test]
+    fn capped_reader_passes_lines_under_the_cap() {
+        let out = read_all(b"alpha\nbeta\r\n", 64);
+        assert!(matches!(&out[0], ReadLine::Line(l) if l == "alpha"));
+        assert!(
+            matches!(&out[1], ReadLine::Line(l) if l == "beta"),
+            "CR stripped"
+        );
+        assert!(matches!(out[2], ReadLine::Eof));
+    }
+
+    #[test]
+    fn capped_reader_rejects_an_oversize_line_and_recovers() {
+        let input = format!("{}\nshort\n", "x".repeat(100));
+        let out = read_all(input.as_bytes(), 16);
+        assert!(
+            matches!(out[0], ReadLine::TooLong { discarded } if discarded >= 100),
+            "{:?}",
+            out[0]
+        );
+        assert!(
+            matches!(&out[1], ReadLine::Line(l) if l == "short"),
+            "the stream recovers after the rejected line"
+        );
+    }
+
+    #[test]
+    fn capped_reader_discards_across_buffer_refills() {
+        // An oversize line much larger than BufReader's chunking still
+        // counts every discarded byte and consumes through its
+        // newline.
+        let input = format!("{}\nok\n", "y".repeat(500_000));
+        let out = read_all(input.as_bytes(), 1024);
+        assert!(matches!(out[0], ReadLine::TooLong { discarded } if discarded >= 500_000));
+        assert!(matches!(&out[1], ReadLine::Line(l) if l == "ok"));
+    }
+
+    #[test]
+    fn capped_reader_serves_an_unterminated_final_line() {
+        let out = read_all(b"no newline at end", 64);
+        assert!(matches!(&out[0], ReadLine::Line(l) if l == "no newline at end"));
+        assert!(matches!(out[1], ReadLine::Eof));
+    }
+
+    #[test]
+    fn capped_reader_rejects_an_unterminated_oversize_tail() {
+        let input = "z".repeat(50);
+        let out = read_all(input.as_bytes(), 16);
+        assert!(matches!(out[0], ReadLine::TooLong { discarded } if discarded == 50));
+        assert!(matches!(out[1], ReadLine::Eof));
+    }
 
     struct VecSink(Mutex<Vec<String>>);
 

@@ -278,6 +278,18 @@ fn run_chunk<F>(n: u64, seed: u64, c: u64, trial: &mut F, arena: &mut TrialArena
 where
     F: FnMut(&mut StdRng, &mut TrialArena) -> TrialOutcome,
 {
+    // The chunk boundary is the engine's only cancellation point: a
+    // deadline hit unwinds *between* chunks, so partial statistics
+    // are never observed and the bit-identical-at-any-thread-count
+    // contract survives cancellation. The `mc.chunk` fault site rides
+    // the same boundary (chaos tests inject delays to force deadline
+    // expiry, and panics to exercise the pool's unwind guard).
+    if let Some(action) = qods_fault::check_sleeping("mc.chunk") {
+        if action == qods_fault::FaultAction::Panic {
+            panic!("injected fault: mc chunk {c} panicked");
+        }
+    }
+    qods_pool::check_deadline();
     let lo = c * TRIAL_CHUNK;
     let hi = n.min(lo + TRIAL_CHUNK);
     let mut rng = StdRng::seed_from_u64(chunk_seed(seed, c));
@@ -397,6 +409,39 @@ mod tests {
         assert_eq!(stats.accepted + stats.discarded, 1000);
         assert!((stats.discard_rate() - 0.25).abs() < 0.06);
         assert!((stats.error_rate() - 0.5).abs() < 0.06);
+    }
+
+    #[test]
+    fn deadlines_cancel_cleanly_and_leave_determinism_intact() {
+        let trial = |rng: &mut StdRng, _: &mut TrialArena| TrialOutcome::Accepted {
+            logical_error: rng.gen_bool(0.01),
+        };
+        // Baseline with no deadline at all.
+        let baseline = run_trials(10_000, 7, trial);
+        // A far deadline changes nothing, bit for bit, at any thread
+        // count: the cancellation point is pure control flow.
+        let far = std::time::Instant::now() + std::time::Duration::from_secs(3600);
+        for threads in [1, 4] {
+            let under_deadline = qods_pool::with_deadline(Some(far), || {
+                run_trials_parallel(10_000, 7, threads, trial)
+            });
+            assert_eq!(under_deadline, baseline, "threads = {threads}");
+        }
+        // An expired deadline unwinds with the sentinel before any
+        // chunk runs — nothing partial escapes.
+        let past = std::time::Instant::now() - std::time::Duration::from_millis(1);
+        let err = qods_pool::with_deadline(Some(past), || {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_trials(10_000, 7, trial)
+            }))
+        })
+        .expect_err("expired deadline must cancel the run");
+        assert!(
+            err.downcast_ref::<qods_pool::DeadlineHit>().is_some(),
+            "cancellation unwinds with the deadline sentinel"
+        );
+        // And the engine is unpoisoned: the same run succeeds after.
+        assert_eq!(run_trials(10_000, 7, trial), baseline);
     }
 
     #[test]

@@ -23,8 +23,181 @@
 //! that rule are bit-identical at any thread count, including fully
 //! sequential — the property the Monte-Carlo engine, the architecture
 //! sweep, and the job scheduler all test for.
+//!
+//! ## Failure model
+//!
+//! A panicking worker no longer takes the process down blind:
+//! [`try_run_workers`] / [`try_run_indexed`] catch worker unwinds and
+//! return a typed [`PoolError`] (the serving path's degrade-gracefully
+//! contract). The untyped [`run_workers`] / [`run_indexed`] remain
+//! for callers inside an already-guarded scope — they re-raise the
+//! classified failure (real panics with their message, deadline hits
+//! as the [`DeadlineHit`] sentinel) so nested pools propagate cleanly
+//! to the outermost guard.
+//!
+//! ## Deadlines
+//!
+//! [`with_deadline`] installs a cooperative, thread-local deadline
+//! that [`run_workers`] propagates into every worker it spawns.
+//! Engines call [`check_deadline`] at *chunk boundaries only* (an MC
+//! trial chunk, a sweep point): a hit unwinds with the private
+//! [`DeadlineHit`] sentinel, so no partial result is ever observed —
+//! a run either completes bit-identically or returns
+//! [`PoolError::DeadlineExceeded`] with nothing cached. That is what
+//! keeps the determinism contract compatible with cancellation.
 
+use std::cell::Cell;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Once;
+use std::time::Instant;
+
+/// Why a pool run failed (nothing partial is returned).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// A worker panicked; `message` is the panic payload when it was
+    /// a string (the common `panic!` case).
+    WorkerPanicked {
+        /// The panic payload's text, or a placeholder.
+        message: String,
+    },
+    /// The thread-local deadline ([`with_deadline`]) expired and a
+    /// worker observed it at a chunk boundary ([`check_deadline`]).
+    DeadlineExceeded,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::WorkerPanicked { message } => write!(f, "worker panicked: {message}"),
+            PoolError::DeadlineExceeded => write!(f, "deadline exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// The sentinel payload [`check_deadline`] panics with. Private to
+/// the cancellation protocol: [`try_run_workers`] (and the scheduler's
+/// guard) classify it back into [`PoolError::DeadlineExceeded`], and
+/// the panic hook stays silent for it — a deadline is an outcome, not
+/// a crash.
+pub struct DeadlineHit;
+
+thread_local! {
+    /// The cooperative deadline for work on this thread, if any.
+    static DEADLINE: Cell<Option<Instant>> = const { Cell::new(None) };
+}
+
+/// Suppresses default panic-hook output for [`DeadlineHit`] unwinds
+/// (installed lazily, once, wrapping whatever hook was active).
+fn install_quiet_deadline_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<DeadlineHit>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Restores the previous thread-local deadline on scope exit — also
+/// on unwind, so a [`DeadlineHit`] flying past never leaks a stale
+/// deadline into unrelated work on a reused thread.
+struct DeadlineGuard {
+    previous: Option<Instant>,
+}
+
+impl Drop for DeadlineGuard {
+    fn drop(&mut self) {
+        DEADLINE.with(|d| d.set(self.previous));
+    }
+}
+
+/// Runs `f` under a cooperative deadline. `None` leaves any inherited
+/// deadline in place; `Some(t)` tightens it (the *earlier* of `t` and
+/// the inherited deadline wins, so nesting can only shorten a budget,
+/// never extend one). The previous deadline is restored on exit,
+/// unwind included.
+pub fn with_deadline<R>(deadline: Option<Instant>, f: impl FnOnce() -> R) -> R {
+    let previous = DEADLINE.with(Cell::get);
+    let effective = match (previous, deadline) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => b.or(a),
+    };
+    if effective.is_some() {
+        install_quiet_deadline_hook();
+    }
+    DEADLINE.with(|d| d.set(effective));
+    let _guard = DeadlineGuard { previous };
+    f()
+}
+
+/// The deadline active on this thread, if any.
+pub fn current_deadline() -> Option<Instant> {
+    DEADLINE.with(Cell::get)
+}
+
+/// Whether this thread's deadline has passed (false when none is
+/// set).
+pub fn deadline_exceeded() -> bool {
+    current_deadline().is_some_and(|t| Instant::now() >= t)
+}
+
+/// The cooperative cancellation point: a no-op while the deadline
+/// (if any) holds, an unwind with the [`DeadlineHit`] sentinel once
+/// it has passed. Engines call this at chunk/point boundaries only,
+/// so cancellation can never expose a partial result.
+pub fn check_deadline() {
+    if deadline_exceeded() {
+        std::panic::panic_any(DeadlineHit);
+    }
+}
+
+/// Classifies a caught worker unwind: the deadline sentinel maps to
+/// [`PoolError::DeadlineExceeded`], everything else to
+/// [`PoolError::WorkerPanicked`] carrying the payload's text.
+fn classify_panic(payload: Box<dyn std::any::Any + Send>) -> PoolError {
+    if payload.downcast_ref::<DeadlineHit>().is_some() {
+        return PoolError::DeadlineExceeded;
+    }
+    let message = if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    };
+    PoolError::WorkerPanicked { message }
+}
+
+/// Folds per-worker outcomes into one pool outcome. A real panic
+/// outranks a deadline hit: when both happened in one fan-out the
+/// panic is the defect to surface (the deadline unwinds are its
+/// siblings cancelling).
+fn fold_outcomes<R>(outcomes: Vec<Result<R, PoolError>>) -> Result<Vec<R>, PoolError> {
+    let mut deadline = false;
+    let mut results = Vec::with_capacity(outcomes.len());
+    let mut panic = None;
+    for outcome in outcomes {
+        match outcome {
+            Ok(r) => results.push(r),
+            Err(PoolError::DeadlineExceeded) => deadline = true,
+            Err(e @ PoolError::WorkerPanicked { .. }) => {
+                if panic.is_none() {
+                    panic = Some(e);
+                }
+            }
+        }
+    }
+    match (panic, deadline) {
+        (Some(e), _) => Err(e),
+        (None, true) => Err(PoolError::DeadlineExceeded),
+        (None, false) => Ok(results),
+    }
+}
 
 /// Process-wide worker-count override; 0 means "auto" (one worker per
 /// core). Set through [`set_thread_override`].
@@ -95,60 +268,138 @@ impl WorkQueue {
     }
 }
 
-/// Runs `worker(worker_index)` on `threads` scoped OS threads and
-/// returns their results in worker-index order. With `threads <= 1`
-/// the worker runs inline on the caller's thread (no spawn).
+/// Runs `worker(worker_index)` on `threads` scoped OS threads,
+/// returning results in worker-index order, with unwinds caught and
+/// classified. With `threads <= 1` the worker runs inline on the
+/// caller's thread (no spawn) under the same guard. The caller's
+/// thread-local deadline ([`with_deadline`]) is installed in every
+/// spawned worker, so nested pools inherit the budget.
+///
+/// The `pool.worker` fault-injection site fires once per worker start
+/// (`panic` and `delay` actions apply; others are ignored).
+///
+/// # Errors
+///
+/// [`PoolError::WorkerPanicked`] when any worker panicked (a real
+/// panic outranks concurrent deadline unwinds),
+/// [`PoolError::DeadlineExceeded`] when a worker hit the deadline.
+/// Either way no partial results are returned.
+pub fn try_run_workers<R, F>(threads: usize, worker: F) -> Result<Vec<R>, PoolError>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let deadline = current_deadline();
+    let guarded = |w: usize| -> Result<R, PoolError> {
+        std::panic::catch_unwind(AssertUnwindSafe(|| {
+            with_deadline(deadline, || {
+                if let Some(action) = qods_fault::check_sleeping("pool.worker") {
+                    if action == qods_fault::FaultAction::Panic {
+                        panic!("injected fault: pool worker {w} panicked");
+                    }
+                }
+                worker(w)
+            })
+        }))
+        .map_err(classify_panic)
+    };
+    if threads <= 1 {
+        return fold_outcomes(vec![guarded(0)]);
+    }
+    let guarded = &guarded;
+    let outcomes: Vec<Result<R, PoolError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| scope.spawn(move || guarded(w)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|_| {
+                    // Unreachable in practice: the closure catches its
+                    // own unwinds. Classify rather than re-panic.
+                    Err(PoolError::WorkerPanicked {
+                        message: "worker thread died before reporting".to_string(),
+                    })
+                })
+            })
+            .collect()
+    });
+    fold_outcomes(outcomes)
+}
+
+/// [`try_run_workers`] for callers inside an already-guarded scope:
+/// re-raises the classified failure instead of returning it — a real
+/// worker panic as `panic!` with its message, a deadline hit as the
+/// [`DeadlineHit`] sentinel (so an enclosing guard sees one
+/// consistent cancellation unwind however deep the pool nesting).
 ///
 /// # Panics
 ///
-/// Propagates a panic from any worker.
+/// On any worker failure, as described above.
 pub fn run_workers<R, F>(threads: usize, worker: F) -> Vec<R>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    if threads <= 1 {
-        return vec![worker(0)];
+    match try_run_workers(threads, worker) {
+        Ok(results) => results,
+        Err(PoolError::DeadlineExceeded) => std::panic::panic_any(DeadlineHit),
+        Err(PoolError::WorkerPanicked { message }) => panic!("pool worker panicked: {message}"),
     }
-    let worker = &worker;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|w| scope.spawn(move || worker(w)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("pool worker panicked"))
-            .collect()
-    })
 }
 
 /// Runs `n` independent tasks — `task(i)` for `i in 0..n` — over a
 /// shared [`WorkQueue`] on `threads` workers, returning the results
-/// in index order. The assembly never depends on which worker
+/// in index order, with unwinds caught and classified
+/// ([`try_run_workers`]). The assembly never depends on which worker
 /// computed a task, so results are identical at any thread count.
-pub fn run_indexed<T, F>(n: usize, threads: usize, task: F) -> Vec<T>
+///
+/// # Errors
+///
+/// As for [`try_run_workers`]; no partial results are returned.
+pub fn try_run_indexed<T, F>(n: usize, threads: usize, task: F) -> Result<Vec<T>, PoolError>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
     let threads = threads.clamp(1, n.max(1));
     if threads <= 1 {
-        return (0..n).map(task).collect();
+        let task = &task;
+        return try_run_workers(1, move |_| (0..n).map(task).collect::<Vec<T>>())
+            .map(|mut v| v.pop().unwrap_or_default());
     }
     let queue = WorkQueue::new(n as u64);
-    let mut computed: Vec<(usize, T)> = run_workers(threads, |_| {
+    let mut computed: Vec<(usize, T)> = try_run_workers(threads, |_| {
         let mut mine = Vec::new();
         while let Some(i) = queue.claim() {
             let i = i as usize;
             mine.push((i, task(i)));
         }
         mine
-    })
+    })?
     .into_iter()
     .flatten()
     .collect();
     computed.sort_unstable_by_key(|&(i, _)| i);
-    computed.into_iter().map(|(_, t)| t).collect()
+    Ok(computed.into_iter().map(|(_, t)| t).collect())
+}
+
+/// [`try_run_indexed`] re-raising failures like [`run_workers`] does —
+/// the form for callers inside an already-guarded scope.
+///
+/// # Panics
+///
+/// On any worker failure ([`run_workers`] semantics).
+pub fn run_indexed<T, F>(n: usize, threads: usize, task: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    match try_run_indexed(n, threads, task) {
+        Ok(results) => results,
+        Err(PoolError::DeadlineExceeded) => std::panic::panic_any(DeadlineHit),
+        Err(PoolError::WorkerPanicked { message }) => panic!("pool worker panicked: {message}"),
+    }
 }
 
 #[cfg(test)]
@@ -193,6 +444,129 @@ mod tests {
         let ids = run_workers(3, |w| w);
         assert_eq!(ids, vec![0, 1, 2]);
         assert_eq!(run_workers(0, |w| w), vec![0]);
+    }
+
+    #[test]
+    fn worker_panics_are_typed_errors_not_process_aborts() {
+        for threads in [1, 4] {
+            let err = try_run_workers(threads, |w| {
+                if w == 0 {
+                    panic!("worker zero exploded");
+                }
+                w
+            })
+            .expect_err("panic must surface as PoolError");
+            assert_eq!(
+                err,
+                PoolError::WorkerPanicked {
+                    message: "worker zero exploded".to_string()
+                },
+                "threads = {threads}"
+            );
+        }
+        // The untyped form re-raises with the message preserved.
+        let caught = std::panic::catch_unwind(|| {
+            run_workers(2, |w| {
+                if w == 1 {
+                    panic!("boom");
+                }
+                w
+            })
+        })
+        .expect_err("must re-panic");
+        let text = caught.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(text.contains("boom"), "{text}");
+    }
+
+    #[test]
+    fn indexed_panics_return_no_partial_results() {
+        for threads in [1, 3] {
+            let err = try_run_indexed(10, threads, |i| {
+                if i == 7 {
+                    panic!("task seven");
+                }
+                i
+            })
+            .expect_err("panic must surface");
+            assert!(matches!(err, PoolError::WorkerPanicked { .. }));
+        }
+    }
+
+    #[test]
+    fn expired_deadline_cancels_at_the_check() {
+        let already_past = Instant::now() - std::time::Duration::from_millis(1);
+        let err = with_deadline(Some(already_past), || {
+            try_run_indexed(100, 2, |i| {
+                check_deadline();
+                i
+            })
+        })
+        .expect_err("expired deadline must cancel");
+        assert_eq!(err, PoolError::DeadlineExceeded);
+        // Outside the scope the deadline is gone.
+        assert_eq!(current_deadline(), None);
+        assert!(!deadline_exceeded());
+    }
+
+    #[test]
+    fn unexpired_deadline_changes_nothing() {
+        let far = Instant::now() + std::time::Duration::from_secs(3600);
+        let results = with_deadline(Some(far), || {
+            try_run_indexed(50, 2, |i| {
+                check_deadline();
+                i * 2
+            })
+        })
+        .expect("far deadline must not cancel");
+        assert_eq!(results, (0..50).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_deadlines_tighten_never_extend() {
+        let near = Instant::now() - std::time::Duration::from_millis(1);
+        let far = Instant::now() + std::time::Duration::from_secs(3600);
+        with_deadline(Some(near), || {
+            // An inner, later deadline must not revive expired work.
+            with_deadline(Some(far), || {
+                assert!(deadline_exceeded(), "inner scope keeps the tighter bound");
+            });
+            // `None` inherits.
+            with_deadline(None, || assert!(deadline_exceeded()));
+        });
+    }
+
+    #[test]
+    fn workers_inherit_the_spawning_threads_deadline() {
+        let past = Instant::now() - std::time::Duration::from_millis(1);
+        let err = with_deadline(Some(past), || {
+            try_run_workers(3, |_| {
+                check_deadline(); // runs on a spawned thread
+                0u32
+            })
+        })
+        .expect_err("spawned workers must see the deadline");
+        assert_eq!(err, PoolError::DeadlineExceeded);
+    }
+
+    #[test]
+    fn injected_worker_panic_fires_through_the_fault_site() {
+        // Process-global injector: keep arm/disarm in one test.
+        qods_fault::arm(qods_fault::FaultPlan::new().once(
+            "pool.worker",
+            1,
+            qods_fault::FaultAction::Panic,
+        ));
+        let err = try_run_workers(1, |_| 7).expect_err("injected panic");
+        match err {
+            PoolError::WorkerPanicked { message } => {
+                assert!(message.contains("injected fault"), "{message}");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+        assert_eq!(qods_fault::fired_at("pool.worker"), 1);
+        qods_fault::disarm();
+        // Disarmed again: the same call succeeds.
+        assert_eq!(try_run_workers(1, |_| 7), Ok(vec![7]));
     }
 
     /// The override tests live in one function: the pin is

@@ -17,7 +17,7 @@ use qods_core::experiment::{ExperimentOutput, StudyContext};
 use qods_core::study::StudyConfig;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Default bound on retained configurations (see
 /// [`ContextPool::with_capacity`]). Generous for real traffic — a
@@ -55,10 +55,15 @@ impl PoolEntry {
     }
 
     /// The cached output of an experiment, if one finished here.
+    ///
+    /// Lock poisoning is deliberately ignored here and below: every
+    /// write to the map is a single insert of an already-computed
+    /// value, so a panicking holder can never leave it half-updated,
+    /// and the serving path must survive a caught job panic.
     pub fn cached_output(&self, experiment_id: &str) -> Option<ExperimentOutput> {
         self.outputs
             .lock()
-            .expect("output cache poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(experiment_id)
             .cloned()
     }
@@ -68,13 +73,16 @@ impl PoolEntry {
     pub fn store_output(&self, experiment_id: &str, output: ExperimentOutput) {
         self.outputs
             .lock()
-            .expect("output cache poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .insert(experiment_id.to_string(), output);
     }
 
     /// How many outputs this entry holds.
     pub fn cached_outputs(&self) -> usize {
-        self.outputs.lock().expect("output cache poisoned").len()
+        self.outputs
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 }
 
@@ -224,7 +232,10 @@ impl ContextPool {
             let store = Arc::new(ArtifactStore::in_memory());
             return (Arc::new(PoolEntry::new(hash, config, store)), false);
         }
-        let mut retained = self.entries.lock().expect("context pool poisoned");
+        // Poison-tolerant like the entry locks above: the retained
+        // map's invariant (order tracks map keys) is restored below
+        // even if a previous holder unwound mid-checkout.
+        let mut retained = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(entry) = retained.map.get(&hash) {
             let entry = Arc::clone(entry);
             retained.touch(hash);
@@ -233,11 +244,15 @@ impl ContextPool {
         }
         self.context_misses.fetch_add(1, Ordering::Relaxed);
         while retained.map.len() >= self.capacity {
-            let lru = retained
-                .order
-                .pop_front()
-                .expect("order tracks every retained entry");
-            retained.map.remove(&lru);
+            match retained.order.pop_front() {
+                Some(lru) => {
+                    retained.map.remove(&lru);
+                }
+                // Unreachable unless a poisoned predecessor desynced
+                // the recency order; drop the whole map rather than
+                // loop forever.
+                None => retained.map.clear(),
+            }
         }
         let entry = Arc::new(PoolEntry::new(hash, config, Arc::clone(&self.store)));
         retained.map.insert(hash, Arc::clone(&entry));
@@ -266,7 +281,7 @@ impl ContextPool {
     pub fn len(&self) -> usize {
         self.entries
             .lock()
-            .expect("context pool poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .map
             .len()
     }
@@ -288,7 +303,7 @@ impl ContextPool {
     pub fn total_lowering_runs(&self) -> usize {
         self.entries
             .lock()
-            .expect("context pool poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .map
             .values()
             .map(|e| e.context().lowering_runs())
@@ -297,6 +312,7 @@ impl ContextPool {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

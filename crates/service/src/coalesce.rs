@@ -21,7 +21,7 @@
 //! peer, and a poisoned outcome is never served.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 
 /// What followers observe when a leader finishes (or vanishes).
 enum SlotState<T> {
@@ -91,8 +91,18 @@ impl<T> InflightTable<T> {
     }
 
     /// How many jobs are in flight right now (the `stats` gauge).
+    ///
+    /// Every lock in this table is poison-tolerant
+    /// (`PoisonError::into_inner`): slot state is a single enum
+    /// assignment and the map a single insert/remove, so a panicking
+    /// holder can't leave either half-updated — and an abandoned
+    /// leader must never make the table unusable for the retrying
+    /// followers it just woke.
     pub fn len(&self) -> usize {
-        self.slots.lock().expect("inflight table poisoned").len()
+        self.slots
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// Whether no job is in flight.
@@ -104,7 +114,7 @@ impl<T> InflightTable<T> {
     /// caller per key gets [`Begin::Leader`], concurrent callers get
     /// [`Begin::Follower`].
     pub fn begin(&self, key: u64) -> Begin<'_, T> {
-        let mut slots = self.slots.lock().expect("inflight table poisoned");
+        let mut slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(slot) = slots.get(&key) {
             return Begin::Follower(Follower {
                 slot: Arc::clone(slot),
@@ -151,9 +161,13 @@ impl<T> LeaderGuard<'_, T> {
         self.table
             .slots
             .lock()
-            .expect("inflight table poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .remove(&self.key);
-        *self.slot.state.lock().expect("inflight slot poisoned") = state;
+        *self
+            .slot
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = state;
         self.slot.cv.notify_all();
     }
 }
@@ -163,7 +177,11 @@ impl<T: Clone> Follower<T> {
     /// completion; `None` when the leader was abandoned — call
     /// [`InflightTable::begin`] again (the caller may now lead).
     pub fn wait(self) -> Option<T> {
-        let mut state = self.slot.state.lock().expect("inflight slot poisoned");
+        let mut state = self
+            .slot
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         loop {
             match &*state {
                 SlotState::Running => {
@@ -171,7 +189,7 @@ impl<T: Clone> Follower<T> {
                         .slot
                         .cv
                         .wait(state)
-                        .expect("inflight slot poisoned while waiting");
+                        .unwrap_or_else(PoisonError::into_inner);
                 }
                 SlotState::Done(outcome) => return Some(outcome.clone()),
                 SlotState::Abandoned => return None,
@@ -181,6 +199,7 @@ impl<T: Clone> Follower<T> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -228,6 +247,71 @@ mod tests {
         assert_eq!(follower.wait(), None, "abandonment yields no outcome");
         // The key is free: the retrying follower becomes the leader.
         assert!(matches!(table.begin(9), Begin::Leader(_)));
+    }
+
+    #[test]
+    fn followers_of_a_panicked_leader_retry_and_execute_exactly_once() {
+        // The full recovery path: a leader thread panics while holding
+        // its guard, both followers wake, and — exactly as the
+        // scheduler composes this table with its result cache — the
+        // retry executes the job once, with the second retrier served
+        // by the cache or by following the new leader.
+        let table: InflightTable<u32> = InflightTable::new();
+        let executions = AtomicUsize::new(0);
+        let cache: Mutex<Option<u32>> = Mutex::new(None);
+
+        let run = || loop {
+            if let Some(v) = *cache.lock().expect("test cache") {
+                return v;
+            }
+            match table.begin(5) {
+                Begin::Leader(leader) => {
+                    let n = executions.fetch_add(1, Ordering::SeqCst);
+                    let v = 40 + n as u32;
+                    *cache.lock().expect("test cache") = Some(v);
+                    leader.complete(v);
+                    return v;
+                }
+                Begin::Follower(f) => {
+                    if let Some(v) = f.wait() {
+                        return v;
+                    }
+                }
+            }
+        };
+
+        std::thread::scope(|s| {
+            let Begin::Leader(doomed) = table.begin(5) else {
+                panic!("first arrival must lead");
+            };
+            let Begin::Follower(f1) = table.begin(5) else {
+                panic!("must follow");
+            };
+            let Begin::Follower(f2) = table.begin(5) else {
+                panic!("must follow");
+            };
+            let w1 = s.spawn(|| {
+                f1.wait();
+                run()
+            });
+            let w2 = s.spawn(|| {
+                f2.wait();
+                run()
+            });
+            let crash = s.spawn(move || {
+                let _guard = doomed;
+                panic!("leader dies before completing");
+            });
+            assert!(crash.join().is_err(), "the leader thread panicked");
+            let (a, b) = (w1.join().expect("w1"), w2.join().expect("w2"));
+            assert_eq!((a, b), (40, 40), "one retry led, the other shared");
+        });
+        assert_eq!(
+            executions.load(Ordering::SeqCst),
+            1,
+            "the surviving job ran exactly once"
+        );
+        assert!(table.is_empty());
     }
 
     #[test]

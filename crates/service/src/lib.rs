@@ -43,6 +43,13 @@
 //! assert_eq!(first.records[0].output, again.records[0].output);
 //! ```
 
+// The serving path must not have un-typed failure modes: new
+// `unwrap()`/`expect()` in this crate's hot paths are rejected by the
+// CI clippy gate (`-D warnings`). Use typed errors, or
+// `unwrap_or_else(PoisonError::into_inner)` for lock poisoning.
+// Tests opt back in locally with `#[allow]`.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod cache;
 pub mod coalesce;
 pub mod request;

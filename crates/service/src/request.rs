@@ -222,6 +222,14 @@ pub struct RunRequest {
     pub experiments: Vec<String>,
     /// Sparse knob overrides.
     pub overrides: Overrides,
+    /// Per-request deadline budget in milliseconds. Like `threads`,
+    /// this is service policy, not work identity: it is excluded from
+    /// the canonical configuration (and so from the config hash and
+    /// the coalescing job key — coalesced followers share the
+    /// leader's budget). A job past its deadline cancels at the next
+    /// chunk boundary with a typed `deadline_exceeded` error; nothing
+    /// partial is cached.
+    pub deadline_ms: Option<u64>,
 }
 
 impl RunRequest {
@@ -231,12 +239,19 @@ impl RunRequest {
             id: None,
             experiments: experiments.into_iter().map(Into::into).collect(),
             overrides: Overrides::default(),
+            deadline_ms: None,
         }
     }
 
     /// The same request with overrides attached.
     pub fn with_overrides(mut self, overrides: Overrides) -> Self {
         self.overrides = overrides;
+        self
+    }
+
+    /// The same request with a deadline budget attached.
+    pub fn with_deadline_ms(mut self, deadline_ms: u64) -> Self {
+        self.deadline_ms = Some(deadline_ms);
         self
     }
 }
@@ -249,6 +264,9 @@ impl Serialize for RunRequest {
         }
         fields.push(("experiments".to_string(), self.experiments.to_value()));
         fields.push(("overrides".to_string(), self.overrides.to_value()));
+        if let Some(ms) = self.deadline_ms {
+            fields.push(("deadline_ms".to_string(), ms.to_value()));
+        }
         Value::Object(fields)
     }
 }
@@ -274,9 +292,11 @@ impl Deserialize for RunRequest {
                         other => Deserialize::from_value(other)?,
                     }
                 }
+                "deadline_ms" => req.deadline_ms = Deserialize::from_value(value)?,
                 other => {
                     return Err(Error::custom(format!(
-                        "unknown request field `{other}` (expected id, experiments, overrides)"
+                        "unknown request field `{other}` (expected id, experiments, \
+                         overrides, deadline_ms)"
                     )))
                 }
             }
@@ -312,7 +332,8 @@ pub fn canonical_config_json(cfg: &StudyConfig) -> String {
         ("arch_panel".to_string(), cfg.arch_panel.to_value()),
         ("width_sweep".to_string(), cfg.width_sweep.to_value()),
     ]);
-    serde_json::to_string(&v).expect("canonical config encoding is always finite")
+    serde_json::to_string(&v)
+        .unwrap_or_else(|e| unreachable!("canonical config encoding is always finite: {e}"))
 }
 
 /// The stable content hash cache entries are addressed by: FNV-1a
@@ -330,6 +351,7 @@ pub fn hash_hex(hash: u64) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -385,6 +407,25 @@ mod tests {
         assert_eq!(a.id.as_deref(), Some("j1"));
         let empty: RunRequest = serde_json::from_str("{}").expect("parse");
         assert!(empty.experiments.is_empty() && empty.overrides.is_empty());
+    }
+
+    #[test]
+    fn deadline_round_trips_and_never_reaches_the_config_hash() {
+        let req = RunRequest::of(["table9"]).with_deadline_ms(250);
+        let json = serde_json::to_string(&req).expect("serialize");
+        assert!(json.contains("\"deadline_ms\":250"));
+        let back: RunRequest = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, req);
+
+        // The canonical configuration has no deadline field, so two
+        // requests differing only in budget hash (and coalesce)
+        // identically.
+        let base = StudyConfig::smoke();
+        assert_eq!(
+            req.overrides.content_hash(&base),
+            RunRequest::of(["table9"]).overrides.content_hash(&base)
+        );
+        assert!(!canonical_config_json(&base).contains("deadline"));
     }
 
     #[test]

@@ -9,11 +9,13 @@ use qods_core::experiment::{Experiment, ExperimentRecord};
 use qods_core::kernels::KernelError;
 use qods_core::registry::{Registry, RegistryError};
 use qods_core::study::StudyConfig;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
-/// Why a job was rejected (nothing runs on error).
+/// Why a job was rejected or failed (nothing partial is ever
+/// returned or cached on error).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServiceError {
     /// The experiment selection was invalid (unknown or duplicate id).
@@ -23,6 +25,17 @@ pub enum ServiceError {
     /// before a context is built so a bad request can never panic
     /// the daemon.
     Kernel(KernelError),
+    /// The job panicked mid-execution. The scheduler catches the
+    /// unwind at the job boundary, so one poisoned experiment costs
+    /// its own job a typed error — never the daemon, never an
+    /// unrelated job.
+    Internal {
+        /// The panic payload, when it carried a message.
+        message: String,
+    },
+    /// The job overran its deadline budget and was cancelled at a
+    /// chunk boundary (see [`crate::request::RunRequest::deadline_ms`]).
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for ServiceError {
@@ -30,6 +43,8 @@ impl std::fmt::Display for ServiceError {
         match self {
             ServiceError::Registry(e) => e.fmt(f),
             ServiceError::Kernel(e) => e.fmt(f),
+            ServiceError::Internal { message } => write!(f, "internal error: {message}"),
+            ServiceError::DeadlineExceeded => write!(f, "deadline exceeded"),
         }
     }
 }
@@ -118,6 +133,10 @@ pub struct Scheduler {
     inflight: InflightTable<Result<Arc<JobResult>, ServiceError>>,
     jobs_led: AtomicU64,
     jobs_coalesced: AtomicU64,
+    panics_caught: AtomicU64,
+    deadlines_exceeded: AtomicU64,
+    /// Deadline applied to requests that carry none (0 = no default).
+    default_deadline_ms: AtomicU64,
 }
 
 /// Scheduler traffic counters (monotonic since construction), the
@@ -132,6 +151,11 @@ pub struct SchedulerStats {
     pub jobs_coalesced: u64,
     /// Jobs in flight right now (gauge, not a counter).
     pub in_flight: usize,
+    /// Panics caught at the job boundary and converted to
+    /// [`ServiceError::Internal`].
+    pub panics_caught: u64,
+    /// Jobs cancelled with [`ServiceError::DeadlineExceeded`].
+    pub deadlines_exceeded: u64,
 }
 
 impl Scheduler {
@@ -155,6 +179,24 @@ impl Scheduler {
             inflight: InflightTable::new(),
             jobs_led: AtomicU64::new(0),
             jobs_coalesced: AtomicU64::new(0),
+            panics_caught: AtomicU64::new(0),
+            deadlines_exceeded: AtomicU64::new(0),
+            default_deadline_ms: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the deadline budget applied to requests that carry no
+    /// `deadline_ms` of their own (0 disables the default). A
+    /// request's explicit budget always wins.
+    pub fn set_default_deadline_ms(&self, ms: u64) {
+        self.default_deadline_ms.store(ms, Ordering::Relaxed);
+    }
+
+    /// The server-wide default deadline budget, if one is set.
+    pub fn default_deadline_ms(&self) -> Option<u64> {
+        match self.default_deadline_ms.load(Ordering::Relaxed) {
+            0 => None,
+            ms => Some(ms),
         }
     }
 
@@ -180,6 +222,8 @@ impl Scheduler {
             jobs_led: self.jobs_led.load(Ordering::Relaxed),
             jobs_coalesced: self.jobs_coalesced.load(Ordering::Relaxed),
             in_flight: self.inflight.len(),
+            panics_caught: self.panics_caught.load(Ordering::Relaxed),
+            deadlines_exceeded: self.deadlines_exceeded.load(Ordering::Relaxed),
         }
     }
 
@@ -284,10 +328,51 @@ impl Scheduler {
     /// a lock), which is what makes the progress *streaming* rather
     /// than batched at the end.
     ///
+    /// This is the scheduler's isolation boundary: the job runs under
+    /// its deadline budget (the request's `deadline_ms`, else the
+    /// server-wide default) inside a `catch_unwind` guard, so a
+    /// panicking experiment or an expired deadline is a typed
+    /// [`ServiceError`] — the scheduler, its caches, and every other
+    /// job keep working. Every public entry point
+    /// (`run`, `run_batch`, `run_coalesced*`) funnels through here.
+    ///
     /// # Errors
     ///
-    /// [`ServiceError`] when the experiment selection is invalid.
+    /// [`ServiceError`] when the experiment selection is invalid,
+    /// [`ServiceError::Internal`] when the job panicked, or
+    /// [`ServiceError::DeadlineExceeded`] when it overran its budget.
     pub fn run_with_events(
+        &self,
+        request: &RunRequest,
+        emit: &mut (dyn FnMut(JobEvent) + Send),
+    ) -> Result<JobResult, ServiceError> {
+        let budget = request.deadline_ms.or(self.default_deadline_ms());
+        let deadline = budget.map(|ms| Instant::now() + Duration::from_millis(ms));
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            qods_pool::with_deadline(deadline, || self.run_job(request, emit))
+        }));
+        match outcome {
+            Ok(result) => result,
+            Err(payload) => {
+                if payload.downcast_ref::<qods_pool::DeadlineHit>().is_some() {
+                    self.deadlines_exceeded.fetch_add(1, Ordering::Relaxed);
+                    Err(ServiceError::DeadlineExceeded)
+                } else {
+                    self.panics_caught.fetch_add(1, Ordering::Relaxed);
+                    let message = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "unknown panic payload".to_string());
+                    Err(ServiceError::Internal { message })
+                }
+            }
+        }
+    }
+
+    /// The unguarded job body — only ever called from inside
+    /// [`Scheduler::run_with_events`]'s catch/deadline guard.
+    fn run_job(
         &self,
         request: &RunRequest,
         emit: &mut (dyn FnMut(JobEvent) + Send),
@@ -361,7 +446,9 @@ impl Scheduler {
             computed: misses.len(),
             records: slots
                 .into_iter()
-                .map(|s| s.expect("every selected experiment produced a record"))
+                .map(|s| {
+                    s.unwrap_or_else(|| unreachable!("every selected experiment produced a record"))
+                })
                 .collect(),
             seconds: t0.elapsed().as_secs_f64(),
         })
@@ -380,11 +467,14 @@ impl Scheduler {
         let request_id = request.id.clone();
         let emit = Mutex::new(emit);
         qods_pool::run_indexed(misses.len(), self.threads.min(misses.len().max(1)), |k| {
+            // Experiment boundaries are cancellation points even for
+            // engines with no inner chunk loop.
+            qods_pool::check_deadline();
             let (i, exp) = misses[k];
             let t = Instant::now();
             let output = exp.run(entry.context());
             let seconds = t.elapsed().as_secs_f64();
-            (emit.lock().expect("event sink poisoned"))(JobEvent::ExperimentDone {
+            (emit.lock().unwrap_or_else(PoisonError::into_inner))(JobEvent::ExperimentDone {
                 request_id: request_id.clone(),
                 experiment: exp.id().to_string(),
                 cache_hit: false,
@@ -409,6 +499,7 @@ impl Scheduler {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::request::Overrides;

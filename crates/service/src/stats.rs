@@ -76,7 +76,7 @@ impl LatencyHistogram {
             .collect::<Vec<_>>()
             .into_boxed_slice()
             .try_into()
-            .expect("bucket count is fixed");
+            .unwrap_or_else(|_| unreachable!("bucket count is fixed"));
         LatencyHistogram {
             counts,
             count: AtomicU64::new(0),
@@ -195,6 +195,7 @@ pub struct LatencySummary {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -1,0 +1,182 @@
+//! The scheduler's isolation boundary under injected faults and
+//! deadline budgets: a panicking or cancelled job is one typed error
+//! — never a crashed scheduler, never a poisoned cache, never a
+//! wrong answer afterwards. Lives in its own integration binary
+//! because the fault injector is process-global.
+
+use qods_service::prelude::*;
+use std::sync::Mutex;
+use std::sync::PoisonError;
+
+/// Serializes the fault-armed tests: one plan at a time.
+static ARM_LOCK: Mutex<()> = Mutex::new(());
+
+fn exclusive() -> std::sync::MutexGuard<'static, ()> {
+    ARM_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn smoke_request(ids: &[&str]) -> RunRequest {
+    RunRequest::of(ids.iter().copied()).with_overrides(Overrides {
+        n_bits: Some(8),
+        mc_trials: Some(2_000),
+        noise_scale: Some(10.0),
+        synth_max_t: Some(8),
+        sweep_points: Some(5),
+        profile_samples: Some(32),
+        ..Overrides::default()
+    })
+}
+
+#[test]
+fn a_panicking_job_is_a_typed_error_and_the_scheduler_keeps_serving() {
+    let _x = exclusive();
+    let sched = Scheduler::with_options(StudyConfig::smoke(), 2, true);
+    let req = smoke_request(&["table2"]);
+
+    qods_fault::arm(qods_fault::FaultPlan::new().once(
+        "pool.worker",
+        1,
+        qods_fault::FaultAction::Panic,
+    ));
+    let err = sched.run(&req).expect_err("injected panic must surface");
+    qods_fault::disarm();
+    match &err {
+        ServiceError::Internal { message } => {
+            assert!(message.contains("injected fault"), "{message}");
+        }
+        other => panic!("expected Internal, got {other:?}"),
+    }
+    assert_eq!(sched.stats().panics_caught, 1);
+
+    // The same scheduler — caches, pool, inflight table — still
+    // serves the identical request correctly afterwards.
+    let ok = sched.run(&req).expect("scheduler survives a caught panic");
+    assert_eq!(ok.records.len(), 1);
+    assert_eq!(sched.stats().panics_caught, 1, "no further panics");
+}
+
+#[test]
+fn coalesced_followers_receive_the_leaders_typed_error() {
+    let _x = exclusive();
+    let sched = Scheduler::with_options(StudyConfig::smoke(), 2, true);
+    let req = smoke_request(&["table3"]);
+
+    // The leader's first pool op stalls long enough for the follower
+    // to join, then its second op (an inner Monte-Carlo worker)
+    // panics.
+    qods_fault::arm(
+        qods_fault::FaultPlan::new()
+            .once("pool.worker", 1, qods_fault::FaultAction::Delay(500))
+            .once("pool.worker", 2, qods_fault::FaultAction::Panic),
+    );
+    let (leader_out, follower_out) = std::thread::scope(|s| {
+        let leader = s.spawn(|| sched.run_coalesced(&req));
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        let follower = s.spawn(|| sched.run_coalesced(&req));
+        (
+            leader.join().expect("leader thread must not die"),
+            follower.join().expect("follower thread must not die"),
+        )
+    });
+    qods_fault::disarm();
+
+    let leader_err = leader_out.expect_err("leader saw the injected panic");
+    assert!(matches!(leader_err, ServiceError::Internal { .. }));
+    let (follower_err, coalesced) = match follower_out {
+        Err(e) => (e, true),
+        Ok(_) => panic!("follower joined the failing execution and must share its error"),
+    };
+    assert!(coalesced);
+    assert_eq!(follower_err, leader_err, "errors coalesce like results");
+    assert_eq!(
+        sched.stats().panics_caught,
+        1,
+        "one execution, one caught panic, shared by both callers"
+    );
+    assert_eq!(sched.stats().in_flight, 0, "the table is clean afterwards");
+
+    // And the key is not poisoned: the next submission executes.
+    assert!(sched.run(&req).is_ok());
+}
+
+#[test]
+fn expired_deadlines_cancel_with_a_typed_error_and_no_partial_state() {
+    let req = smoke_request(&["table2", "table3"]);
+    let baseline = Scheduler::with_options(StudyConfig::smoke(), 2, true)
+        .run(&req)
+        .expect("baseline");
+
+    let sched = Scheduler::with_options(StudyConfig::smoke(), 2, true);
+    let err = sched
+        .run(&req.clone().with_deadline_ms(0))
+        .expect_err("a zero budget cannot finish");
+    assert_eq!(err, ServiceError::DeadlineExceeded);
+    assert_eq!(err.to_string(), "deadline exceeded");
+    assert_eq!(sched.stats().deadlines_exceeded, 1);
+    assert_eq!(
+        sched.stats().panics_caught,
+        0,
+        "cancellation is not a panic"
+    );
+
+    // Nothing partial was cached: the rerun on the same scheduler is
+    // bit-identical to a fresh scheduler's run.
+    let rerun = sched.run(&req).expect("rerun after cancellation");
+    assert_eq!(rerun.records.len(), baseline.records.len());
+    for (a, b) in baseline.records.iter().zip(&rerun.records) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.output, b.output, "cancellation must not perturb results");
+    }
+}
+
+#[test]
+fn generous_deadlines_change_nothing() {
+    let req = smoke_request(&["table9"]);
+    let plain = Scheduler::with_options(StudyConfig::smoke(), 2, true)
+        .run(&req)
+        .expect("plain");
+    let budgeted = Scheduler::with_options(StudyConfig::smoke(), 2, true)
+        .run(&req.clone().with_deadline_ms(600_000))
+        .expect("budgeted");
+    assert_eq!(plain.records[0].output, budgeted.records[0].output);
+}
+
+#[test]
+fn deadlines_are_policy_not_identity() {
+    let sched = Scheduler::with_options(StudyConfig::smoke(), 2, true);
+    let req = smoke_request(&["table9"]);
+    let key_plain = sched.job_key(&req).expect("key");
+    let key_budgeted = sched
+        .job_key(&req.clone().with_deadline_ms(5))
+        .expect("key");
+    assert_eq!(
+        key_plain, key_budgeted,
+        "deadline_ms must not split the coalescing key"
+    );
+}
+
+#[test]
+fn the_server_wide_default_deadline_applies_only_when_unset() {
+    let sched = Scheduler::with_options(StudyConfig::smoke(), 2, true);
+    assert_eq!(sched.default_deadline_ms(), None);
+    sched.set_default_deadline_ms(1);
+    assert_eq!(sched.default_deadline_ms(), Some(1));
+
+    // A 1 ms server default cancels a request too heavy to finish
+    // inside it (millions of Monte-Carlo trials cancel at the first
+    // chunk boundary past the budget)...
+    let heavy = RunRequest::of(["fig4"]).with_overrides(Overrides {
+        n_bits: Some(8),
+        mc_trials: Some(50_000_000),
+        ..Overrides::default()
+    });
+    let err = sched.run(&heavy).expect_err("1ms default budget");
+    assert_eq!(err, ServiceError::DeadlineExceeded);
+    // ...but an explicit per-request budget always wins.
+    let ok = sched
+        .run(&smoke_request(&["table9"]).with_deadline_ms(600_000))
+        .expect("explicit budget overrides the default");
+    assert_eq!(ok.records.len(), 1);
+    sched.set_default_deadline_ms(0);
+    assert_eq!(sched.default_deadline_ms(), None);
+}
