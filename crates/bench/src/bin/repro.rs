@@ -39,6 +39,9 @@ fn usage() -> &'static str {
      With ids: runs exactly those experiments and prints each one\n\
      (duplicate ids are rejected).\n\
      `repro --list` shows every addressable id.\n\
+     `repro --lint` runs the qods-lint workspace invariant checker\n\
+     against the committed lint-baseline.json and exits nonzero on\n\
+     any new finding (same engine as `cargo run -p qods-lint`).\n\
      `repro --list-kernels` shows every kernel family and width bound.\n\
      `repro --kernel qcla:48` compiles one kernel through the staged\n\
      pipeline (repeatable; unknown families and invalid widths are\n\
@@ -92,6 +95,7 @@ fn main() -> ExitCode {
     let mut repeat = 0.8f64;
     let mut load_gate: Option<f64> = None;
     let mut connections = 1usize;
+    let mut lint = false;
     let mut bench_json = false;
     let mut bench_check: Option<String> = None;
     let mut bench_check_sweep: Option<String> = None;
@@ -148,6 +152,7 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--lint" => lint = true,
             "--bench-json" => bench_json = true,
             "--bench-check" => match it.next() {
                 Some(path) => bench_check = Some(path),
@@ -187,6 +192,10 @@ fn main() -> ExitCode {
             }
             other => ids.push(other.to_string()),
         }
+    }
+
+    if lint {
+        return run_lint();
     }
 
     // Pin every worker pool in the process before anything runs:
@@ -369,6 +378,45 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("{e}\n{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `repro --lint`: the qods-lint workspace invariant checker against
+/// the committed baseline — the same run the CI lint job performs.
+fn run_lint() -> ExitCode {
+    let cwd = Path::new(".");
+    let root = if cwd.join("crates").is_dir() {
+        cwd.to_path_buf()
+    } else {
+        // Not launched from the workspace root (e.g. a bare binary):
+        // fall back to the source tree this build came from.
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+    };
+    let baseline_path = root.join("lint-baseline.json");
+    let base = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match qods_lint::baseline::Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("repro --lint: {}: {e}", baseline_path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(_) => qods_lint::baseline::Baseline::empty(),
+    };
+    let tables = qods_lint::Tables::workspace();
+    match qods_lint::run(&root, &tables, &base) {
+        Ok(outcome) => {
+            print!("{}", qods_lint::render_human(&outcome));
+            if outcome.clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("repro --lint: {e}");
             ExitCode::FAILURE
         }
     }

@@ -26,7 +26,8 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
 /// is deterministic and preserves object field order, so a value
 /// built in fixed field order *is* canonical).
 pub fn canonical_json(v: &Value) -> String {
-    serde_json::to_string(v).expect("canonical encoding is always finite")
+    serde_json::to_string(v)
+        .unwrap_or_else(|e| unreachable!("canonical encoding is always finite: {e}"))
 }
 
 /// Hashes any serializable value through its canonical JSON.
@@ -41,6 +42,7 @@ pub fn hash_hex(hash: u64) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -45,6 +45,12 @@
 //! assert_eq!(compiler.store().stats().computed, computed);
 //! ```
 
+// The compile store sits on the serving path: no panicking unwraps —
+// proven invariants use `unwrap_or_else(|e| unreachable!(...))`,
+// locks use `unwrap_or_else(PoisonError::into_inner)`. Tests opt
+// back in locally with `#[allow]`. Lint rule R1 enforces the same.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod hash;
 pub mod pipeline;
 pub mod store;
@@ -78,6 +84,7 @@ pub mod prelude {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -203,7 +203,9 @@ impl Compiler {
     pub fn scheduled(&self, spec: KernelSpec) -> Result<Arc<ScheduledCircuit>, KernelError> {
         spec.validate()?;
         Ok(self.store.get_or_compute(self.scheduled_key(spec), || {
-            let ir = self.ir(spec).expect("spec validated above");
+            let ir = self
+                .ir(spec)
+                .unwrap_or_else(|e| unreachable!("spec validated above: {e}"));
             let lowered = if spec.family.uses_synthesis() {
                 ir.lower(self.adapter.as_ref())
             } else {
@@ -230,7 +232,9 @@ impl Compiler {
         Ok(self
             .store
             .get_or_compute(self.characterization_key(spec), || {
-                let scheduled = self.scheduled(spec).expect("spec validated above");
+                let scheduled = self
+                    .scheduled(spec)
+                    .unwrap_or_else(|e| unreachable!("spec validated above: {e}"));
                 Characterization {
                     spec,
                     makespan_us: scheduled.makespan_us,
@@ -274,7 +278,8 @@ impl Compiler {
             spec.validate()?;
         }
         Ok(qods_pool::run_indexed(specs.len(), threads, |i| {
-            self.compile(specs[i]).expect("specs validated above")
+            self.compile(specs[i])
+                .unwrap_or_else(|e| unreachable!("specs validated above: {e}"))
         }))
     }
 
@@ -295,12 +300,13 @@ impl Compiler {
         }
         Ok(qods_pool::run_indexed(specs.len(), threads, |i| {
             self.characterization(specs[i])
-                .expect("specs validated above")
+                .unwrap_or_else(|e| unreachable!("specs validated above: {e}"))
         }))
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use qods_kernels::KernelFamily;

@@ -224,7 +224,10 @@ impl ArtifactStore {
 
     /// How many artifacts the memory tier holds.
     pub fn len(&self) -> usize {
-        self.mem.lock().expect("artifact store poisoned").len()
+        self.mem
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
     }
 
     /// Whether the memory tier is empty.
@@ -243,7 +246,8 @@ impl ArtifactStore {
             ("key".to_string(), hash_hex(key.hash).to_value()),
             ("payload".to_string(), artifact.to_value()),
         ]);
-        serde_json::to_string(&envelope).expect("artifact encoding is always finite")
+        serde_json::to_string(&envelope)
+            .unwrap_or_else(|e| unreachable!("artifact encoding is always finite: {e}"))
     }
 
     /// Fetches the artifact at `key`, trying memory, then disk, then
@@ -264,13 +268,13 @@ impl ArtifactStore {
         if let Some(hit) = self
             .mem
             .lock()
-            .expect("artifact store poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .get(&map_key)
         {
             self.mem_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(hit)
                 .downcast::<T>()
-                .expect("one artifact type per stage key");
+                .unwrap_or_else(|_| unreachable!("one artifact type per stage key"));
         }
 
         let (artifact, from_disk) = match self.read_disk::<T>(key) {
@@ -292,13 +296,16 @@ impl ArtifactStore {
         // Two threads may have computed the same key concurrently
         // (deterministically, so the results are identical); keep the
         // first insertion as the one canonical Arc.
-        let mut mem = self.mem.lock().expect("artifact store poisoned");
+        let mut mem = self
+            .mem
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let entry = mem
             .entry(map_key)
             .or_insert_with(|| Arc::clone(&artifact) as Arc<dyn Any + Send + Sync>);
         Arc::clone(entry)
             .downcast::<T>()
-            .expect("one artifact type per stage key")
+            .unwrap_or_else(|_| unreachable!("one artifact type per stage key"))
     }
 
     /// Reads and validates the disk file for `key`; any defect is a
@@ -318,7 +325,7 @@ impl ArtifactStore {
                 return None;
             }
         };
-        match qods_fault::check("store.read") {
+        match qods_fault::check(qods_fault::site::STORE_READ) {
             Some(qods_fault::FaultAction::IoError) => {
                 self.corrupt_reads.fetch_add(1, Ordering::Relaxed);
                 return None;
@@ -353,7 +360,7 @@ impl ArtifactStore {
             return;
         };
         let encoded = ArtifactStore::encode_artifact(key, artifact);
-        match qods_fault::check("store.write") {
+        match qods_fault::check(qods_fault::site::STORE_WRITE) {
             Some(qods_fault::FaultAction::IoError) => {
                 self.write_errors.fetch_add(1, Ordering::Relaxed);
                 return;
@@ -406,6 +413,7 @@ fn decode_envelope<T: Deserialize>(text: &str, key: ArtifactKey) -> Option<T> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

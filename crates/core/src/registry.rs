@@ -251,6 +251,8 @@ impl Registry {
 }
 
 fn record(exp: &dyn Experiment, ctx: &StudyContext) -> ExperimentRecord {
+    // qods-lint: allow(D1) -- wall-time metadata only; never hashed or
+    // serialized into result lines
     let t0 = Instant::now();
     let output = exp.run(ctx);
     ExperimentRecord {

@@ -41,6 +41,117 @@ use std::sync::Mutex;
 /// [`arm_from_env`]). Unset or empty means "no faults".
 pub const FAULT_PLAN_ENV: &str = "QODS_FAULT_PLAN";
 
+/// The canonical instrumented-site names. Production code passes
+/// these constants to [`check`]/[`check_sleeping`] (never free-form
+/// strings), [`FaultPlan::parse`] rejects any site not listed here,
+/// and the `qods-lint` S1 rule cross-checks every site string literal
+/// in the workspace against [`SITES`] — so a typo-ed site becomes a
+/// parse error or a lint failure instead of a fault that silently
+/// never fires. Adding an instrumented site means adding it here.
+pub mod site {
+    /// Disk-tier artifact read in `qods-compile`'s `ArtifactStore`.
+    pub const STORE_READ: &str = "store.read";
+    /// Disk-tier artifact write in `qods-compile`'s `ArtifactStore`.
+    pub const STORE_WRITE: &str = "store.write";
+    /// One unit of work on a `qods-pool` worker thread.
+    pub const POOL_WORKER: &str = "pool.worker";
+    /// One request line handled on a `qods-net` connection.
+    pub const NET_CONN: &str = "net.conn";
+    /// One Monte-Carlo trial chunk in `qods-phys`.
+    pub const MC_CHUNK: &str = "mc.chunk";
+}
+
+/// Every canonical site, as data — the registry `qods-lint` and
+/// [`FaultPlan::parse`] validate against.
+pub const SITES: &[&str] = &[
+    site::STORE_READ,
+    site::STORE_WRITE,
+    site::POOL_WORKER,
+    site::NET_CONN,
+    site::MC_CHUNK,
+];
+
+/// Whether `name` is a canonical instrumented site.
+pub fn is_site(name: &str) -> bool {
+    SITES.contains(&name)
+}
+
+/// Why a fault-plan spec string failed to parse — typed so callers
+/// can distinguish a typo-ed site (spec names a site that does not
+/// exist, so the fault would never fire) from a malformed entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// An entry has no `=action` suffix.
+    MissingAction {
+        /// The malformed entry.
+        entry: String,
+    },
+    /// An entry has no `site:nth` head.
+    MissingSite {
+        /// The malformed entry.
+        entry: String,
+    },
+    /// An entry's site name is empty.
+    EmptySite {
+        /// The malformed entry.
+        entry: String,
+    },
+    /// An entry's operation index is not a number.
+    BadIndex {
+        /// The malformed entry.
+        entry: String,
+    },
+    /// An entry's repeat period is not a number.
+    BadPeriod {
+        /// The malformed entry.
+        entry: String,
+    },
+    /// An entry's action is unknown or malformed.
+    BadAction {
+        /// The action parser's diagnostic.
+        message: String,
+    },
+    /// An entry names a site that is not in [`SITES`] — the fault
+    /// would arm but never fire, which is exactly the silent drift
+    /// this error exists to catch.
+    UnknownSite {
+        /// The unrecognized site name.
+        site: String,
+        /// The entry that named it.
+        entry: String,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::MissingAction { entry } => {
+                write!(f, "fault spec `{entry}` is missing `=action`")
+            }
+            PlanError::MissingSite { entry } => {
+                write!(f, "fault spec `{entry}` is missing `site:nth`")
+            }
+            PlanError::EmptySite { entry } => {
+                write!(f, "fault spec `{entry}` has an empty site")
+            }
+            PlanError::BadIndex { entry } => {
+                write!(f, "bad operation index in `{entry}`")
+            }
+            PlanError::BadPeriod { entry } => {
+                write!(f, "bad repeat period in `{entry}`")
+            }
+            PlanError::BadAction { message } => write!(f, "{message}"),
+            PlanError::UnknownSite { site, entry } => write!(
+                f,
+                "unknown fault site `{site}` in `{entry}` (canonical sites: {})",
+                SITES.join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
 /// What an armed site does when its spec fires. Sites act on the
 /// actions they understand and ignore the rest (a `Disconnect` at a
 /// store site is a no-op), so one plan can drive many layers.
@@ -230,10 +341,17 @@ impl FaultPlan {
     /// Parses a plan from its compact spec string:
     /// `site:nth[+every]=action[:ms]` entries joined by `;`.
     ///
+    /// Sites are validated against the canonical [`SITES`] registry:
+    /// this is the untrusted boundary (the [`FAULT_PLAN_ENV`] env
+    /// var), and a typo-ed site must be a loud startup failure, not a
+    /// fault that silently never fires. (The in-process builder API —
+    /// [`FaultPlan::once`] and friends — stays free-form so the
+    /// injector's own tests can use synthetic sites.)
+    ///
     /// # Errors
     ///
-    /// A human-readable diagnostic naming the malformed entry.
-    pub fn parse(text: &str) -> Result<Self, String> {
+    /// A typed [`PlanError`] naming the malformed entry.
+    pub fn parse(text: &str) -> Result<Self, PlanError> {
         let mut plan = FaultPlan::new();
         for entry in text.split(';') {
             let entry = entry.trim();
@@ -242,30 +360,41 @@ impl FaultPlan {
             }
             let (head, action) = entry
                 .split_once('=')
-                .ok_or_else(|| format!("fault spec `{entry}` is missing `=action`"))?;
-            let (site, position) = head
-                .split_once(':')
-                .ok_or_else(|| format!("fault spec `{entry}` is missing `site:nth`"))?;
+                .ok_or_else(|| PlanError::MissingAction {
+                    entry: entry.to_string(),
+                })?;
+            let (site, position) = head.split_once(':').ok_or_else(|| PlanError::MissingSite {
+                entry: entry.to_string(),
+            })?;
             if site.is_empty() {
-                return Err(format!("fault spec `{entry}` has an empty site"));
+                return Err(PlanError::EmptySite {
+                    entry: entry.to_string(),
+                });
+            }
+            if !is_site(site) {
+                return Err(PlanError::UnknownSite {
+                    site: site.to_string(),
+                    entry: entry.to_string(),
+                });
             }
             let (nth_text, every) = match position.split_once('+') {
                 Some((n, k)) => {
-                    let every = k
-                        .parse::<u64>()
-                        .map_err(|_| format!("bad repeat period in `{entry}`"))?;
+                    let every = k.parse::<u64>().map_err(|_| PlanError::BadPeriod {
+                        entry: entry.to_string(),
+                    })?;
                     (n, Some(every.max(1)))
                 }
                 None => (position, None),
             };
-            let nth = nth_text
-                .parse::<u64>()
-                .map_err(|_| format!("bad operation index in `{entry}`"))?;
+            let nth = nth_text.parse::<u64>().map_err(|_| PlanError::BadIndex {
+                entry: entry.to_string(),
+            })?;
             plan.specs.push(FaultSpec {
                 site: site.to_string(),
                 nth: nth.max(1),
                 every,
-                action: FaultAction::parse(action)?,
+                action: FaultAction::parse(action)
+                    .map_err(|message| PlanError::BadAction { message })?,
             });
         }
         Ok(plan)
@@ -323,9 +452,10 @@ pub fn is_armed() -> bool {
 ///
 /// # Errors
 ///
-/// The parse diagnostic when the variable holds a malformed spec (the
-/// process stays disarmed — a typo must not silently run faultless).
-pub fn arm_from_env() -> Result<bool, String> {
+/// The typed parse error when the variable holds a malformed spec or
+/// an unknown site (the process stays disarmed — a typo must not
+/// silently run faultless).
+pub fn arm_from_env() -> Result<bool, PlanError> {
     match std::env::var(FAULT_PLAN_ENV) {
         Ok(text) if !text.trim().is_empty() => {
             let plan = FaultPlan::parse(&text)?;
@@ -489,24 +619,13 @@ mod tests {
 
     #[test]
     fn malformed_specs_are_loud_errors() {
-        assert!(FaultPlan::parse("store.write=io")
-            .unwrap_err()
-            .contains("site:nth"));
-        assert!(FaultPlan::parse("store.write:3")
-            .unwrap_err()
-            .contains("=action"));
-        assert!(FaultPlan::parse("store.write:x=io")
-            .unwrap_err()
-            .contains("operation index"));
-        assert!(FaultPlan::parse("store.write:3=explode")
-            .unwrap_err()
-            .contains("unknown fault action"));
-        assert!(FaultPlan::parse("store.write:3=delay:soon")
-            .unwrap_err()
-            .contains("delay milliseconds"));
-        assert!(FaultPlan::parse(":3=io")
-            .unwrap_err()
-            .contains("empty site"));
+        let diag = |text: &str| FaultPlan::parse(text).unwrap_err().to_string();
+        assert!(diag("store.write=io").contains("site:nth"));
+        assert!(diag("store.write:3").contains("=action"));
+        assert!(diag("store.write:x=io").contains("operation index"));
+        assert!(diag("store.write:3=explode").contains("unknown fault action"));
+        assert!(diag("store.write:3=delay:soon").contains("delay milliseconds"));
+        assert!(diag(":3=io").contains("empty site"));
         // Empty entries (trailing semicolons) are tolerated.
         assert_eq!(
             FaultPlan::parse("store.write:1=io;;")
@@ -515,6 +634,28 @@ mod tests {
             1
         );
         assert!(FaultPlan::parse("").expect("empty is fine").is_empty());
+    }
+
+    #[test]
+    fn unknown_sites_are_typed_parse_errors() {
+        // A typo-ed site must fail loudly at the untrusted boundary:
+        // armed-but-never-firing is the silent drift this catches.
+        let err = FaultPlan::parse("store.wrte:1=io").unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::UnknownSite {
+                site: "store.wrte".to_string(),
+                entry: "store.wrte:1=io".to_string(),
+            }
+        );
+        assert!(err.to_string().contains("canonical sites"));
+        // Every canonical site parses.
+        for site in SITES {
+            assert!(is_site(site));
+            let plan = FaultPlan::parse(&format!("{site}:1=io")).expect("canonical site parses");
+            assert_eq!(plan.len(), 1);
+        }
+        assert!(!is_site("store.wrte"));
     }
 
     #[test]

@@ -1,0 +1,134 @@
+//! The `qods-lint` CLI.
+//!
+//! ```text
+//! qods-lint [--root DIR] [--baseline PATH] [--ndjson]
+//!           [--ndjson-out PATH] [--write-baseline PATH]
+//! ```
+//!
+//! Lints the workspace at `--root` (default: the current directory),
+//! applies the committed baseline (default: `<root>/lint-baseline.json`
+//! when present), prints the human report, and exits nonzero when any
+//! finding is not covered by the baseline. `--ndjson` swaps the human
+//! report for the machine stream; `--ndjson-out` also writes the
+//! stream to a file (always written, even when empty, so CI can
+//! upload it unconditionally). `--write-baseline` snapshots the
+//! current findings as a new baseline document.
+
+use qods_lint::baseline::Baseline;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    baseline: Option<PathBuf>,
+    ndjson: bool,
+    ndjson_out: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        baseline: None,
+        ndjson: false,
+        ndjson_out: None,
+        write_baseline: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))
+                .map(PathBuf::from)
+        };
+        match arg.as_str() {
+            "--root" => args.root = value("--root")?,
+            "--baseline" => args.baseline = Some(value("--baseline")?),
+            "--ndjson" => args.ndjson = true,
+            "--ndjson-out" => args.ndjson_out = Some(value("--ndjson-out")?),
+            "--write-baseline" => args.write_baseline = Some(value("--write-baseline")?),
+            "--help" | "-h" => {
+                println!(
+                    "qods-lint [--root DIR] [--baseline PATH] [--ndjson] \
+                     [--ndjson-out PATH] [--write-baseline PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("qods-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let baseline_path = args
+        .baseline
+        .clone()
+        .unwrap_or_else(|| args.root.join("lint-baseline.json"));
+    let base = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("qods-lint: {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        },
+        // No baseline file means an empty baseline — every finding
+        // is fresh. Only an explicit --baseline that is missing is an
+        // error.
+        Err(_) if args.baseline.is_none() => Baseline::empty(),
+        Err(e) => {
+            eprintln!("qods-lint: cannot read {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let tables = qods_lint::Tables::workspace();
+    let outcome = match qods_lint::run(&args.root, &tables, &base) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("qods-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &args.write_baseline {
+        let doc = Baseline::covering(&outcome.report.findings).render();
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("qods-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "qods-lint: wrote baseline covering {} finding(s) to {}",
+            outcome.report.findings.len(),
+            path.display()
+        );
+    }
+
+    let ndjson = qods_lint::to_ndjson(&outcome.fresh);
+    if let Some(path) = &args.ndjson_out {
+        if let Err(e) = std::fs::write(path, &ndjson) {
+            eprintln!("qods-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if args.ndjson {
+        print!("{ndjson}");
+    } else {
+        print!("{}", qods_lint::render_human(&outcome));
+    }
+
+    if outcome.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

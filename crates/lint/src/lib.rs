@@ -1,0 +1,408 @@
+//! qods-lint — the workspace invariant checker.
+//!
+//! The repo's determinism contract (bit-identical result lines at any
+//! thread count, cache state, and fault plan) and its robustness
+//! contract (no panics on the serving path) are written down in
+//! DESIGN.md; this crate makes them machine-checkable. A hand-rolled
+//! lexer ([`scan`]) splits each source file into masked-code /
+//! string-literal views, a line-level rule engine ([`rules`]) raises
+//! findings for rules **D1/D2/R1/S1**, explicit
+//! `// qods-lint: allow(RULE) -- reason` annotations suppress
+//! individual lines (counted, never silent), and a committed
+//! `lint-baseline.json` ([`baseline`]) lets pre-existing debt burn
+//! down without blocking CI.
+//!
+//! Zero external dependencies beyond the workspace's own shims — the
+//! tables rule S1 validates against are imported straight from
+//! `qods-fault` and `qods-net`, so the checker can never drift from
+//! the code it polices.
+//!
+//! Entry points: `cargo run -p qods-lint` or `repro --lint`.
+
+pub mod baseline;
+pub mod rules;
+pub mod scan;
+
+use scan::{ScannedFile, Tree};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// One lint finding, as emitted on the NDJSON stream.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Finding {
+    /// Rule identifier (`D1`, `D2`, `R1`, `S1`, or `L0` for a
+    /// malformed annotation).
+    pub rule: String,
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// The trimmed source line.
+    pub snippet: String,
+    /// Why this is a finding and what to do instead.
+    pub note: String,
+}
+
+/// The canonical string tables rule S1 validates against.
+pub struct Tables {
+    /// Fault-site names (from `qods_fault::SITES`).
+    pub sites: Vec<String>,
+    /// Wire error-kind tags (from `qods_net::protocol::kind::ALL`).
+    pub kinds: Vec<String>,
+}
+
+impl Tables {
+    /// The live tables of this workspace, imported from the crates
+    /// that own them.
+    pub fn workspace() -> Self {
+        Tables {
+            sites: qods_fault::SITES.iter().map(|s| (*s).to_owned()).collect(),
+            kinds: qods_net::protocol::kind::ALL
+                .iter()
+                .map(|s| (*s).to_owned())
+                .collect(),
+        }
+    }
+}
+
+/// An allow annotation that suppressed nothing — usually a sign the
+/// underlying issue was fixed and the annotation should go.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct UnusedAllow {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line of the annotation.
+    pub line: u32,
+    /// The rules it names.
+    pub rules: Vec<String>,
+}
+
+/// The outcome of linting one file.
+pub struct FileOutcome {
+    /// Unsuppressed findings (including `L0` annotation errors).
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by a valid allow annotation.
+    pub suppressed: Vec<Finding>,
+    /// Valid annotations that matched no finding.
+    pub unused_allows: Vec<UnusedAllow>,
+}
+
+/// Lints one source text. `path` is only used for reporting;
+/// `crate_name`/`tree` select which rules apply.
+pub fn lint_source(
+    path: &str,
+    crate_name: &str,
+    tree: Tree,
+    text: &str,
+    tables: &Tables,
+) -> FileOutcome {
+    let file = scan::scan(path, crate_name, tree, text);
+    let raw = rules::run_rules(&file, tables);
+    apply_allows(&file, raw)
+}
+
+/// Splits raw findings into kept vs. suppressed using the file's
+/// allow annotations, and raises `L0` findings for malformed or
+/// unknown-rule annotations.
+fn apply_allows(file: &ScannedFile, raw: Vec<Finding>) -> FileOutcome {
+    let mut findings = Vec::new();
+    let mut suppressed = Vec::new();
+    let mut used = vec![false; file.allows.len()];
+
+    for f in raw {
+        let slot = file
+            .allows
+            .iter()
+            .enumerate()
+            .find(|(_, a)| a.target as u32 == f.line && a.rules.iter().any(|r| r == &f.rule));
+        match slot {
+            Some((i, _)) => {
+                used[i] = true;
+                suppressed.push(f);
+            }
+            None => findings.push(f),
+        }
+    }
+
+    for bad in &file.bad_allows {
+        findings.push(Finding {
+            rule: "L0".to_owned(),
+            file: file.path.clone(),
+            line: bad.line as u32,
+            snippet: file
+                .raw
+                .get(bad.line - 1)
+                .map(|l| l.trim().to_owned())
+                .unwrap_or_default(),
+            note: format!("malformed qods-lint annotation: {}", bad.why),
+        });
+    }
+    for a in &file.allows {
+        for r in &a.rules {
+            if !rules::RULE_IDS.contains(&r.as_str()) {
+                findings.push(Finding {
+                    rule: "L0".to_owned(),
+                    file: file.path.clone(),
+                    line: a.line as u32,
+                    snippet: file
+                        .raw
+                        .get(a.line - 1)
+                        .map(|l| l.trim().to_owned())
+                        .unwrap_or_default(),
+                    note: format!(
+                        "annotation names unknown rule `{r}`; known rules: {}",
+                        rules::RULE_IDS.join(", ")
+                    ),
+                });
+            }
+        }
+    }
+
+    let unused_allows = file
+        .allows
+        .iter()
+        .zip(&used)
+        .filter(|(a, u)| {
+            !**u && a
+                .rules
+                .iter()
+                .all(|r| rules::RULE_IDS.contains(&r.as_str()))
+        })
+        .map(|(a, _)| UnusedAllow {
+            file: file.path.clone(),
+            line: a.line as u32,
+            rules: a.rules.clone(),
+        })
+        .collect();
+
+    FileOutcome {
+        findings,
+        suppressed,
+        unused_allows,
+    }
+}
+
+/// The aggregate outcome of a workspace run (before baseline
+/// application).
+pub struct WorkspaceReport {
+    /// How many files were scanned.
+    pub files: usize,
+    /// Unsuppressed findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Suppressed findings, same order.
+    pub suppressed: Vec<Finding>,
+    /// Annotations that matched nothing.
+    pub unused_allows: Vec<UnusedAllow>,
+}
+
+/// Walks the workspace at `root` (root `src/`+`tests/`, then every
+/// `crates/*` except `crates/lint`) and lints each `.rs` file. Paths
+/// are visited in sorted order so output is deterministic.
+///
+/// # Errors
+///
+/// An I/O error message naming the path that failed.
+pub fn lint_workspace(root: &Path, tables: &Tables) -> Result<WorkspaceReport, String> {
+    let mut units: Vec<(PathBuf, String, Tree)> = Vec::new();
+    units.push((root.join("src"), "speed-of-data".to_owned(), Tree::Src));
+    units.push((root.join("tests"), "speed-of-data".to_owned(), Tree::Tests));
+
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = match std::fs::read_dir(&crates_dir) {
+        Ok(rd) => rd
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect(),
+        Err(e) => return Err(format!("cannot read {}: {e}", crates_dir.display())),
+    };
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let Some(name) = dir.file_name().and_then(|n| n.to_str()).map(str::to_owned) else {
+            continue;
+        };
+        if name == "lint" {
+            continue; // the linter's own fixtures would trip every rule
+        }
+        let crate_name = format!("qods-{name}");
+        for (sub, tree) in [
+            ("src", Tree::Src),
+            ("tests", Tree::Tests),
+            ("examples", Tree::Examples),
+            ("benches", Tree::Benches),
+        ] {
+            units.push((dir.join(sub), crate_name.clone(), tree));
+        }
+    }
+
+    let mut files = 0usize;
+    let mut findings = Vec::new();
+    let mut suppressed = Vec::new();
+    let mut unused_allows = Vec::new();
+    for (dir, crate_name, tree) in units {
+        if !dir.is_dir() {
+            continue;
+        }
+        let mut sources = Vec::new();
+        collect_rs(&dir, &mut sources)?;
+        sources.sort();
+        for path in sources {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let out = lint_source(&rel, &crate_name, tree, &text, tables);
+            files += 1;
+            findings.extend(out.findings);
+            suppressed.extend(out.suppressed);
+            unused_allows.extend(out.unused_allows);
+        }
+    }
+
+    let by_pos = |f: &Finding| (f.file.clone(), f.line, f.rule.clone());
+    findings.sort_by_key(by_pos);
+    suppressed.sort_by_key(by_pos);
+    Ok(WorkspaceReport {
+        files,
+        findings,
+        suppressed,
+        unused_allows,
+    })
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let rd = std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in rd.filter_map(Result::ok) {
+        let p = entry.path();
+        if p.is_dir() {
+            collect_rs(&p, out)?;
+        } else if p.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Renders findings as NDJSON — one `{rule, file, line, snippet,
+/// note}` object per line.
+pub fn to_ndjson(findings: &[Finding]) -> String {
+    let mut s = String::new();
+    for f in findings {
+        s.push_str(&serde_json::to_string(f).unwrap_or_else(|e| {
+            unreachable!("a finding of plain strings/ints always serializes: {e}")
+        }));
+        s.push('\n');
+    }
+    s
+}
+
+/// Parses an NDJSON findings stream back (the round-trip the tests
+/// assert).
+///
+/// # Errors
+///
+/// A message naming the first line that did not parse.
+pub fn from_ndjson(text: &str) -> Result<Vec<Finding>, String> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| serde_json::from_str(l).map_err(|e| format!("bad NDJSON line: {e}: {l}")))
+        .collect()
+}
+
+/// Everything a caller (CLI, `repro --lint`, CI) needs from one run.
+pub struct RunOutcome {
+    /// The workspace report (all findings, pre-baseline).
+    pub report: WorkspaceReport,
+    /// Findings not absorbed by the baseline — nonempty fails the run.
+    pub fresh: Vec<Finding>,
+    /// Findings absorbed by the baseline.
+    pub baselined: Vec<Finding>,
+    /// Baseline budget that matched nothing (should be committed
+    /// away).
+    pub stale: Vec<baseline::BaselineEntry>,
+}
+
+impl RunOutcome {
+    /// True when the run should pass: no fresh findings.
+    pub fn clean(&self) -> bool {
+        self.fresh.is_empty()
+    }
+}
+
+/// Lints the workspace and applies `base` (use
+/// [`baseline::Baseline::empty`] when there is no baseline file).
+///
+/// # Errors
+///
+/// Walker/read errors, as a message.
+pub fn run(root: &Path, tables: &Tables, base: &baseline::Baseline) -> Result<RunOutcome, String> {
+    let report = lint_workspace(root, tables)?;
+    let split = baseline::apply(base, report.findings.clone());
+    Ok(RunOutcome {
+        report,
+        fresh: split.fresh,
+        baselined: split.baselined,
+        stale: split.stale,
+    })
+}
+
+/// Renders the human-readable report.
+pub fn render_human(outcome: &RunOutcome) -> String {
+    let mut s = String::new();
+    for f in &outcome.fresh {
+        s.push_str(&format!(
+            "{}: {}:{}: {}\n    {}\n",
+            f.rule, f.file, f.line, f.note, f.snippet
+        ));
+    }
+    s.push_str(&format!(
+        "qods-lint: {} files scanned; {} finding(s) ({} new, {} baselined), {} suppressed by allow annotations\n",
+        outcome.report.files,
+        outcome.report.findings.len(),
+        outcome.fresh.len(),
+        outcome.baselined.len(),
+        outcome.report.suppressed.len(),
+    ));
+    if !outcome.report.suppressed.is_empty() {
+        let mut by_rule: Vec<(String, usize)> = Vec::new();
+        for f in &outcome.report.suppressed {
+            if let Some(e) = by_rule.iter_mut().find(|(r, _)| r == &f.rule) {
+                e.1 += 1;
+            } else {
+                by_rule.push((f.rule.clone(), 1));
+            }
+        }
+        by_rule.sort();
+        let parts: Vec<String> = by_rule
+            .into_iter()
+            .map(|(r, n)| format!("{r}: {n}"))
+            .collect();
+        s.push_str(&format!("  suppressions by rule: {}\n", parts.join(", ")));
+    }
+    for u in &outcome.report.unused_allows {
+        s.push_str(&format!(
+            "warning: unused allow({}) at {}:{} — the finding it covered is gone; remove it\n",
+            u.rules.join(", "),
+            u.file,
+            u.line
+        ));
+    }
+    for e in &outcome.stale {
+        s.push_str(&format!(
+            "warning: stale baseline budget ({} x{} in {}) — shrink lint-baseline.json\n",
+            e.rule, e.count, e.file
+        ));
+    }
+    if outcome.clean() {
+        s.push_str("OK: no new findings\n");
+    } else {
+        s.push_str(&format!(
+            "FAIL: {} new finding(s) not covered by the baseline\n",
+            outcome.fresh.len()
+        ));
+    }
+    s
+}

@@ -1,0 +1,19 @@
+//! D1 fixture: clock/entropy sources in a result-producing crate.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> u64 {
+    let _wall = SystemTime::now(); // finding: wall clock
+    let _mono = Instant::now(); // finding: monotonic clock
+    // qods-lint: allow(D1) -- fixture: annotated timing-only site
+    let _allowed = Instant::now();
+    let _rng = rand::thread_rng(); // finding: OS entropy
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn clocks_in_tests_are_fine() {
+        let _ = std::time::Instant::now();
+    }
+}

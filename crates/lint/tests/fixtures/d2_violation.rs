@@ -1,0 +1,39 @@
+//! D2 fixture: unordered-container iteration near serialization.
+use std::collections::{HashMap, HashSet};
+
+pub fn emit(map: &HashMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (k, v) in map {
+        out.push_str(&format!("{k}={v}\n")); // finding: order leaks out
+    }
+    out
+}
+
+pub fn emit_sorted(map: &HashMap<String, u64>) -> String {
+    let mut pairs: Vec<_> = map.iter().collect();
+    pairs.sort(); // cleared: explicit sort before the sink
+    let mut out = String::new();
+    for (k, v) in pairs {
+        out.push_str(&format!("{k}={v}\n"));
+    }
+    out
+}
+
+#[derive(Serialize)]
+pub struct Snapshot {
+    pub label: String,
+    pub counts: HashMap<String, u64>, // finding: serialized unordered field
+}
+
+pub fn fold(set: &HashSet<String>) -> u64 {
+    let mut h = 0;
+    // qods-lint: allow(D2) -- fixture: XOR fold is order-insensitive
+    for k in set {
+        h ^= fnv(k.as_bytes());
+    }
+    h
+}
+
+fn fnv(_b: &[u8]) -> u64 {
+    0
+}

@@ -1,0 +1,19 @@
+//! R1 fixture: panicking unwraps on the serving path.
+use std::sync::Mutex;
+
+pub fn serve(m: &Mutex<u64>) -> u64 {
+    let v = m.lock().unwrap(); // finding: poison-tolerant idiom expected
+    let s = std::env::var("X").expect("set"); // finding: typed error expected
+    // qods-lint: allow(R1) -- fixture: annotated legacy site
+    let t = std::env::var("Y").unwrap();
+    let ok = std::env::var("Z").unwrap_or_else(|_| String::new()); // not a finding
+    *v + (s.len() + t.len() + ok.len()) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        std::env::var("Z").unwrap();
+    }
+}

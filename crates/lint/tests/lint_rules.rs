@@ -1,0 +1,156 @@
+//! Fixture-driven proof that every rule fires where it should, stays
+//! quiet where it should, and respects allow annotations — plus the
+//! NDJSON round-trip and the self-hosting run over the real
+//! workspace.
+
+use qods_lint::baseline::Baseline;
+use qods_lint::scan::Tree;
+use qods_lint::{from_ndjson, lint_source, to_ndjson, Finding, Tables};
+use std::path::Path;
+
+fn tables() -> Tables {
+    Tables::workspace()
+}
+
+fn rule_lines(findings: &[Finding]) -> Vec<(String, u32)> {
+    findings.iter().map(|f| (f.rule.clone(), f.line)).collect()
+}
+
+fn pairs(list: &[(&str, u32)]) -> Vec<(String, u32)> {
+    list.iter().map(|(r, l)| ((*r).to_owned(), *l)).collect()
+}
+
+#[test]
+fn d1_fires_on_clock_and_entropy_sources_and_respects_allow() {
+    let text = include_str!("fixtures/d1_violation.rs");
+    let out = lint_source("fix/d1.rs", "qods-service", Tree::Src, text, &tables());
+    assert_eq!(
+        rule_lines(&out.findings),
+        pairs(&[("D1", 5), ("D1", 6), ("D1", 9)]),
+        "exact {{rule, line}} set"
+    );
+    assert_eq!(rule_lines(&out.suppressed), pairs(&[("D1", 8)]));
+    assert!(out.unused_allows.is_empty());
+}
+
+#[test]
+fn d1_does_not_apply_to_the_bench_crate() {
+    let text = include_str!("fixtures/d1_violation.rs");
+    let out = lint_source("fix/d1.rs", "qods-bench", Tree::Src, text, &tables());
+    assert!(out.findings.is_empty(), "qods-bench owns timing");
+}
+
+#[test]
+fn d2_fires_on_unordered_iteration_into_sinks_and_respects_sort_and_allow() {
+    let text = include_str!("fixtures/d2_violation.rs");
+    let out = lint_source("fix/d2.rs", "qods-service", Tree::Src, text, &tables());
+    assert_eq!(
+        rule_lines(&out.findings),
+        pairs(&[("D2", 6), ("D2", 25)]),
+        "the for-loop into push_str and the derive(Serialize) HashMap field; \
+         the sorted variant must stay clean"
+    );
+    assert_eq!(rule_lines(&out.suppressed), pairs(&[("D2", 31)]));
+}
+
+#[test]
+fn r1_fires_on_serving_path_unwraps_with_the_poison_hint_and_respects_allow() {
+    let text = include_str!("fixtures/r1_violation.rs");
+    let out = lint_source("fix/r1.rs", "qods-net", Tree::Src, text, &tables());
+    assert_eq!(rule_lines(&out.findings), pairs(&[("R1", 5), ("R1", 6)]));
+    assert!(
+        out.findings[0].note.contains("PoisonError::into_inner"),
+        "lock sites point at the poison-tolerant idiom: {}",
+        out.findings[0].note
+    );
+    assert_eq!(rule_lines(&out.suppressed), pairs(&[("R1", 8)]));
+}
+
+#[test]
+fn r1_does_not_apply_off_the_serving_path() {
+    let text = include_str!("fixtures/r1_violation.rs");
+    let out = lint_source("fix/r1.rs", "qods-phys", Tree::Src, text, &tables());
+    assert!(rule_lines(&out.findings).iter().all(|(r, _)| r != "R1"));
+}
+
+#[test]
+fn s1_fails_typoed_fault_sites_and_drifted_error_kinds() {
+    let text = include_str!("fixtures/s1_violation.rs");
+    let out = lint_source("fix/s1.rs", "qods-service", Tree::Src, text, &tables());
+    assert_eq!(
+        rule_lines(&out.findings),
+        pairs(&[("S1", 4), ("S1", 10), ("S1", 14)]),
+        "call-site typo, plan-string typo, kind drift"
+    );
+    assert!(out.findings[0].note.contains("store.raed"));
+    assert!(out.findings[1].note.contains("store.wrte"));
+    assert!(out.findings[2].note.contains("overlaoded"));
+    assert_eq!(rule_lines(&out.suppressed), pairs(&[("S1", 22)]));
+}
+
+#[test]
+fn s1_checks_apply_in_test_trees_too() {
+    let text = "fn t() { qods_fault::check(\"store.raed\"); }\n";
+    let out = lint_source("fix/t.rs", "qods-net", Tree::Tests, text, &tables());
+    assert_eq!(rule_lines(&out.findings), pairs(&[("S1", 1)]));
+}
+
+#[test]
+fn malformed_and_unknown_rule_annotations_are_l0_findings() {
+    let text = concat!(
+        "// qods-lint: allow(R1)\n",                    // missing reason
+        "// qods-lint: allow(Q9) -- no such rule\n",    // unknown rule
+        "// qods-lint: allow(R1) -- fine but unused\n", // matches nothing
+        "fn quiet() {}\n",
+    );
+    let out = lint_source("fix/l0.rs", "qods-core", Tree::Src, text, &tables());
+    assert_eq!(rule_lines(&out.findings), pairs(&[("L0", 1), ("L0", 2)]));
+    assert_eq!(out.unused_allows.len(), 1);
+    assert_eq!(out.unused_allows[0].line, 3);
+}
+
+#[test]
+fn ndjson_round_trips_exactly() {
+    let text = include_str!("fixtures/s1_violation.rs");
+    let out = lint_source("fix/s1.rs", "qods-service", Tree::Src, text, &tables());
+    let stream = to_ndjson(&out.findings);
+    assert_eq!(stream.lines().count(), out.findings.len());
+    let back = from_ndjson(&stream).expect("the stream we just wrote parses");
+    assert_eq!(back, out.findings);
+}
+
+#[test]
+fn the_workspace_is_clean_against_the_committed_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let tables = tables();
+    let baseline_path = root.join("lint-baseline.json");
+    let text = std::fs::read_to_string(&baseline_path).expect("lint-baseline.json is committed");
+    let base = Baseline::parse(&text).expect("committed baseline parses");
+    let outcome = qods_lint::run(&root, &tables, &base).expect("workspace lints");
+    assert!(
+        outcome.clean(),
+        "new findings not covered by lint-baseline.json:\n{}",
+        to_ndjson(&outcome.fresh)
+    );
+    assert!(
+        outcome.stale.is_empty(),
+        "baseline has stale budget; shrink lint-baseline.json"
+    );
+    // Suppression bookkeeping is part of the report contract: the
+    // workspace's allow annotations are all live.
+    assert!(outcome.report.unused_allows.is_empty());
+}
+
+#[test]
+fn the_s1_tables_match_the_crates_that_own_them() {
+    let t = tables();
+    let sites: Vec<String> = qods_fault::SITES.iter().map(|s| (*s).to_owned()).collect();
+    let kinds: Vec<String> = qods_net::protocol::kind::ALL
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+    assert_eq!(t.sites, sites);
+    assert_eq!(t.kinds, kinds);
+    assert!(t.sites.contains(&"store.read".to_owned()));
+    assert!(t.kinds.contains(&"overloaded".to_owned()));
+}

@@ -9,6 +9,7 @@
 //! add disconnects, deadline expiries, and oversize-line floods.
 
 use qods_fault::{FaultAction, FaultPlan};
+use qods_net::protocol::{kind, kind_fragment};
 use qods_net::Client;
 use std::io::{BufRead, BufReader, Write};
 use std::net::SocketAddr;
@@ -113,7 +114,7 @@ fn a_fault_storm_answers_every_request_typed_and_exits_zero() {
     // line is a clean result (delays perturb timing, never output).
     assert!(
         lines[0].contains("\"event\":\"error\"")
-            && lines[0].contains("\"kind\":\"internal_error\"")
+            && lines[0].contains(&kind_fragment(kind::INTERNAL))
             && lines[0].contains("\"id\":\"doomed\""),
         "{}",
         lines[0]
@@ -151,7 +152,7 @@ fn expired_deadlines_answer_typed_errors_without_killing_the_daemon() {
     assert!(ok, "deadline expiry must not kill the daemon");
     assert_eq!(lines.len(), 3, "{lines:#?}");
     assert!(
-        lines[0].contains("\"kind\":\"deadline_exceeded\"") && lines[0].contains("deadline"),
+        lines[0].contains(&kind_fragment(kind::DEADLINE_EXCEEDED)) && lines[0].contains("deadline"),
         "{}",
         lines[0]
     );
@@ -172,7 +173,7 @@ fn oversize_lines_answer_bad_request_and_the_stream_recovers() {
     assert!(ok, "an oversize line must not kill the daemon");
     assert_eq!(lines.len(), 3, "{lines:#?}");
     assert!(
-        lines[0].contains("\"kind\":\"bad_request\"") && lines[0].contains("byte cap"),
+        lines[0].contains(&kind_fragment(kind::BAD_REQUEST)) && lines[0].contains("byte cap"),
         "{}",
         lines[0]
     );

@@ -10,6 +10,7 @@
 //! until `in_flight` reports it, so the assertions race a window of
 //! seconds, not microseconds.
 
+use qods_net::protocol::{kind, kind_fragment};
 use qods_net::{Client, NetServer, ServeCore, ServeOptions, StatsLine};
 use qods_service::prelude::*;
 use std::net::SocketAddr;
@@ -105,7 +106,7 @@ fn overload_burst_answers_typed_errors_and_the_server_survives() {
             .expect("roundtrip")
             .expect("typed refusal");
         assert!(
-            line.contains("\"kind\":\"overloaded\""),
+            line.contains(&kind_fragment(kind::OVERLOADED)),
             "burst {i} got {line}"
         );
         assert!(line.contains("\"id\":\"shed\""), "{line}");

@@ -46,6 +46,10 @@
 //! [`PoolError::DeadlineExceeded`] with nothing cached. That is what
 //! keeps the determinism contract compatible with cancellation.
 
+// The pool hosts every serving-path worker: no panicking unwraps
+// outside tests (lint rule R1 and the chaos-job clippy gate agree).
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 use std::cell::Cell;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -143,6 +147,8 @@ pub fn current_deadline() -> Option<Instant> {
 /// Whether this thread's deadline has passed (false when none is
 /// set).
 pub fn deadline_exceeded() -> bool {
+    // qods-lint: allow(D1) -- deadline checks cancel whole runs; they
+    // never alter a completed result (all-or-nothing contract above)
     current_deadline().is_some_and(|t| Instant::now() >= t)
 }
 
@@ -293,7 +299,7 @@ where
     let guarded = |w: usize| -> Result<R, PoolError> {
         std::panic::catch_unwind(AssertUnwindSafe(|| {
             with_deadline(deadline, || {
-                if let Some(action) = qods_fault::check_sleeping("pool.worker") {
+                if let Some(action) = qods_fault::check_sleeping(qods_fault::site::POOL_WORKER) {
                     if action == qods_fault::FaultAction::Panic {
                         panic!("injected fault: pool worker {w} panicked");
                     }
@@ -403,6 +409,7 @@ where
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use std::collections::HashSet;
