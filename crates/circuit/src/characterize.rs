@@ -193,7 +193,7 @@ pub fn demand_profile(
             (end, zeros)
         })
         .collect();
-    events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+    events.sort_by(|a, b| a.0.total_cmp(&b.0));
 
     let window = model.zero_prep();
     let horizon = sched.makespan_us.max(1.0);

@@ -100,8 +100,10 @@ impl Dag {
             }
         }
         let mut path = vec![end];
-        while let Some(p) = back[*path.last().expect("non-empty")] {
+        let mut cur = end;
+        while let Some(p) = back[cur] {
             path.push(p);
+            cur = p;
         }
         path.reverse();
         path

@@ -224,10 +224,7 @@ impl ArtifactStore {
 
     /// How many artifacts the memory tier holds.
     pub fn len(&self) -> usize {
-        self.mem
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .len()
+        qods_pool::plock(&self.mem).len()
     }
 
     /// Whether the memory tier is empty.
@@ -265,12 +262,7 @@ impl ArtifactStore {
         F: FnOnce() -> T,
     {
         let map_key = (key.stage, key.hash);
-        if let Some(hit) = self
-            .mem
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .get(&map_key)
-        {
+        if let Some(hit) = qods_pool::plock(&self.mem).get(&map_key) {
             self.mem_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(hit)
                 .downcast::<T>()
@@ -296,10 +288,7 @@ impl ArtifactStore {
         // Two threads may have computed the same key concurrently
         // (deterministically, so the results are identical); keep the
         // first insertion as the one canonical Arc.
-        let mut mem = self
-            .mem
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut mem = qods_pool::plock(&self.mem);
         let entry = mem
             .entry(map_key)
             .or_insert_with(|| Arc::clone(&artifact) as Arc<dyn Any + Send + Sync>);

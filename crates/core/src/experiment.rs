@@ -95,6 +95,7 @@ impl StudyContext {
             let specs = paper_specs(self.config.n_bits);
             let scheduled =
                 qods_pool::run_indexed(specs.len(), qods_pool::pool_threads(specs.len()), |i| {
+                    // qods-lint: allow(P1) -- documented caller contract: the service layer rejects bad n_bits before a context exists
                     self.compiler.scheduled(specs[i]).expect("valid n_bits")
                 });
             scheduled.iter().map(|s| s.circuit.clone()).collect()
@@ -119,6 +120,7 @@ impl StudyContext {
             let chars = self
                 .compiler
                 .characterize_many(&specs, qods_pool::pool_threads(specs.len()))
+                // qods-lint: allow(P1) -- documented caller contract: the service layer rejects bad n_bits before a context exists
                 .expect("valid n_bits");
             chars.iter().map(|c| c.report.clone()).collect()
         })

@@ -46,7 +46,7 @@ impl SynthAdapter {
     }
 
     fn sequence(&self, k: u8, dagger: bool) -> Vec<HtGate> {
-        let mut cache = self.cache.lock().expect("cache lock");
+        let mut cache = qods_pool::plock(&self.cache);
         cache
             .entry((k, dagger))
             .or_insert_with(|| simplify(&self.synth.rz_pi_over_2k(k, dagger).gates))

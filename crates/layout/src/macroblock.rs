@@ -40,7 +40,12 @@ impl Dir {
     /// Rotation by 90 degrees clockwise, `q` times.
     pub fn rotated(self, q: u8) -> Dir {
         let order = [Dir::North, Dir::East, Dir::South, Dir::West];
-        let i = order.iter().position(|&d| d == self).expect("cardinal");
+        let i = match self {
+            Dir::North => 0,
+            Dir::East => 1,
+            Dir::South => 2,
+            Dir::West => 3,
+        };
         order[(i + q as usize) % 4]
     }
 }

@@ -3,6 +3,7 @@
 //! ```text
 //! qods-lint [--root DIR] [--baseline PATH] [--ndjson]
 //!           [--ndjson-out PATH] [--write-baseline PATH]
+//!           [--graph-out PATH.dot] [--rule RULE]
 //! ```
 //!
 //! Lints the workspace at `--root` (default: the current directory),
@@ -12,7 +13,9 @@
 //! report for the machine stream; `--ndjson-out` also writes the
 //! stream to a file (always written, even when empty, so CI can
 //! upload it unconditionally). `--write-baseline` snapshots the
-//! current findings as a new baseline document.
+//! current findings as a new baseline document. `--graph-out` dumps
+//! the entry-reachable call graph and the lock graph as Graphviz DOT;
+//! `--rule R` restricts the run to one rule id.
 
 use qods_lint::baseline::Baseline;
 use std::path::PathBuf;
@@ -24,6 +27,8 @@ struct Args {
     ndjson: bool,
     ndjson_out: Option<PathBuf>,
     write_baseline: Option<PathBuf>,
+    graph_out: Option<PathBuf>,
+    rule: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -33,6 +38,8 @@ fn parse_args() -> Result<Args, String> {
         ndjson: false,
         ndjson_out: None,
         write_baseline: None,
+        graph_out: None,
+        rule: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -47,10 +54,22 @@ fn parse_args() -> Result<Args, String> {
             "--ndjson" => args.ndjson = true,
             "--ndjson-out" => args.ndjson_out = Some(value("--ndjson-out")?),
             "--write-baseline" => args.write_baseline = Some(value("--write-baseline")?),
+            "--graph-out" => args.graph_out = Some(value("--graph-out")?),
+            "--rule" => {
+                let r = value("--rule")?.to_string_lossy().into_owned();
+                if !qods_lint::rules::RULE_IDS.contains(&r.as_str()) {
+                    return Err(format!(
+                        "unknown rule `{r}`; known rules: {}",
+                        qods_lint::rules::RULE_IDS.join(", ")
+                    ));
+                }
+                args.rule = Some(r);
+            }
             "--help" | "-h" => {
                 println!(
                     "qods-lint [--root DIR] [--baseline PATH] [--ndjson] \
-                     [--ndjson-out PATH] [--write-baseline PATH]"
+                     [--ndjson-out PATH] [--write-baseline PATH] \
+                     [--graph-out PATH.dot] [--rule RULE]"
                 );
                 std::process::exit(0);
             }
@@ -92,13 +111,32 @@ fn main() -> ExitCode {
     };
 
     let tables = qods_lint::Tables::workspace();
-    let outcome = match qods_lint::run(&args.root, &tables, &base) {
+    let outcome = match qods_lint::run_filtered(&args.root, &tables, &base, args.rule.as_deref()) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("qods-lint: {e}");
             return ExitCode::from(2);
         }
     };
+
+    if let Some(path) = &args.graph_out {
+        let dot = match qods_lint::scan_workspace(&args.root) {
+            Ok(files) => {
+                let index = qods_lint::graph::Index::build(&files);
+                let locks = qods_lint::graph_rules::build_lock_graph(&index, &files);
+                qods_lint::graph_rules::render_dot(&index, &files, &locks)
+            }
+            Err(e) => {
+                eprintln!("qods-lint: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if let Err(e) = std::fs::write(path, dot) {
+            eprintln!("qods-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("qods-lint: wrote graphs to {}", path.display());
+    }
 
     if let Some(path) = &args.write_baseline {
         let doc = Baseline::covering(&outcome.report.findings).render();

@@ -6,20 +6,29 @@
 //! DESIGN.md; this crate makes them machine-checkable. A hand-rolled
 //! lexer ([`scan`]) splits each source file into masked-code /
 //! string-literal views, a line-level rule engine ([`rules`]) raises
-//! findings for rules **D1/D2/R1/S1**, explicit
+//! findings for rules **D1/D2/R1/S1**, and a second, workspace-wide
+//! pass builds a symbol index and conservative call graph ([`graph`])
+//! to run the flow rules **P1** (panic reachability from serving
+//! entries), **L1** (lock-order cycles and locks held across
+//! checkpoints/blocking I/O), **A1** (Relaxed atomic loads flowing
+//! into result sinks, via [`flow`]), and **H1** (config-hash field
+//! coverage) in [`graph_rules`]. Explicit
 //! `// qods-lint: allow(RULE) -- reason` annotations suppress
 //! individual lines (counted, never silent), and a committed
 //! `lint-baseline.json` ([`baseline`]) lets pre-existing debt burn
 //! down without blocking CI.
 //!
 //! Zero external dependencies beyond the workspace's own shims — the
-//! tables rule S1 validates against are imported straight from
-//! `qods-fault` and `qods-net`, so the checker can never drift from
-//! the code it polices.
+//! tables rules S1 and H1 validate against are imported straight from
+//! `qods-fault`, `qods-net`, and `qods-service`, so the checker can
+//! never drift from the code it polices.
 //!
 //! Entry points: `cargo run -p qods-lint` or `repro --lint`.
 
 pub mod baseline;
+pub mod flow;
+pub mod graph;
+pub mod graph_rules;
 pub mod rules;
 pub mod scan;
 
@@ -30,8 +39,8 @@ use std::path::{Path, PathBuf};
 /// One lint finding, as emitted on the NDJSON stream.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Finding {
-    /// Rule identifier (`D1`, `D2`, `R1`, `S1`, or `L0` for a
-    /// malformed annotation).
+    /// Rule identifier (`D1`, `D2`, `R1`, `S1`, `P1`, `L1`, `A1`,
+    /// `H1`, or `L0` for a malformed annotation).
     pub rule: String,
     /// Workspace-relative path with forward slashes.
     pub file: String,
@@ -43,24 +52,30 @@ pub struct Finding {
     pub note: String,
 }
 
-/// The canonical string tables rule S1 validates against.
+/// The canonical string tables rules S1 and H1 validate against.
 pub struct Tables {
     /// Fault-site names (from `qods_fault::SITES`).
     pub sites: Vec<String>,
     /// Wire error-kind tags (from `qods_net::protocol::kind::ALL`).
     pub kinds: Vec<String>,
+    /// Override field names the canonical config form must encode
+    /// (from `qods_service::request::OVERRIDE_FIELDS`).
+    pub override_fields: Vec<String>,
+    /// Knobs declared policy-not-identity, exempt from H1 encoding
+    /// (from `qods_service::request::POLICY_FIELDS`).
+    pub policy_fields: Vec<String>,
 }
 
 impl Tables {
     /// The live tables of this workspace, imported from the crates
     /// that own them.
     pub fn workspace() -> Self {
+        let own = |xs: &[&str]| xs.iter().map(|s| (*s).to_owned()).collect();
         Tables {
-            sites: qods_fault::SITES.iter().map(|s| (*s).to_owned()).collect(),
-            kinds: qods_net::protocol::kind::ALL
-                .iter()
-                .map(|s| (*s).to_owned())
-                .collect(),
+            sites: own(qods_fault::SITES),
+            kinds: own(qods_net::protocol::kind::ALL),
+            override_fields: own(&qods_service::request::OVERRIDE_FIELDS),
+            policy_fields: own(qods_service::request::POLICY_FIELDS),
         }
     }
 }
@@ -88,7 +103,8 @@ pub struct FileOutcome {
 }
 
 /// Lints one source text. `path` is only used for reporting;
-/// `crate_name`/`tree` select which rules apply.
+/// `crate_name`/`tree` select which rules apply. Graph rules see a
+/// one-file workspace, so fixtures can exercise them too.
 pub fn lint_source(
     path: &str,
     crate_name: &str,
@@ -96,9 +112,39 @@ pub fn lint_source(
     text: &str,
     tables: &Tables,
 ) -> FileOutcome {
-    let file = scan::scan(path, crate_name, tree, text);
-    let raw = rules::run_rules(&file, tables);
-    apply_allows(&file, raw)
+    let files = [scan::scan(path, crate_name, tree, text)];
+    lint_scanned(&files, tables)
+        .pop()
+        .unwrap_or_else(|| unreachable!("one file in, one outcome out"))
+}
+
+/// The two-pass engine over an already-scanned file set: per-file
+/// line rules, then the workspace graph rules (P1/L1/A1/H1) over the
+/// call graph built from *all* the files, with graph findings routed
+/// back to the file they anchor on so allow annotations apply
+/// uniformly. One outcome per input file, findings sorted by
+/// (line, rule).
+pub fn lint_scanned(files: &[ScannedFile], tables: &Tables) -> Vec<FileOutcome> {
+    let index = graph::Index::build(files);
+    let mut graph_findings: Vec<Vec<Finding>> = vec![Vec::new(); files.len()];
+    for f in graph_rules::run_graph_rules(&index, files, tables) {
+        if let Some(i) = files.iter().position(|sf| sf.path == f.file) {
+            graph_findings[i].push(f);
+        }
+    }
+    files
+        .iter()
+        .zip(graph_findings)
+        .map(|(sf, mut from_graph)| {
+            let mut raw = rules::run_rules(sf, tables);
+            raw.append(&mut from_graph);
+            let mut out = apply_allows(sf, raw);
+            let key = |f: &Finding| (f.line, f.rule.clone());
+            out.findings.sort_by_key(key);
+            out.suppressed.sort_by_key(key);
+            out
+        })
+        .collect()
 }
 
 /// Splits raw findings into kept vs. suppressed using the file's
@@ -196,13 +242,15 @@ pub struct WorkspaceReport {
 }
 
 /// Walks the workspace at `root` (root `src/`+`tests/`, then every
-/// `crates/*` except `crates/lint`) and lints each `.rs` file. Paths
-/// are visited in sorted order so output is deterministic.
+/// `crates/*` except `crates/lint`) and scans each `.rs` file into
+/// the lexer's views. Paths are visited in sorted order so output is
+/// deterministic. This is pass 1's input; the CLI also uses it
+/// directly for `--graph-out`.
 ///
 /// # Errors
 ///
 /// An I/O error message naming the path that failed.
-pub fn lint_workspace(root: &Path, tables: &Tables) -> Result<WorkspaceReport, String> {
+pub fn scan_workspace(root: &Path) -> Result<Vec<ScannedFile>, String> {
     let mut units: Vec<(PathBuf, String, Tree)> = Vec::new();
     units.push((root.join("src"), "speed-of-data".to_owned(), Tree::Src));
     units.push((root.join("tests"), "speed-of-data".to_owned(), Tree::Tests));
@@ -235,10 +283,7 @@ pub fn lint_workspace(root: &Path, tables: &Tables) -> Result<WorkspaceReport, S
         }
     }
 
-    let mut files = 0usize;
-    let mut findings = Vec::new();
-    let mut suppressed = Vec::new();
-    let mut unused_allows = Vec::new();
+    let mut scanned = Vec::new();
     for (dir, crate_name, tree) in units {
         if !dir.is_dir() {
             continue;
@@ -254,19 +299,34 @@ pub fn lint_workspace(root: &Path, tables: &Tables) -> Result<WorkspaceReport, S
                 .unwrap_or(&path)
                 .to_string_lossy()
                 .replace('\\', "/");
-            let out = lint_source(&rel, &crate_name, tree, &text, tables);
-            files += 1;
-            findings.extend(out.findings);
-            suppressed.extend(out.suppressed);
-            unused_allows.extend(out.unused_allows);
+            scanned.push(scan::scan(&rel, &crate_name, tree, &text));
         }
     }
+    Ok(scanned)
+}
 
+/// Scans the workspace at `root` and runs both passes over it.
+///
+/// # Errors
+///
+/// An I/O error message naming the path that failed.
+pub fn lint_workspace(root: &Path, tables: &Tables) -> Result<WorkspaceReport, String> {
+    let scanned = scan_workspace(root)?;
+    let outcomes = lint_scanned(&scanned, tables);
+
+    let mut findings = Vec::new();
+    let mut suppressed = Vec::new();
+    let mut unused_allows = Vec::new();
+    for out in outcomes {
+        findings.extend(out.findings);
+        suppressed.extend(out.suppressed);
+        unused_allows.extend(out.unused_allows);
+    }
     let by_pos = |f: &Finding| (f.file.clone(), f.line, f.rule.clone());
     findings.sort_by_key(by_pos);
     suppressed.sort_by_key(by_pos);
     Ok(WorkspaceReport {
-        files,
+        files: scanned.len(),
         findings,
         suppressed,
         unused_allows,
@@ -339,7 +399,30 @@ impl RunOutcome {
 ///
 /// Walker/read errors, as a message.
 pub fn run(root: &Path, tables: &Tables, base: &baseline::Baseline) -> Result<RunOutcome, String> {
-    let report = lint_workspace(root, tables)?;
+    run_filtered(root, tables, base, None)
+}
+
+/// As [`run`], optionally restricted to one rule id (the CLI's
+/// `--rule` flag). Filtering happens before baseline application so
+/// a rule-scoped run is judged only against that rule's budget.
+///
+/// # Errors
+///
+/// Walker/read errors, as a message.
+pub fn run_filtered(
+    root: &Path,
+    tables: &Tables,
+    base: &baseline::Baseline,
+    rule: Option<&str>,
+) -> Result<RunOutcome, String> {
+    let mut report = lint_workspace(root, tables)?;
+    if let Some(r) = rule {
+        report.findings.retain(|f| f.rule == r);
+        report.suppressed.retain(|f| f.rule == r);
+        report
+            .unused_allows
+            .retain(|u| u.rules.iter().any(|x| x == r));
+    }
     let split = baseline::apply(base, report.findings.clone());
     Ok(RunOutcome {
         report,

@@ -22,8 +22,10 @@
 use crate::scan::{token_positions, ScannedFile, Tree};
 use crate::{Finding, Tables};
 
-/// The rule identifiers an `allow(...)` annotation may name.
-pub const RULE_IDS: &[&str] = &["D1", "D2", "R1", "S1"];
+/// The rule identifiers an `allow(...)` annotation may name. The
+/// first four are line rules (this module); the last four are graph
+/// rules ([`crate::graph_rules`]).
+pub const RULE_IDS: &[&str] = &["D1", "D2", "R1", "S1", "P1", "L1", "A1", "H1"];
 
 /// Crates whose results feed hashed/serialized output; D1 applies.
 /// `qods-bench` is the designated home for timing and is exempt.
@@ -277,7 +279,7 @@ fn name_before_colon(code: &str, pos: usize) -> Option<String> {
     (!name.is_empty()).then(|| name.to_owned())
 }
 
-fn let_binding_name(code: &str) -> Option<String> {
+pub(crate) fn let_binding_name(code: &str) -> Option<String> {
     let pos = *token_positions(code, "let").first()?;
     let mut rest = code[pos + 3..].trim_start();
     rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();

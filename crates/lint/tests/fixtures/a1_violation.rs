@@ -1,0 +1,31 @@
+//! A1 fixture: a Relaxed atomic load flowing into a result sink, a
+//! sink-free load that stays clean, and an annotated telemetry flow.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Stats {
+    hits: AtomicU64,
+}
+
+impl Stats {
+    pub fn render(&self) -> String {
+        let hits = self.hits.load(Ordering::Relaxed); // finding: flows to format!
+        format!("hits={hits}")
+    }
+
+    pub fn peek(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed) // clean: never reaches a sink
+    }
+
+    pub fn rebound(&self) -> String {
+        let hits = self.hits.load(Ordering::Relaxed); // clean: rebound below
+        let hits = 0u64;
+        format!("hits={hits}")
+    }
+
+    pub fn logged(&self) -> String {
+        // qods-lint: allow(A1) -- fixture: telemetry-only flow
+        let hits = self.hits.load(Ordering::Relaxed);
+        format!("log {hits}")
+    }
+}

@@ -1,0 +1,9 @@
+//! A minimal workspace whose `Overrides` struct grew a knob that is
+//! in neither OVERRIDE_FIELDS nor POLICY_FIELDS. CI runs qods-lint
+//! against this root and requires the run to FAIL — proving that
+//! config-hash drift is build-breaking, not a code-review nicety.
+
+pub struct Overrides {
+    pub n_bits: Option<usize>,
+    pub unlisted_knob: Option<u32>,
+}

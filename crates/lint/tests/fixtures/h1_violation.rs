@@ -1,0 +1,28 @@
+//! H1 fixture: a knob outside both tables, an in-table knob the
+//! canonical encoder forgot, a config field that never reaches the
+//! encoder, and a request field that is neither structural nor
+//! policy.
+
+pub struct Overrides {
+    pub n_bits: Option<usize>,        // in the table and encoded: clean
+    pub seed: Option<u64>,            // in the table but NOT encoded below
+    pub retry_budget: Option<u32>,    // finding: in neither table
+    pub threads: Option<usize>,       // policy: clean
+}
+
+pub struct StudyConfig {
+    pub n_bits: usize,
+    pub logical_gap: u64, // finding: never reaches the encoder
+    pub deadline_ms: u64, // policy: clean
+}
+
+pub struct RunRequest {
+    pub id: String,
+    pub experiments: Vec<String>,
+    pub overrides: Overrides,
+    pub trace: bool, // finding: neither structural nor policy
+}
+
+pub fn canonical_config_json(cfg: &StudyConfig) -> Vec<(String, String)> {
+    vec![("n_bits".to_owned(), cfg.n_bits.to_string())]
+}

@@ -1,0 +1,35 @@
+//! L1 fixture: two locks nested in opposite orders (an inversion
+//! cycle), a lock held across a cancellation checkpoint, and an
+//! annotated write-under-lock.
+
+pub struct Pair {
+    a: std::sync::Mutex<u32>,
+    b: std::sync::Mutex<u32>,
+}
+
+impl Pair {
+    fn ab(&self) -> u32 {
+        let ga = plock(&self.a);
+        let gb = plock(&self.b); // edge Pair.a -> Pair.b
+        *ga + *gb
+    }
+
+    fn ba(&self) -> u32 {
+        let gb = plock(&self.b);
+        let ga = plock(&self.a); // edge Pair.b -> Pair.a: cycle
+        *ga + *gb
+    }
+
+    fn held_across(&self) {
+        let g = plock(&self.a); // finding: held across a checkpoint
+        qods_pool::check_deadline();
+        drop(g);
+    }
+
+    fn emit_locked(&self, w: &mut impl std::io::Write) {
+        // qods-lint: allow(L1) -- fixture: serialization under the lock by design
+        let g = plock(&self.a);
+        let _ = w.write_all(b"x");
+        drop(g);
+    }
+}

@@ -1,0 +1,39 @@
+//! P1 fixture: a panic transitively reachable from a serving entry,
+//! an isolation barrier that stops the traversal, and an annotated
+//! deliberate panic.
+
+pub fn serve_fixture(req: u32) -> u32 {
+    step_one(req)
+}
+
+fn step_one(x: u32) -> u32 {
+    step_two(x)
+}
+
+fn step_two(x: u32) -> u32 {
+    if x == 0 {
+        panic!("boom"); // finding: serve_fixture -> step_one -> step_two
+    }
+    x
+}
+
+pub fn serve_guarded(req: u32) -> u32 {
+    std::panic::catch_unwind(|| risky(req)).unwrap_or(0)
+}
+
+fn risky(_x: u32) -> u32 {
+    unreachable!("behind the catch_unwind barrier; not reported")
+}
+
+fn never_called() {
+    panic!("unreachable from any entry; not reported")
+}
+
+pub fn serve_allowed() {
+    step_allowed()
+}
+
+fn step_allowed() {
+    // qods-lint: allow(P1) -- fixture: annotated deliberate panic
+    panic!("annotated");
+}

@@ -96,6 +96,115 @@ fn s1_checks_apply_in_test_trees_too() {
 }
 
 #[test]
+fn p1_reports_transitive_panics_stops_at_barriers_and_respects_allow() {
+    let text = include_str!("fixtures/p1_violation.rs");
+    let out = lint_source("fix/p1.rs", "qods-net", Tree::Src, text, &tables());
+    assert_eq!(
+        rule_lines(&out.findings),
+        pairs(&[("P1", 15)]),
+        "only the entry-reachable panic; the barrier-guarded and \
+         never-called sites stay quiet"
+    );
+    assert!(
+        out.findings[0].note.contains("serve_fixture") && out.findings[0].note.contains("step_two"),
+        "the note names the call chain: {}",
+        out.findings[0].note
+    );
+    assert_eq!(rule_lines(&out.suppressed), pairs(&[("P1", 38)]));
+    assert!(out.unused_allows.is_empty());
+}
+
+#[test]
+fn p1_does_not_fire_without_a_serving_entry() {
+    let text = include_str!("fixtures/p1_violation.rs");
+    // Same code in a leaf crate with no entry signatures: unreachable.
+    let out = lint_source("fix/p1.rs", "qods-phys", Tree::Src, text, &tables());
+    assert!(rule_lines(&out.findings).iter().all(|(r, _)| r != "P1"));
+}
+
+#[test]
+fn l1_reports_inversion_cycles_and_locks_held_across_checkpoints() {
+    let text = include_str!("fixtures/l1_violation.rs");
+    let out = lint_source("fix/l1.rs", "qods-service", Tree::Src, text, &tables());
+    assert_eq!(
+        rule_lines(&out.findings),
+        pairs(&[("L1", 13), ("L1", 24)]),
+        "the a->b/b->a cycle (anchored at the first edge) and the \
+         checkpoint-spanning hold"
+    );
+    assert!(
+        out.findings[0].note.contains("Pair.a") && out.findings[0].note.contains("Pair.b"),
+        "the cycle note names both locks: {}",
+        out.findings[0].note
+    );
+    assert_eq!(rule_lines(&out.suppressed), pairs(&[("L1", 31)]));
+}
+
+#[test]
+fn a1_reports_relaxed_loads_that_flow_into_sinks_and_respects_allow() {
+    let text = include_str!("fixtures/a1_violation.rs");
+    let out = lint_source("fix/a1.rs", "qods-service", Tree::Src, text, &tables());
+    assert_eq!(
+        rule_lines(&out.findings),
+        pairs(&[("A1", 12)]),
+        "the flowing load only; the sink-free and rebound loads stay clean"
+    );
+    assert_eq!(rule_lines(&out.suppressed), pairs(&[("A1", 28)]));
+}
+
+#[test]
+fn h1_checks_every_field_against_the_tables_and_the_encoder() {
+    let text = include_str!("fixtures/h1_violation.rs");
+    let out = lint_source("fix/h1.rs", "qods-service", Tree::Src, text, &tables());
+    assert_eq!(
+        rule_lines(&out.findings),
+        pairs(&[("H1", 9), ("H1", 15), ("H1", 23), ("H1", 26)]),
+        "unlisted override knob, un-encoded config field, unclassified \
+         request field, and the encoder missing an in-table knob"
+    );
+    assert!(out.findings[0].note.contains("retry_budget"));
+    assert!(out.findings[1].note.contains("logical_gap"));
+    assert!(out.findings[2].note.contains("trace"));
+    assert!(out.findings[3].note.contains("seed"));
+}
+
+#[test]
+fn the_h1_drift_workspace_fails_the_run() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/h1_drift_ws");
+    let outcome = qods_lint::run(&root, &tables(), &Baseline::empty()).expect("fixture ws lints");
+    assert!(!outcome.clean(), "the drifted Overrides field must fail");
+    assert!(
+        outcome.fresh.iter().all(|f| f.rule == "H1")
+            && outcome
+                .fresh
+                .iter()
+                .any(|f| f.note.contains("unlisted_knob")),
+        "exactly the H1 drift: {}",
+        to_ndjson(&outcome.fresh)
+    );
+}
+
+#[test]
+fn the_dot_export_renders_both_graphs() {
+    let text = include_str!("fixtures/l1_violation.rs");
+    let files = [qods_lint::scan::scan(
+        "fix/l1.rs",
+        "qods-service",
+        Tree::Src,
+        text,
+    )];
+    let index = qods_lint::graph::Index::build(&files);
+    let locks = qods_lint::graph_rules::build_lock_graph(&index, &files);
+    let dot = qods_lint::graph_rules::render_dot(&index, &files, &locks);
+    assert!(dot.starts_with("digraph"));
+    assert!(dot.contains("lock graph"));
+    assert!(
+        dot.contains("Pair_a") && dot.contains("Pair_b"),
+        "both locks appear as nodes:\n{dot}"
+    );
+}
+
+#[test]
 fn malformed_and_unknown_rule_annotations_are_l0_findings() {
     let text = concat!(
         "// qods-lint: allow(R1)\n",                    // missing reason
@@ -116,6 +225,14 @@ fn ndjson_round_trips_exactly() {
     let stream = to_ndjson(&out.findings);
     assert_eq!(stream.lines().count(), out.findings.len());
     let back = from_ndjson(&stream).expect("the stream we just wrote parses");
+    assert_eq!(back, out.findings);
+}
+
+#[test]
+fn graph_rule_findings_round_trip_through_ndjson_too() {
+    let text = include_str!("fixtures/h1_violation.rs");
+    let out = lint_source("fix/h1.rs", "qods-service", Tree::Src, text, &tables());
+    let back = from_ndjson(&to_ndjson(&out.findings)).expect("parses");
     assert_eq!(back, out.findings);
 }
 
@@ -153,4 +270,21 @@ fn the_s1_tables_match_the_crates_that_own_them() {
     assert_eq!(t.kinds, kinds);
     assert!(t.sites.contains(&"store.read".to_owned()));
     assert!(t.kinds.contains(&"overloaded".to_owned()));
+}
+
+#[test]
+fn the_h1_tables_match_the_service_crate_that_owns_them() {
+    let t = tables();
+    let fields: Vec<String> = qods_service::request::OVERRIDE_FIELDS
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+    let policy: Vec<String> = qods_service::request::POLICY_FIELDS
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+    assert_eq!(t.override_fields, fields);
+    assert_eq!(t.policy_fields, policy);
+    assert!(t.override_fields.contains(&"n_bits".to_owned()));
+    assert!(t.policy_fields.contains(&"deadline_ms".to_owned()));
 }

@@ -12,6 +12,7 @@
 //! permit while waiting (the slot accounts for the caller, not the
 //! work).
 
+use qods_pool::plock;
 use std::sync::{Condvar, Mutex, PoisonError};
 
 /// Why admission refused a job.
@@ -85,7 +86,7 @@ impl Gate {
     /// [`Refusal::Draining`] once [`Gate::drain`] has been called
     /// (including for callers already queued when the drain started).
     pub fn admit(&self) -> Result<Permit<'_>, Refusal> {
-        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut state = plock(&self.state);
         if state.draining {
             return Err(Refusal::Draining);
         }
@@ -110,14 +111,14 @@ impl Gate {
     /// call returns [`Refusal::Draining`]. Already-issued permits are
     /// unaffected — pair with [`Gate::wait_idle`] to drain them.
     pub fn drain(&self) {
-        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut state = plock(&self.state);
         state.draining = true;
         self.cv.notify_all();
     }
 
     /// Blocks until every issued permit has been returned.
     pub fn wait_idle(&self) {
-        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut state = plock(&self.state);
         while state.active > 0 {
             state = self.cv.wait(state).unwrap_or_else(PoisonError::into_inner);
         }
@@ -125,28 +126,18 @@ impl Gate {
 
     /// Permits currently out (jobs admitted and not yet finished).
     pub fn active(&self) -> usize {
-        self.state
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .active
+        plock(&self.state).active
     }
 
     /// Callers blocked in the wait queue right now.
     pub fn waiting(&self) -> usize {
-        self.state
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .waiting
+        plock(&self.state).waiting
     }
 }
 
 impl Drop for Permit<'_> {
     fn drop(&mut self) {
-        let mut state = self
-            .gate
-            .state
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        let mut state = plock(&self.gate.state);
         state.active -= 1;
         // Wake both queued admitters and `wait_idle`.
         self.gate.cv.notify_all();

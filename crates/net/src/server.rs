@@ -18,11 +18,12 @@ use crate::admission::{Gate, Refusal};
 use crate::protocol::{
     parse_line, progress_line, render, result_line, ErrorKind, ErrorLine, Request, StatsLine, Verb,
 };
+use qods_pool::plock;
 use qods_service::prelude::*;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Default cap on one NDJSON input line (bytes). Far above any real
@@ -529,7 +530,8 @@ impl LineSink for StreamSink {
         let mut buf = Vec::with_capacity(line.len() + 1);
         buf.extend_from_slice(line.as_bytes());
         buf.push(b'\n');
-        let mut w = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        // qods-lint: allow(L1) -- by design: the writer mutex held across the write IS the per-connection frame serializer
+        let mut w = plock(&self.writer);
         let _ = w.write_all(&buf);
         let _ = w.flush();
     }
@@ -608,10 +610,7 @@ impl NetServer {
                 continue; // dropping the stream closes it
             }
             if let Ok(read_half) = stream.try_clone() {
-                readers
-                    .lock()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .push(read_half);
+                plock(&readers).push(read_half);
             }
             let core = self.core.clone();
             let stop = stop.clone();
@@ -625,11 +624,7 @@ impl NetServer {
         // threads fall out of their read loop after the line they are
         // serving, then wait for the work and the threads.
         self.core.begin_drain();
-        for reader in readers
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .iter()
-        {
+        for reader in plock(&readers).iter() {
             let _ = reader.shutdown(Shutdown::Read);
         }
         for thread in threads {

@@ -53,7 +53,7 @@
 use std::cell::Cell;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Once;
+use std::sync::{Mutex, MutexGuard, Once, PoisonError};
 use std::time::Instant;
 
 /// Why a pool run failed (nothing partial is returned).
@@ -160,6 +160,18 @@ pub fn check_deadline() {
     if deadline_exceeded() {
         std::panic::panic_any(DeadlineHit);
     }
+}
+
+/// Poison-tolerant lock: acquires `m`, recovering the guard when a
+/// previous holder panicked. The workspace's serving path never
+/// protects an invariant with poisoning — every critical section
+/// leaves the data valid even if it unwinds mid-way (deadline
+/// sentinels, injected faults) — so a poisoned lock is recoverable by
+/// construction. This is the one spelling of
+/// `lock().unwrap_or_else(PoisonError::into_inner)` the serving
+/// crates share; lint rule L1 recognizes it as a lock acquisition.
+pub fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Classifies a caught worker unwind: the deadline sentinel maps to
@@ -350,6 +362,7 @@ where
     match try_run_workers(threads, worker) {
         Ok(results) => results,
         Err(PoolError::DeadlineExceeded) => std::panic::panic_any(DeadlineHit),
+        // qods-lint: allow(P1) -- deliberate re-raise: a worker panic must not be swallowed; callers sit inside the serve-loop catch_unwind
         Err(PoolError::WorkerPanicked { message }) => panic!("pool worker panicked: {message}"),
     }
 }
@@ -404,6 +417,7 @@ where
     match try_run_indexed(n, threads, task) {
         Ok(results) => results,
         Err(PoolError::DeadlineExceeded) => std::panic::panic_any(DeadlineHit),
+        // qods-lint: allow(P1) -- deliberate re-raise: a worker panic must not be swallowed; callers sit inside the serve-loop catch_unwind
         Err(PoolError::WorkerPanicked { message }) => panic!("pool worker panicked: {message}"),
     }
 }

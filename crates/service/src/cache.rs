@@ -15,9 +15,10 @@ use crate::request::Overrides;
 use qods_core::compile::ArtifactStore;
 use qods_core::experiment::{ExperimentOutput, StudyContext};
 use qods_core::study::StudyConfig;
+use qods_pool::plock;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex};
 
 /// Default bound on retained configurations (see
 /// [`ContextPool::with_capacity`]). Generous for real traffic — a
@@ -61,28 +62,18 @@ impl PoolEntry {
     /// value, so a panicking holder can never leave it half-updated,
     /// and the serving path must survive a caught job panic.
     pub fn cached_output(&self, experiment_id: &str) -> Option<ExperimentOutput> {
-        self.outputs
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .get(experiment_id)
-            .cloned()
+        plock(&self.outputs).get(experiment_id).cloned()
     }
 
     /// Stores a finished output (last write wins; outputs for a fixed
     /// configuration are deterministic, so overwrites are identical).
     pub fn store_output(&self, experiment_id: &str, output: ExperimentOutput) {
-        self.outputs
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .insert(experiment_id.to_string(), output);
+        plock(&self.outputs).insert(experiment_id.to_string(), output);
     }
 
     /// How many outputs this entry holds.
     pub fn cached_outputs(&self) -> usize {
-        self.outputs
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .len()
+        plock(&self.outputs).len()
     }
 }
 
@@ -235,7 +226,7 @@ impl ContextPool {
         // Poison-tolerant like the entry locks above: the retained
         // map's invariant (order tracks map keys) is restored below
         // even if a previous holder unwound mid-checkout.
-        let mut retained = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut retained = plock(&self.entries);
         if let Some(entry) = retained.map.get(&hash) {
             let entry = Arc::clone(entry);
             retained.touch(hash);
@@ -279,11 +270,7 @@ impl ContextPool {
 
     /// How many distinct configurations the pool holds.
     pub fn len(&self) -> usize {
-        self.entries
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .map
-            .len()
+        plock(&self.entries).map.len()
     }
 
     /// The retention bound (entries past it evict oldest-first).
@@ -301,9 +288,7 @@ impl ContextPool {
     /// requests over U distinct configurations reports U, not R
     /// (asserted by the service tests via `lowering_runs`).
     pub fn total_lowering_runs(&self) -> usize {
-        self.entries
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
+        plock(&self.entries)
             .map
             .values()
             .map(|e| e.context().lowering_runs())

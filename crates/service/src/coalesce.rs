@@ -20,6 +20,7 @@
 //! becomes the new leader. Work is therefore never lost to a crashed
 //! peer, and a poisoned outcome is never served.
 
+use qods_pool::plock;
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 
@@ -93,16 +94,13 @@ impl<T> InflightTable<T> {
     /// How many jobs are in flight right now (the `stats` gauge).
     ///
     /// Every lock in this table is poison-tolerant
-    /// (`PoisonError::into_inner`): slot state is a single enum
+    /// ([`qods_pool::plock`]): slot state is a single enum
     /// assignment and the map a single insert/remove, so a panicking
     /// holder can't leave either half-updated — and an abandoned
     /// leader must never make the table unusable for the retrying
     /// followers it just woke.
     pub fn len(&self) -> usize {
-        self.slots
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .len()
+        plock(&self.slots).len()
     }
 
     /// Whether no job is in flight.
@@ -114,7 +112,7 @@ impl<T> InflightTable<T> {
     /// caller per key gets [`Begin::Leader`], concurrent callers get
     /// [`Begin::Follower`].
     pub fn begin(&self, key: u64) -> Begin<'_, T> {
-        let mut slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut slots = plock(&self.slots);
         if let Some(slot) = slots.get(&key) {
             return Begin::Follower(Follower {
                 slot: Arc::clone(slot),
@@ -158,16 +156,8 @@ impl<T> Drop for LeaderGuard<'_, T> {
 // lives on the unbounded impl so Drop can call it by reference.
 impl<T> LeaderGuard<'_, T> {
     fn finish(&self, state: SlotState<T>) {
-        self.table
-            .slots
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .remove(&self.key);
-        *self
-            .slot
-            .state
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner) = state;
+        plock(&self.table.slots).remove(&self.key);
+        *plock(&self.slot.state) = state;
         self.slot.cv.notify_all();
     }
 }
@@ -177,11 +167,7 @@ impl<T: Clone> Follower<T> {
     /// completion; `None` when the leader was abandoned — call
     /// [`InflightTable::begin`] again (the caller may now lead).
     pub fn wait(self) -> Option<T> {
-        let mut state = self
-            .slot
-            .state
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        let mut state = plock(&self.slot.state);
         loop {
             match &*state {
                 SlotState::Running => {

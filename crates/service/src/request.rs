@@ -66,9 +66,10 @@ pub struct Overrides {
 }
 
 /// The override field names, in canonical (declaration) order. One
-/// table drives serialization, deserialization, and the request
-/// validator, so they can never drift apart.
-const OVERRIDE_FIELDS: [&str; 12] = [
+/// table drives serialization, deserialization, the request
+/// validator, and the lint rule H1 (config-hash coverage), so they
+/// can never drift apart.
+pub const OVERRIDE_FIELDS: [&str; 12] = [
     "n_bits",
     "mc_trials",
     "noise_scale",
@@ -82,6 +83,13 @@ const OVERRIDE_FIELDS: [&str; 12] = [
     "arch_panel",
     "width_sweep",
 ];
+
+/// Knobs that are deliberately *policy, not work identity*: they may
+/// change how a request is executed but never what it computes, so
+/// they are excluded from the canonical encoding and the config hash.
+/// Lint rule H1 accepts a config/request field only if it is either
+/// encoded by [`canonical_config_json`] or named here.
+pub const POLICY_FIELDS: &[&str] = &["threads", "deadline_ms"];
 
 impl Overrides {
     /// True when every field is `None` (the request changes nothing).

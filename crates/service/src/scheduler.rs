@@ -9,9 +9,10 @@ use qods_core::experiment::{Experiment, ExperimentRecord};
 use qods_core::kernels::KernelError;
 use qods_core::registry::{Registry, RegistryError};
 use qods_core::study::StudyConfig;
+use qods_pool::plock;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Why a job was rejected or failed (nothing partial is ever
@@ -479,7 +480,7 @@ impl Scheduler {
             let t = Instant::now();
             let output = exp.run(entry.context());
             let seconds = t.elapsed().as_secs_f64();
-            (emit.lock().unwrap_or_else(PoisonError::into_inner))(JobEvent::ExperimentDone {
+            (plock(&emit))(JobEvent::ExperimentDone {
                 request_id: request_id.clone(),
                 experiment: exp.id().to_string(),
                 cache_hit: false,
