@@ -62,6 +62,19 @@ fn usage() -> &'static str {
      server, reporting coalescing counters and client-side latency\n\
      percentiles alongside the throughput numbers.\n\
      \n\
+     Observability:\n\
+     `--trace-out FILE` (with --load) arms end-to-end request tracing,\n\
+     prints a per-stage time breakdown after the run, and writes FILE\n\
+     as Chrome trace-event JSON (load it at ui.perfetto.dev).\n\
+     `repro --trace-verify FILE` checks that FILE is valid Chrome\n\
+     trace JSON with >0 spans in every serving stage (net. / svc. /\n\
+     compile. / pool.) and that every event sits on a named lane —\n\
+     the CI obs-job gate over a previously written trace.\n\
+     `repro --trace-overhead-gate PCT` times the same in-process batch\n\
+     with tracing off and on (interleaved, best-of-3, one process, so\n\
+     the comparison is machine-normalized by construction) and exits\n\
+     nonzero when the traced run is more than PCT% slower.\n\
+     \n\
      Perf smoke:\n\
      `repro --bench-json [montecarlo] [sweep] [compile] [serve]` times\n\
      the Fig 4 Monte-Carlo panel, the Fig 15 architecture sweep, the\n\
@@ -95,6 +108,9 @@ fn main() -> ExitCode {
     let mut repeat = 0.8f64;
     let mut load_gate: Option<f64> = None;
     let mut connections = 1usize;
+    let mut trace_out: Option<String> = None;
+    let mut trace_verify: Option<String> = None;
+    let mut trace_overhead_gate: Option<f64> = None;
     let mut lint = false;
     let mut bench_json = false;
     let mut bench_check: Option<String> = None;
@@ -152,6 +168,30 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--trace-out" => match it.next() {
+                Some(path) if !path.is_empty() => trace_out = Some(path),
+                _ => {
+                    eprintln!("--trace-out needs a file path\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--trace-verify" => match it.next() {
+                Some(path) if !path.is_empty() => trace_verify = Some(path),
+                _ => {
+                    eprintln!("--trace-verify needs a file path\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--trace-overhead-gate" => match it.next().and_then(|f| f.parse::<f64>().ok()) {
+                Some(pct) if pct > 0.0 => trace_overhead_gate = Some(pct),
+                _ => {
+                    eprintln!(
+                        "--trace-overhead-gate needs a positive percentage\n{}",
+                        usage()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
             "--lint" => lint = true,
             "--bench-json" => bench_json = true,
             "--bench-check" => match it.next() {
@@ -198,6 +238,16 @@ fn main() -> ExitCode {
         return run_lint();
     }
 
+    // Trace verification inspects a file someone else wrote; it must
+    // not start pools or touch the artifact store.
+    if let Some(path) = trace_verify {
+        return run_trace_verify(&path);
+    }
+    if trace_out.is_some() && load.is_none() {
+        eprintln!("--trace-out requires --load\n{}", usage());
+        return ExitCode::FAILURE;
+    }
+
     // Pin every worker pool in the process before anything runs:
     // registry fan-out, Fig 15 sweeps, and Monte-Carlo all consult
     // the same `qods_pool` policy. `--sequential` is the fully
@@ -223,8 +273,24 @@ fn main() -> ExitCode {
         return run_compile_kernels(&kernels, quick);
     }
 
+    if let Some(pct) = trace_overhead_gate {
+        return run_trace_overhead(pct);
+    }
+
     if let Some(requests) = load {
-        return run_load_generator(requests, repeat, load_gate, connections);
+        // Arm tracing before any serving-path work so the very first
+        // request of the cold pass is captured; flush after the run so
+        // the trace covers the whole batch.
+        if trace_out.is_some() {
+            qods_obs::trace::enable();
+        }
+        let code = run_load_generator(requests, repeat, load_gate, connections);
+        if let Some(path) = trace_out {
+            if let Err(flush_code) = flush_trace(&path) {
+                return flush_code;
+            }
+        }
+        return code;
     }
 
     if bench_json
@@ -503,6 +569,178 @@ fn run_compile_kernels(specs: &[String], quick: bool) -> ExitCode {
             .unwrap_or_else(|| "in-memory".to_string()),
     );
     ExitCode::SUCCESS
+}
+
+/// Drains the process tracer, prints the per-stage time breakdown,
+/// and writes the Chrome trace-event file `--trace-out` asked for.
+/// Runs after the load generator regardless of its outcome (a failed
+/// run's trace is exactly the one worth looking at); only a write
+/// failure turns into an error of its own.
+fn flush_trace(path: &str) -> Result<(), ExitCode> {
+    use qods_obs::export;
+
+    let tracer = qods_obs::trace::tracer();
+    let events = tracer.drain();
+    let dropped = tracer.dropped();
+    println!(
+        "\nper-stage time breakdown ({} spans, {dropped} dropped):",
+        events.len()
+    );
+    for (site, agg) in export::stage_breakdown(&events) {
+        println!(
+            "  {site:<24} {:>6} x  total {:>10.3} ms  max {:>9.3} ms",
+            agg.count,
+            agg.total_ns as f64 / 1e6,
+            agg.max_ns as f64 / 1e6,
+        );
+    }
+    match std::fs::write(path, export::to_chrome(&events)) {
+        Ok(()) => {
+            println!("wrote Chrome trace to {path} (load it at ui.perfetto.dev)");
+            Ok(())
+        }
+        Err(e) => {
+            eprintln!("failed to write trace to {path}: {e}");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
+/// `repro --trace-verify FILE`: the CI check over a trace written by
+/// `--trace-out`. The file must parse as Chrome trace-event JSON,
+/// contain at least one complete (`X`) span in every serving stage,
+/// and reference only lanes that carry a `thread_name` metadata
+/// record — the properties the Perfetto UI needs to render a useful
+/// timeline.
+fn run_trace_verify(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace verify: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let events = match qods_obs::export::parse_chrome(&text) {
+        Ok(ev) => ev,
+        Err(e) => {
+            eprintln!("trace verify: {path} is not Chrome trace JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut failed = false;
+    for stage in ["net.", "svc.", "compile.", "pool."] {
+        let n = events
+            .iter()
+            .filter(|e| e.ph == "X" && e.name.starts_with(stage))
+            .count();
+        println!("  {stage:<9} {n} spans");
+        if n == 0 {
+            eprintln!("trace verify FAILED: no `{stage}*` spans in {path}");
+            failed = true;
+        }
+    }
+    let named_lanes: std::collections::BTreeSet<u64> = events
+        .iter()
+        .filter(|e| e.ph == "M")
+        .map(|e| e.tid)
+        .collect();
+    if let Some(orphan) = events
+        .iter()
+        .find(|e| e.ph != "M" && !named_lanes.contains(&e.tid))
+    {
+        eprintln!(
+            "trace verify FAILED: event `{}` sits on unnamed lane {}",
+            orphan.name, orphan.tid
+        );
+        failed = true;
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("trace verify OK: {path} ({} events)", events.len());
+        ExitCode::SUCCESS
+    }
+}
+
+/// `repro --trace-overhead-gate PCT`: the CI bound on what tracing
+/// costs the serving path. Times the same in-process batch with
+/// tracing disabled and enabled — interleaved passes, best-of-3 per
+/// mode, one process — so the comparison normalizes the machine away
+/// like the bench-check gates do, and fails when the traced run is
+/// more than PCT% slower than the untraced one.
+fn run_trace_overhead(max_pct: f64) -> ExitCode {
+    use qods_service::Overrides;
+
+    let batch: Vec<RunRequest> = (0..12)
+        .map(|i| {
+            RunRequest::of(["fig4"]).with_overrides(Overrides {
+                n_bits: Some(6 + (i % 3)),
+                mc_trials: Some(50_000),
+                seed: Some(7_000 + i as u64),
+                ..Overrides::default()
+            })
+        })
+        .collect();
+    // Caching stays off: every pass performs the same real compute,
+    // so the span-recording cost is measured against a stable
+    // denominator instead of a cache-hit no-op.
+    let scheduler = Scheduler::with_options(
+        StudyConfig::smoke(),
+        qods_service::pool::host_threads(),
+        false,
+    );
+    let run_batch = |label: &str| -> Result<f64, ExitCode> {
+        let t0 = std::time::Instant::now();
+        for (i, outcome) in scheduler.run_batch(&batch).into_iter().enumerate() {
+            if let Err(e) = outcome {
+                eprintln!("overhead-gate request {i} ({label}) rejected: {e}");
+                return Err(ExitCode::FAILURE);
+            }
+        }
+        Ok(t0.elapsed().as_secs_f64())
+    };
+
+    // One untimed pass warms the artifact store and the worker pools.
+    if let Err(code) = run_batch("warmup") {
+        return code;
+    }
+    let mut best_off = f64::INFINITY;
+    let mut best_on = f64::INFINITY;
+    let mut spans_recorded = 0usize;
+    for _round in 0..3 {
+        qods_obs::trace::disable();
+        match run_batch("untraced") {
+            Ok(s) => best_off = best_off.min(s),
+            Err(code) => return code,
+        }
+        qods_obs::trace::enable();
+        let traced = run_batch("traced");
+        // Drain between passes so the bounded span buffer never
+        // fills: a full buffer drops spans instead of blocking, which
+        // would understate the very overhead being measured.
+        spans_recorded += qods_obs::trace::tracer().drain().len();
+        qods_obs::trace::disable();
+        match traced {
+            Ok(s) => best_on = best_on.min(s),
+            Err(code) => return code,
+        }
+    }
+    if spans_recorded == 0 {
+        eprintln!("tracing overhead gate FAILED: traced passes recorded no spans");
+        return ExitCode::FAILURE;
+    }
+    let overhead_pct = 100.0 * (best_on / best_off - 1.0);
+    println!(
+        "tracing overhead: untraced {best_off:.3}s, traced {best_on:.3}s \
+         ({spans_recorded} spans, {overhead_pct:+.1}% overhead)"
+    );
+    if overhead_pct > max_pct {
+        eprintln!("tracing overhead gate FAILED: {overhead_pct:.1}% > allowed {max_pct:.1}%");
+        ExitCode::FAILURE
+    } else {
+        println!("tracing overhead gate OK: {overhead_pct:+.1}% <= {max_pct:.1}%");
+        ExitCode::SUCCESS
+    }
 }
 
 /// The service load generator (`repro --load N`): fires a batch of
@@ -806,10 +1044,10 @@ fn run_load_over_tcp(
     println!(
         "  robustness: {} panics caught, {} deadlines exceeded, {} client retries, \
          {} lines rejected",
-        cold_stats.panics_caught + warm_stats.panics_caught,
-        cold_stats.deadline_exceeded + warm_stats.deadline_exceeded,
+        cold_stats.robustness.panics_caught + warm_stats.robustness.panics_caught,
+        cold_stats.robustness.deadline_exceeded + warm_stats.robustness.deadline_exceeded,
         retries.load(std::sync::atomic::Ordering::Relaxed),
-        cold_stats.lines_rejected + warm_stats.lines_rejected,
+        cold_stats.robustness.lines_rejected + warm_stats.robustness.lines_rejected,
     );
     let first_ratio = cold_s / fill_s;
     let ratio = cold_s / warm_s;

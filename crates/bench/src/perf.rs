@@ -752,20 +752,13 @@ pub const SERVE_TRIALS: u64 = 200_000;
 
 /// The serving path's robustness counters, carried in
 /// `BENCH_serve.json` so the chaos-hardening work stays visible next
-/// to the throughput numbers: a healthy smoke run reports zeros
-/// everywhere except (possibly) `retries` under overload.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct ServeRobustness {
-    /// Job panics the scheduler caught and answered as typed
-    /// `internal_error` lines.
-    pub panics_caught: u64,
-    /// Requests cancelled at a deadline boundary.
-    pub deadline_exceeded: u64,
-    /// Client-side transparent retries (overloaded / timeout / reset).
-    pub retries: u64,
-    /// NDJSON lines rejected for exceeding the server's line cap.
-    pub lines_rejected: u64,
-}
+/// to the throughput numbers. Since schema v3 this is the *same*
+/// [`RobustnessSnapshot`] the `stats` verb serves — one shape, read
+/// straight off the server's stats line, so the bench report and the
+/// verb can never drift apart. Client-side retries are a separate
+/// report field ([`ServeBenchReport::client_retries`]): they are
+/// counted by the clients, not the server.
+pub use qods_obs::RobustnessSnapshot;
 
 /// The full report written to `BENCH_serve.json`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -811,8 +804,11 @@ pub struct ServeBenchReport {
     /// run, from the same [`LatencyHistogram`] the `stats` verb uses.
     pub latency: LatencySummary,
     /// Robustness counters from the multi-connection run's server
-    /// (`stats` verb) and clients.
-    pub robustness: ServeRobustness,
+    /// (the `stats` verb's nested `robustness` object, verbatim).
+    pub robustness: RobustnessSnapshot,
+    /// Client-side transparent retries over the multi-connection run
+    /// (overloaded / timeout / reset; counted by the clients).
+    pub client_retries: u64,
     /// Host-speed yardstick shared with the other smokes; the CI gate
     /// compares `multi_rps * calibration_ns_per_op`.
     pub calibration_ns_per_op: f64,
@@ -956,7 +952,7 @@ pub fn serve_smoke(connections: usize, rounds: usize) -> ServeBenchReport {
     let single_rps = requests_total as f64 / single_wall_s;
     let multi_rps = requests_total as f64 / multi_wall_s;
     ServeBenchReport {
-        schema: "qods-bench-serve/v2".to_string(),
+        schema: "qods-bench-serve/v3".to_string(),
         connections,
         rounds,
         requests_total,
@@ -970,12 +966,8 @@ pub fn serve_smoke(connections: usize, rounds: usize) -> ServeBenchReport {
         executed_jobs: stats.executed,
         coalesced_jobs: stats.coalesced,
         latency: latency.summary(),
-        robustness: ServeRobustness {
-            panics_caught: stats.panics_caught,
-            deadline_exceeded: stats.deadline_exceeded,
-            retries: retries.load(std::sync::atomic::Ordering::Relaxed),
-            lines_rejected: stats.lines_rejected,
-        },
+        robustness: stats.robustness,
+        client_retries: retries.load(std::sync::atomic::Ordering::Relaxed),
         calibration_ns_per_op: calibration_ns_per_op(SMOKE_REPS),
     }
 }
@@ -1013,12 +1005,13 @@ pub fn render_serve_report(r: &ServeBenchReport) -> String {
     );
     let _ = writeln!(
         out,
-        "  robustness: {} panics caught, {} deadlines exceeded, {} retries, \
-         {} lines rejected",
+        "  robustness: {} panics caught, {} deadlines exceeded, {} lines \
+         rejected, {} idle reaped; {} client retries",
         r.robustness.panics_caught,
         r.robustness.deadline_exceeded,
-        r.robustness.retries,
-        r.robustness.lines_rejected
+        r.robustness.lines_rejected,
+        r.robustness.idle_reaped,
+        r.client_retries
     );
     out
 }
@@ -1077,7 +1070,7 @@ mod serve_tests {
         // without paying for 80 x ~100 ms served jobs in a debug test
         // (CI's quick smoke runs the real thing in release).
         ServeBenchReport {
-            schema: "qods-bench-serve/v2".to_string(),
+            schema: "qods-bench-serve/v3".to_string(),
             connections: 8,
             rounds: 10,
             requests_total: 80,
@@ -1097,12 +1090,8 @@ mod serve_tests {
                 p99_us: 140_000.0,
                 max_us: 150_000.0,
             },
-            robustness: ServeRobustness {
-                panics_caught: 0,
-                deadline_exceeded: 0,
-                retries: 0,
-                lines_rejected: 0,
-            },
+            robustness: RobustnessSnapshot::default(),
+            client_retries: 0,
             calibration_ns_per_op: 2.0,
         }
     }
@@ -1116,7 +1105,7 @@ mod serve_tests {
         assert_eq!(back.executed_jobs, 10);
         assert_eq!(back.latency.count, 80);
         assert_eq!(back.robustness.panics_caught, 0);
-        assert_eq!(back.robustness.retries, 0);
+        assert_eq!(back.client_retries, 0);
         let verdict = check_serve_against(&back, &r, 2.0, 3.0);
         assert!(verdict.is_ok(), "{verdict:?}");
     }

@@ -44,6 +44,7 @@
 //! [`ArtifactStore::init_process`].
 
 use crate::hash::hash_hex;
+use qods_obs::{sites, Counter, Registry};
 use serde::{Deserialize, Serialize, Value};
 use std::any::Any;
 use std::collections::HashMap;
@@ -124,11 +125,15 @@ type MemTier = Mutex<HashMap<(&'static str, u64), Arc<dyn Any + Send + Sync>>>;
 pub struct ArtifactStore {
     dir: Option<PathBuf>,
     mem: MemTier,
-    computed: AtomicU64,
-    mem_hits: AtomicU64,
-    disk_hits: AtomicU64,
-    corrupt_reads: AtomicU64,
-    write_errors: AtomicU64,
+    /// Per-store metrics registry (`store.*` sites); counters below
+    /// are handles into it, so [`ArtifactStore::stats`] and a registry
+    /// snapshot always agree.
+    metrics: Registry,
+    computed: Arc<Counter>,
+    mem_hits: Arc<Counter>,
+    disk_hits: Arc<Counter>,
+    corrupt_reads: Arc<Counter>,
+    write_errors: Arc<Counter>,
     /// Monotonic temp-file sequence: `fetch_add` guarantees two
     /// threads writing the same key concurrently get distinct temp
     /// names (a stats counter could be observed at the same value by
@@ -174,14 +179,21 @@ impl ArtifactStore {
     }
 
     fn with_dir(dir: Option<PathBuf>) -> Self {
+        let metrics = Registry::new();
+        let computed = metrics.counter(sites::STORE_COMPUTED);
+        let mem_hits = metrics.counter(sites::STORE_MEM_HITS);
+        let disk_hits = metrics.counter(sites::STORE_DISK_HITS);
+        let corrupt_reads = metrics.counter(sites::STORE_CORRUPT_READS);
+        let write_errors = metrics.counter(sites::STORE_WRITE_ERRORS);
         ArtifactStore {
             dir,
             mem: Mutex::new(HashMap::new()),
-            computed: AtomicU64::new(0),
-            mem_hits: AtomicU64::new(0),
-            disk_hits: AtomicU64::new(0),
-            corrupt_reads: AtomicU64::new(0),
-            write_errors: AtomicU64::new(0),
+            metrics,
+            computed,
+            mem_hits,
+            disk_hits,
+            corrupt_reads,
+            write_errors,
             tmp_seq: AtomicU64::new(0),
         }
     }
@@ -214,12 +226,18 @@ impl ArtifactStore {
     /// Traffic so far.
     pub fn stats(&self) -> StoreStats {
         StoreStats {
-            computed: self.computed.load(Ordering::Relaxed),
-            mem_hits: self.mem_hits.load(Ordering::Relaxed),
-            disk_hits: self.disk_hits.load(Ordering::Relaxed),
-            corrupt_reads: self.corrupt_reads.load(Ordering::Relaxed),
-            write_errors: self.write_errors.load(Ordering::Relaxed),
+            computed: self.computed.get(),
+            mem_hits: self.mem_hits.get(),
+            disk_hits: self.disk_hits.get(),
+            corrupt_reads: self.corrupt_reads.get(),
+            write_errors: self.write_errors.get(),
         }
+    }
+
+    /// This store's metrics registry (`store.*` counters) — merged
+    /// into the serving stack's `metrics` verb snapshot.
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
     }
 
     /// How many artifacts the memory tier holds.
@@ -261,22 +279,34 @@ impl ArtifactStore {
         T: Serialize + Deserialize + Send + Sync + 'static,
         F: FnOnce() -> T,
     {
+        // One span per stage lookup, named for the stage itself; the
+        // cache arg records how the lookup resolved (`mem`, `disk`,
+        // `computed`, or `healed` when a corrupt file was recomputed
+        // over).
+        let mut span = qods_obs::span!(stage_site(key.stage), { config_hash: key.hash });
         let map_key = (key.stage, key.hash);
         if let Some(hit) = qods_pool::plock(&self.mem).get(&map_key) {
-            self.mem_hits.fetch_add(1, Ordering::Relaxed);
+            self.mem_hits.inc();
+            span.note_cache("mem");
             return Arc::clone(hit)
                 .downcast::<T>()
                 .unwrap_or_else(|_| unreachable!("one artifact type per stage key"));
         }
 
         let (artifact, from_disk) = match self.read_disk::<T>(key) {
-            Some(artifact) => {
-                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            DiskRead::Hit(artifact) => {
+                self.disk_hits.inc();
+                span.note_cache("disk");
                 (artifact, true)
             }
-            None => {
+            outcome => {
+                span.note_cache(if matches!(outcome, DiskRead::Corrupt) {
+                    "healed"
+                } else {
+                    "computed"
+                });
                 let artifact = compute();
-                self.computed.fetch_add(1, Ordering::Relaxed);
+                self.computed.inc();
                 (artifact, false)
             }
         };
@@ -302,22 +332,25 @@ impl ArtifactStore {
     /// successful file read: `io` makes the read report failure,
     /// `corrupt` garbles the bytes before decoding (both then heal
     /// through the ordinary recompute-and-rewrite path).
-    fn read_disk<T: Deserialize>(&self, key: ArtifactKey) -> Option<T> {
-        let dir = self.dir.as_ref()?;
+    fn read_disk<T: Deserialize>(&self, key: ArtifactKey) -> DiskRead<T> {
+        let Some(dir) = self.dir.as_ref() else {
+            return DiskRead::Miss;
+        };
+        let _io = qods_obs::span!(sites::COMPILE_STORE, { detail: "read" });
         let path = dir.join(key.file_name());
         let mut text = match std::fs::read_to_string(&path) {
             Ok(t) => t,
             // Missing file: a plain cold miss, not corruption.
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return DiskRead::Miss,
             Err(_) => {
-                self.corrupt_reads.fetch_add(1, Ordering::Relaxed);
-                return None;
+                self.corrupt_reads.inc();
+                return DiskRead::Corrupt;
             }
         };
         match qods_fault::check(qods_fault::site::STORE_READ) {
             Some(qods_fault::FaultAction::IoError) => {
-                self.corrupt_reads.fetch_add(1, Ordering::Relaxed);
-                return None;
+                self.corrupt_reads.inc();
+                return DiskRead::Corrupt;
             }
             Some(qods_fault::FaultAction::CorruptRead) => {
                 let mut keep = text.len() / 2;
@@ -329,10 +362,10 @@ impl ArtifactStore {
             _ => {}
         }
         match decode_envelope::<T>(&text, key) {
-            Some(artifact) => Some(artifact),
+            Some(artifact) => DiskRead::Hit(artifact),
             None => {
-                self.corrupt_reads.fetch_add(1, Ordering::Relaxed);
-                None
+                self.corrupt_reads.inc();
+                DiskRead::Corrupt
             }
         }
     }
@@ -348,14 +381,15 @@ impl ArtifactStore {
         let Some(dir) = self.dir.as_ref() else {
             return;
         };
+        let _io = qods_obs::span!(sites::COMPILE_STORE, { detail: "write" });
         let encoded = ArtifactStore::encode_artifact(key, artifact);
         match qods_fault::check(qods_fault::site::STORE_WRITE) {
             Some(qods_fault::FaultAction::IoError) => {
-                self.write_errors.fetch_add(1, Ordering::Relaxed);
+                self.write_errors.inc();
                 return;
             }
             Some(qods_fault::FaultAction::TornWrite) => {
-                self.write_errors.fetch_add(1, Ordering::Relaxed);
+                self.write_errors.inc();
                 let mut keep = encoded.len() / 2;
                 while keep > 0 && !encoded.is_char_boundary(keep) {
                     keep -= 1;
@@ -380,8 +414,26 @@ impl ArtifactStore {
             std::fs::rename(&tmp, dir.join(key.file_name()))
         })();
         if result.is_err() {
-            self.write_errors.fetch_add(1, Ordering::Relaxed);
+            self.write_errors.inc();
         }
+    }
+}
+
+/// How one disk lookup resolved: a usable artifact, a plain cold
+/// miss, or a defective file that will be healed by recompute.
+enum DiskRead<T> {
+    Hit(T),
+    Miss,
+    Corrupt,
+}
+
+/// The span site for a pipeline stage's store lookup.
+fn stage_site(stage: &str) -> &'static str {
+    match stage {
+        "ir" => sites::COMPILE_IR,
+        "sched" => sites::COMPILE_SCHED,
+        "char" => sites::COMPILE_CHAR,
+        _ => sites::COMPILE_STORE,
     }
 }
 

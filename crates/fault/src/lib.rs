@@ -485,6 +485,13 @@ pub fn check(site: &str) -> Option<FaultAction> {
         .map(|s| s.action)?;
     *armed.fired.entry(site.to_string()).or_insert(0) += 1;
     armed.fired_total += 1;
+    // Every firing is observable: an instant event in the trace (with
+    // the fault site as detail) and a process-wide counter. Both are
+    // telemetry — the injected action itself is unchanged.
+    qods_obs::trace::fault_fired(site);
+    qods_obs::Registry::global()
+        .counter(qods_obs::sites::FAULT_FIRED_TOTAL)
+        .inc();
     Some(action)
 }
 
@@ -523,7 +530,7 @@ pub fn ops_at(site: &str) -> u64 {
 }
 
 /// SplitMix64 — the scatter generator (self-contained; this crate
-/// deliberately has no dependencies).
+/// depends only on the equally-leaf `qods-obs` telemetry crate).
 fn splitmix64(state: u64) -> u64 {
     let mut z = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);

@@ -52,10 +52,12 @@ pub struct Finding {
     pub note: String,
 }
 
-/// The canonical string tables rules S1 and H1 validate against.
+/// The canonical string tables rules S1, O1, and H1 validate against.
 pub struct Tables {
     /// Fault-site names (from `qods_fault::SITES`).
     pub sites: Vec<String>,
+    /// Instrumentation-site names (from `qods_obs::sites::ALL`).
+    pub obs_sites: Vec<String>,
     /// Wire error-kind tags (from `qods_net::protocol::kind::ALL`).
     pub kinds: Vec<String>,
     /// Override field names the canonical config form must encode
@@ -73,6 +75,7 @@ impl Tables {
         let own = |xs: &[&str]| xs.iter().map(|s| (*s).to_owned()).collect();
         Tables {
             sites: own(qods_fault::SITES),
+            obs_sites: own(qods_obs::sites::ALL),
             kinds: own(qods_net::protocol::kind::ALL),
             override_fields: own(&qods_service::request::OVERRIDE_FIELDS),
             policy_fields: own(qods_service::request::POLICY_FIELDS),

@@ -14,23 +14,29 @@
 //!   must exist in the canonical tables exported by `qods-fault` and
 //!   `qods-net`, so string drift is a lint failure, not a silent
 //!   no-op.
+//! * **O1** — every site-name string literal at an instrumentation
+//!   call site (`.counter(` / `.gauge(` / `.histogram(` / `span!(` /
+//!   `instant(`) must exist in `qods_obs::sites::ALL`; a typo'd site
+//!   would otherwise mint a metric nothing reads.
 //!
 //! All checks run on the masked `code` view (comments and string
-//! interiors blanked), except S1's literal validation which uses the
-//! decoded `strings` table.
+//! interiors blanked), except the S1/O1 literal validation which uses
+//! the decoded `strings` table.
 
-use crate::scan::{token_positions, ScannedFile, Tree};
+use crate::scan::{token_positions, ScannedFile, StrLit, Tree};
 use crate::{Finding, Tables};
 
 /// The rule identifiers an `allow(...)` annotation may name. The
 /// first four are line rules (this module); the last four are graph
 /// rules ([`crate::graph_rules`]).
-pub const RULE_IDS: &[&str] = &["D1", "D2", "R1", "S1", "P1", "L1", "A1", "H1"];
+pub const RULE_IDS: &[&str] = &["D1", "D2", "R1", "S1", "O1", "P1", "L1", "A1", "H1"];
 
 /// Crates whose results feed hashed/serialized output; D1 applies.
-/// `qods-bench` is the designated home for timing and is exempt.
+/// `qods-bench` is the designated home for timing, and `qods-obs` is
+/// telemetry by construction (span timestamps never reach result
+/// bytes — DESIGN.md §13's determinism boundary); both are exempt.
 fn d1_applies(crate_name: &str) -> bool {
-    !matches!(crate_name, "qods-bench" | "qods-lint")
+    !matches!(crate_name, "qods-bench" | "qods-lint" | "qods-obs")
 }
 
 /// The serving-path crates rule R1 (and the chaos clippy gate) cover.
@@ -44,7 +50,31 @@ pub fn run_rules(file: &ScannedFile, tables: &Tables) -> Vec<Finding> {
     rule_d2(file, &mut out);
     rule_r1(file, &mut out);
     rule_s1(file, tables, &mut out);
+    rule_o1(file, tables, &mut out);
     out
+}
+
+/// The first string-literal argument of a call whose `(` sits at
+/// `open_paren`: a quote right after the paren (spaces allowed), or
+/// at the start of the next line for calls the formatter wrapped.
+/// `None` when the argument is anything else (a `sites::` constant,
+/// an expression).
+fn first_arg_literal(file: &ScannedFile, line_idx: usize, open_paren: usize) -> Option<&StrLit> {
+    let code = &file.code[line_idx];
+    let cb = code.as_bytes();
+    let mut c = open_paren + 1;
+    while c < cb.len() && cb[c] == b' ' {
+        c += 1;
+    }
+    if c < cb.len() && cb[c] == b'"' {
+        file.string_at(line_idx + 1, c)
+    } else if code[open_paren + 1..].trim().is_empty() && line_idx + 1 < file.code.len() {
+        let next = &file.code[line_idx + 1];
+        let c2 = next.len() - next.trim_start().len();
+        file.string_at(line_idx + 2, c2)
+    } else {
+        None
+    }
 }
 
 fn finding(file: &ScannedFile, rule: &str, line_idx: usize, note: String) -> Finding {
@@ -375,24 +405,7 @@ fn rule_s1(file: &ScannedFile, tables: &Tables, out: &mut Vec<Finding>) {
     });
 
     let check_site_literal = |line_idx: usize, open_paren: usize, out: &mut Vec<Finding>| {
-        // The argument literal: a quote right after '(' (spaces
-        // allowed), or at the start of the next line.
-        let code = &file.code[line_idx];
-        let cb = code.as_bytes();
-        let mut c = open_paren + 1;
-        while c < cb.len() && cb[c] == b' ' {
-            c += 1;
-        }
-        let lit = if c < cb.len() && cb[c] == b'"' {
-            file.string_at(line_idx + 1, c)
-        } else if code[open_paren + 1..].trim().is_empty() && line_idx + 1 < file.code.len() {
-            let next = &file.code[line_idx + 1];
-            let c2 = next.len() - next.trim_start().len();
-            file.string_at(line_idx + 2, c2)
-        } else {
-            None
-        };
-        if let Some(lit) = lit {
+        if let Some(lit) = first_arg_literal(file, line_idx, open_paren) {
             if !tables.sites.iter().any(|s| s == &lit.value) {
                 out.push(finding(
                     file,
@@ -480,6 +493,63 @@ fn rule_s1(file: &ScannedFile, tables: &Tables, out: &mut Vec<Finding>) {
                 ));
             }
             rest = &tail[q..];
+        }
+    }
+}
+
+/// O1: site-name string literals at instrumentation call sites must
+/// exist in [`qods_obs::sites::ALL`]. Call sites normally pass the
+/// `sites::` constants, but nothing stops a raw literal — and a
+/// typo'd one would silently mint a metric no dashboard, test, or
+/// snapshot consumer ever reads. `qods-obs` itself is exempt (it owns
+/// the table, and its tests mint scratch names on purpose).
+fn rule_o1(file: &ScannedFile, tables: &Tables, out: &mut Vec<Finding>) {
+    if matches!(file.crate_name.as_str(), "qods-lint" | "qods-obs") {
+        return;
+    }
+    // Registry handle lookups are method calls; the span macro and
+    // the instant/fault-fired entry points are path calls. Either
+    // way the site is the first argument.
+    const METHOD_SITES: &[&str] = &["counter", "gauge", "histogram", "counter_value"];
+    const FREE_SITES: &[&str] = &["span!", "instant", "fault_fired"];
+    for (idx, code) in file.code.iter().enumerate() {
+        let cb = code.as_bytes();
+        let mut call_sites: Vec<usize> = Vec::new();
+        for m in METHOD_SITES {
+            for pos in token_positions(code, m) {
+                let after = pos + m.len();
+                if cb.get(after) == Some(&b'(') && pos > 0 && cb[pos - 1] == b'.' {
+                    call_sites.push(after);
+                }
+            }
+        }
+        for m in FREE_SITES {
+            for pos in token_positions(code, m) {
+                let after = pos + m.len();
+                // Require a path prefix (`qods_obs::span!(`,
+                // `trace::instant(`) so unrelated helpers named
+                // `instant` elsewhere are not dragged in.
+                if cb.get(after) == Some(&b'(') && code[..pos].ends_with("::") {
+                    call_sites.push(after);
+                }
+            }
+        }
+        for open_paren in call_sites {
+            if let Some(lit) = first_arg_literal(file, idx, open_paren) {
+                if !tables.obs_sites.iter().any(|s| s == &lit.value) {
+                    out.push(finding(
+                        file,
+                        "O1",
+                        lit.line - 1,
+                        format!(
+                            "unknown instrumentation site `{}`; canonical sites live in \
+                             qods_obs::sites::ALL — use the named constant (a typo here mints \
+                             a metric nothing reads)",
+                            lit.value
+                        ),
+                    ));
+                }
+            }
         }
     }
 }

@@ -96,6 +96,28 @@ fn s1_checks_apply_in_test_trees_too() {
 }
 
 #[test]
+fn o1_fails_typoed_instrumentation_sites_and_respects_allow() {
+    let text = include_str!("fixtures/o1_violation.rs");
+    let out = lint_source("fix/o1.rs", "qods-net", Tree::Src, text, &tables());
+    assert_eq!(
+        rule_lines(&out.findings),
+        pairs(&[("O1", 4), ("O1", 7), ("O1", 12)]),
+        "counter typo, histogram typo, span! typo; constants, canonical \
+         literals, and bare `instant(` calls stay clean"
+    );
+    assert!(out.findings[0].note.contains("net.requsts"));
+    assert!(out.findings[2].note.contains("svc.schedle"));
+    assert_eq!(rule_lines(&out.suppressed), pairs(&[("O1", 22)]));
+}
+
+#[test]
+fn o1_does_not_apply_inside_the_obs_crate() {
+    let text = "fn t(r: &qods_obs::Registry) { r.counter(\"scratch.name\"); }\n";
+    let out = lint_source("fix/o1.rs", "qods-obs", Tree::Src, text, &tables());
+    assert!(rule_lines(&out.findings).iter().all(|(r, _)| r != "O1"));
+}
+
+#[test]
 fn p1_reports_transitive_panics_stops_at_barriers_and_respects_allow() {
     let text = include_str!("fixtures/p1_violation.rs");
     let out = lint_source("fix/p1.rs", "qods-net", Tree::Src, text, &tables());

@@ -21,7 +21,7 @@
 //!
 //! ```text
 //! qods-serve [--listen ADDR] [--threads N] [--progress] [--no-cache]
-//!            [--base quick|paper] [--artifacts DIR]
+//!            [--base quick|paper] [--artifacts DIR] [--trace-out FILE]
 //!            [--max-connections N] [--max-inflight N] [--max-queue N]
 //!            [--max-requests-per-conn N] [--default-deadline MS]
 //!            [--max-line-len BYTES] [--idle-timeout SECS]
@@ -33,6 +33,13 @@
 //! `bad_request`; `--idle-timeout` reaps TCP connections that stall
 //! mid-line or go silent. Setting `QODS_FAULT_PLAN` arms the
 //! deterministic fault injector (chaos testing; see `qods-fault`).
+//!
+//! Observability: `--trace-out FILE` (or `QODS_TRACE=FILE` in the
+//! environment) arms end-to-end request tracing and writes a Chrome
+//! trace-event JSON on shutdown — load it at `ui.perfetto.dev` or
+//! `chrome://tracing`. Tracing never blocks serving (bounded buffers,
+//! events dropped past capacity and counted) and never changes served
+//! bytes: result lines are byte-identical with tracing on or off.
 
 use qods_net::server::{serve_stdio, NetServer, ServeCore, ServeOptions};
 use qods_service::prelude::*;
@@ -41,7 +48,7 @@ use std::sync::Arc;
 
 fn usage() -> &'static str {
     "usage: qods-serve [--listen ADDR] [--threads N] [--progress] [--no-cache]\n\
-     \t\t  [--base quick|paper] [--artifacts DIR]\n\
+     \t\t  [--base quick|paper] [--artifacts DIR] [--trace-out FILE]\n\
      \t\t  [--max-connections N] [--max-inflight N] [--max-queue N]\n\
      \t\t  [--max-requests-per-conn N] [--default-deadline MS]\n\
      \t\t  [--max-line-len BYTES] [--idle-timeout SECS]\n\
@@ -61,6 +68,9 @@ fn usage() -> &'static str {
      --artifacts DIR  persist compiled kernel artifacts under DIR\n\
      \t\t  (default results/.artifacts; QODS_ARTIFACT_DIR overrides;\n\
      \t\t  empty DIR keeps artifacts in memory only)\n\
+     --trace-out FILE  arm request tracing; write a Chrome trace-event\n\
+     \t\t  JSON (ui.perfetto.dev loads it) to FILE on shutdown\n\
+     \t\t  (QODS_TRACE=FILE does the same from the environment)\n\
      --max-connections N      concurrent TCP clients (default 64)\n\
      --max-inflight N         jobs executing concurrently (default 32)\n\
      --max-queue N            jobs waiting for a slot; more shed as\n\
@@ -92,6 +102,7 @@ fn main() -> ExitCode {
     let mut listen: Option<String> = None;
     let mut caching = true;
     let mut artifacts: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut base = StudyConfig::default();
     let mut options = ServeOptions::default();
     let mut args = std::env::args().skip(1);
@@ -120,6 +131,13 @@ fn main() -> ExitCode {
                 Some(dir) => artifacts = Some(dir),
                 None => {
                     eprintln!("--artifacts needs a directory (or \"\")\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--trace-out" => match args.next() {
+                Some(path) if !path.is_empty() => trace_out = Some(path),
+                _ => {
+                    eprintln!("--trace-out needs a file path\n{}", usage());
                     return ExitCode::FAILURE;
                 }
             },
@@ -196,6 +214,19 @@ fn main() -> ExitCode {
         }
     }
 
+    // Observability: an explicit --trace-out wins; otherwise
+    // QODS_TRACE can arm tracing (and optionally name the file).
+    match (&trace_out, qods_obs::trace::arm_from_env()) {
+        (Some(_), _) => qods_obs::trace::enable(),
+        (None, env_path) => trace_out = env_path,
+    }
+    if qods_obs::trace::enabled() {
+        eprintln!(
+            "qods-serve: request tracing armed ({})",
+            trace_out.as_deref().unwrap_or("buffer only")
+        );
+    }
+
     // Pin every pool in the process (sweeps and Monte-Carlo included),
     // then build the scheduler on the same count.
     if let Some(n) = threads {
@@ -223,7 +254,7 @@ fn main() -> ExitCode {
     );
     let core = Arc::new(ServeCore::new(scheduler, options));
 
-    match listen {
+    let outcome = match listen {
         None => match serve_stdio(&core) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
@@ -249,5 +280,20 @@ fn main() -> ExitCode {
                 }
             }
         }
+    };
+
+    // Flush the trace after the drain: every admitted job has
+    // finished, so its spans are in the buffer.
+    if let Some(path) = trace_out {
+        let events = qods_obs::trace::tracer().drain();
+        let dropped = qods_obs::trace::tracer().dropped();
+        match std::fs::write(&path, qods_obs::export::to_chrome(&events)) {
+            Ok(()) => eprintln!(
+                "qods-serve: wrote {} trace events to {path} ({dropped} dropped)",
+                events.len()
+            ),
+            Err(e) => eprintln!("qods-serve: trace write to {path} failed: {e}"),
+        }
     }
+    outcome
 }

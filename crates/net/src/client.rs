@@ -11,7 +11,7 @@
 //! `internal_error`, …) are returned as-is: retrying those would just
 //! repeat the answer.
 
-use crate::protocol::StatsLine;
+use crate::protocol::{MetricsLine, StatsLine};
 use serde::Serialize;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -230,6 +230,21 @@ impl Client {
             .ok_or_else(|| invalid("server closed before answering stats"))?;
         serde_json::from_str(&line)
             .map_err(|e| invalid(&format!("stats line did not parse: {e}: {line}")))
+    }
+
+    /// Issues the `metrics` verb and parses the full registry
+    /// snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or `InvalidData` when the answer does not
+    /// parse as a metrics line (or the server closed first).
+    pub fn metrics(&mut self) -> std::io::Result<MetricsLine> {
+        let line = self
+            .roundtrip("{\"verb\":\"metrics\"}")?
+            .ok_or_else(|| invalid("server closed before answering metrics"))?;
+        serde_json::from_str(&line)
+            .map_err(|e| invalid(&format!("metrics line did not parse: {e}: {line}")))
     }
 
     /// Issues the `ping` verb and checks for the `pong` answer.

@@ -15,6 +15,7 @@
 //! daemon; changing their field set or order changes served bytes and
 //! fails those tests.
 
+use qods_obs::{MetricsSnapshot, RobustnessSnapshot};
 use qods_service::prelude::*;
 use serde::{Deserialize, Serialize, Value};
 
@@ -208,6 +209,10 @@ pub struct ProgressLine {
 pub enum Verb {
     /// Answer one `stats` line (serving counters + latency summary).
     Stats,
+    /// Answer one `metrics` line (the full registry snapshot: every
+    /// counter, gauge, and histogram by site name, plus trace-buffer
+    /// accounting).
+    Metrics,
     /// Answer one `pong` line (liveness probe).
     Ping,
     /// Acknowledge, stop accepting, drain in-flight jobs, exit 0.
@@ -239,10 +244,11 @@ pub fn parse_line(line: &str) -> Result<Request, String> {
         };
         return match name {
             "stats" => Ok(Request::Verb(Verb::Stats)),
+            "metrics" => Ok(Request::Verb(Verb::Metrics)),
             "ping" => Ok(Request::Verb(Verb::Ping)),
             "shutdown" => Ok(Request::Verb(Verb::Shutdown)),
             other => Err(format!(
-                "bad request: unknown verb `{other}` (verbs: stats, ping, shutdown)"
+                "bad request: unknown verb `{other}` (verbs: stats, metrics, ping, shutdown)"
             )),
         };
     }
@@ -285,17 +291,26 @@ pub struct StatsLine {
     pub output_hits: u64,
     /// Output-cache misses (experiment computed).
     pub output_misses: u64,
-    /// Job panics caught at the scheduler boundary (each answered
-    /// with an `internal_error` line; the daemon kept serving).
-    pub panics_caught: u64,
-    /// Jobs cancelled with a `deadline_exceeded` error.
-    pub deadline_exceeded: u64,
-    /// Input lines refused for exceeding the line-length cap.
-    pub lines_rejected: u64,
-    /// Connections reaped by the idle timeout.
-    pub idle_reaped: u64,
+    /// Robustness counters (caught panics, deadline cancellations,
+    /// rejected lines, reaped connections) — the same nested object
+    /// the bench report embeds, so the `stats` verb and
+    /// `BENCH_serve.json` can never drift apart.
+    pub robustness: RobustnessSnapshot,
     /// Request latency summary (admission wait included).
     pub latency: LatencySummary,
+}
+
+/// The one `metrics` line the `metrics` verb answers with: the full
+/// unified-registry snapshot (serving stack + artifact store +
+/// process-wide counters merged; their site-name prefixes are
+/// disjoint), nested under `metrics` so the envelope can grow fields
+/// without moving the snapshot schema.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetricsLine {
+    /// Always `"metrics"`.
+    pub event: String,
+    /// The merged registry snapshot.
+    pub metrics: MetricsSnapshot,
 }
 
 /// Renders a response line as its wire bytes (no trailing newline).
@@ -448,10 +463,12 @@ mod tests {
             context_misses: 10,
             output_hits: 300,
             output_misses: 50,
-            panics_caught: 1,
-            deadline_exceeded: 2,
-            lines_rejected: 3,
-            idle_reaped: 4,
+            robustness: RobustnessSnapshot {
+                panics_caught: 1,
+                deadline_exceeded: 2,
+                lines_rejected: 3,
+                idle_reaped: 4,
+            },
             latency: LatencySummary {
                 count: 100,
                 mean_us: 1200.0,
@@ -466,13 +483,23 @@ mod tests {
         assert_eq!(back.latency.count, 100);
         assert_eq!(
             (
-                back.panics_caught,
-                back.deadline_exceeded,
-                back.lines_rejected,
-                back.idle_reaped
+                back.robustness.panics_caught,
+                back.robustness.deadline_exceeded,
+                back.robustness.lines_rejected,
+                back.robustness.idle_reaped
             ),
             (1, 2, 3, 4)
         );
+        // The CI smoke grep keys on the *top-level* in-flight gauge.
+        assert!(text.contains("\"in_flight\":1"));
+    }
+
+    #[test]
+    fn metrics_verb_parses() {
+        assert!(matches!(
+            parse_line("{\"verb\":\"metrics\"}"),
+            Ok(Request::Verb(Verb::Metrics))
+        ));
     }
 
     #[test]

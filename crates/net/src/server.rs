@@ -16,13 +16,15 @@
 
 use crate::admission::{Gate, Refusal};
 use crate::protocol::{
-    parse_line, progress_line, render, result_line, ErrorKind, ErrorLine, Request, StatsLine, Verb,
+    parse_line, progress_line, render, result_line, ErrorKind, ErrorLine, MetricsLine, Request,
+    StatsLine, Verb,
 };
+use qods_obs::{sites, Counter, Gauge, MetricsSnapshot, Registry, RobustnessSnapshot};
 use qods_pool::plock;
 use qods_service::prelude::*;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -232,16 +234,20 @@ pub struct ServeCore {
     scheduler: Scheduler,
     gate: Gate,
     options: ServeOptions,
-    latency: LatencyHistogram,
+    /// The serving stack's registry — the same instance the context
+    /// pool created and the scheduler registered into, so `stats`,
+    /// `metrics`, and the bench report all read one source of truth.
+    metrics: Arc<Registry>,
+    latency: Arc<LatencyHistogram>,
     draining: AtomicBool,
-    requests: AtomicU64,
-    results: AtomicU64,
-    errors: AtomicU64,
-    overloaded: AtomicU64,
-    connections: AtomicU64,
-    connections_total: AtomicU64,
-    lines_rejected: AtomicU64,
-    idle_reaped: AtomicU64,
+    requests: Arc<Counter>,
+    results: Arc<Counter>,
+    errors: Arc<Counter>,
+    overloaded: Arc<Counter>,
+    connections: Arc<Gauge>,
+    connections_total: Arc<Counter>,
+    lines_rejected: Arc<Counter>,
+    idle_reaped: Arc<Counter>,
 }
 
 impl ServeCore {
@@ -249,20 +255,22 @@ impl ServeCore {
     pub fn new(scheduler: Scheduler, options: ServeOptions) -> Self {
         let gate = Gate::new(options.max_inflight, options.max_queue);
         scheduler.set_default_deadline_ms(options.default_deadline_ms);
+        let metrics = Arc::clone(scheduler.pool().metrics());
         ServeCore {
-            scheduler,
             gate,
             options,
-            latency: LatencyHistogram::new(),
+            latency: metrics.histogram(sites::NET_LATENCY),
             draining: AtomicBool::new(false),
-            requests: AtomicU64::new(0),
-            results: AtomicU64::new(0),
-            errors: AtomicU64::new(0),
-            overloaded: AtomicU64::new(0),
-            connections: AtomicU64::new(0),
-            connections_total: AtomicU64::new(0),
-            lines_rejected: AtomicU64::new(0),
-            idle_reaped: AtomicU64::new(0),
+            requests: metrics.counter(sites::NET_REQUESTS),
+            results: metrics.counter(sites::NET_RESULTS),
+            errors: metrics.counter(sites::NET_ERRORS),
+            overloaded: metrics.counter(sites::NET_OVERLOADED),
+            connections: metrics.gauge(sites::NET_CONNECTIONS),
+            connections_total: metrics.counter(sites::NET_CONNECTIONS_TOTAL),
+            lines_rejected: metrics.counter(sites::NET_LINES_REJECTED),
+            idle_reaped: metrics.counter(sites::NET_IDLE_REAPED),
+            metrics,
+            scheduler,
         }
     }
 
@@ -304,6 +312,13 @@ impl ServeCore {
                 sink.emit(&render(&self.stats_line()));
                 LineOutcome::Continue
             }
+            Request::Verb(Verb::Metrics) => {
+                sink.emit(&render(&MetricsLine {
+                    event: "metrics".to_string(),
+                    metrics: self.metrics_snapshot(),
+                }));
+                LineOutcome::Continue
+            }
             Request::Verb(Verb::Shutdown) => {
                 sink.emit("{\"event\":\"shutting_down\"}");
                 self.begin_drain();
@@ -319,6 +334,10 @@ impl ServeCore {
     /// Runs one job line end to end: per-connection budget, admission,
     /// coalesced execution, latency accounting, one response line.
     fn serve_job(&self, job: &RunRequest, conn: &mut ConnState, sink: &dyn LineSink) {
+        let mut request_span = qods_obs::span!(sites::NET_REQUEST);
+        if let Some(id) = &job.id {
+            request_span.note_detail(id);
+        }
         let budget = self.options.max_requests_per_conn;
         if budget > 0 && conn.jobs_submitted >= budget {
             self.emit_error(
@@ -334,12 +353,16 @@ impl ServeCore {
         // qods-lint: allow(D1) -- queue-latency telemetry for the stats
         // verb; excluded from result lines
         let t0 = Instant::now();
-        let permit = match self.gate.admit() {
+        let admitted = {
+            let _span = qods_obs::span!(sites::NET_ADMISSION);
+            self.gate.admit()
+        };
+        let permit = match admitted {
             Ok(p) => p,
             Err(refusal) => {
                 let kind = match refusal {
                     Refusal::QueueFull => {
-                        self.overloaded.fetch_add(1, Ordering::Relaxed);
+                        self.overloaded.inc();
                         ErrorKind::Overloaded
                     }
                     Refusal::Draining => ErrorKind::ShuttingDown,
@@ -348,7 +371,7 @@ impl ServeCore {
                 return;
             }
         };
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.requests.inc();
 
         let progress = self.options.progress;
         let mut emit_event = |event: JobEvent| {
@@ -364,10 +387,15 @@ impl ServeCore {
 
         match outcome {
             Ok((result, _coalesced)) => {
+                request_span.note_config_hash(result.config_hash);
                 // Echo the *caller's* id: a coalesced response carries
                 // the leader's records but this request's identity.
-                sink.emit(&render(&result_line(job.id.clone(), &result)));
-                self.results.fetch_add(1, Ordering::Relaxed);
+                let line = render(&result_line(job.id.clone(), &result));
+                {
+                    let _span = qods_obs::span!(sites::NET_WRITE);
+                    sink.emit(&line);
+                }
+                self.results.inc();
             }
             // A panicked or deadline-cancelled job answers with its
             // own typed kind (`internal_error` / `deadline_exceeded`)
@@ -385,7 +413,7 @@ impl ServeCore {
     /// Answers an over-cap input line with one typed `bad_request`
     /// error and counts it.
     fn reject_line(&self, sink: &dyn LineSink, discarded: usize) {
-        self.lines_rejected.fetch_add(1, Ordering::Relaxed);
+        self.lines_rejected.inc();
         self.emit_error(
             sink,
             ErrorKind::BadRequest,
@@ -399,7 +427,7 @@ impl ServeCore {
 
     fn emit_error(&self, sink: &dyn LineSink, kind: ErrorKind, id: Option<String>, diag: String) {
         sink.emit(&render(&ErrorLine::new(kind, id, diag)));
-        self.errors.fetch_add(1, Ordering::Relaxed);
+        self.errors.inc();
     }
 
     /// Stops admitting jobs (they answer `shutting_down` errors);
@@ -420,17 +448,19 @@ impl ServeCore {
     }
 
     fn connection_opened(&self) {
-        self.connections.fetch_add(1, Ordering::SeqCst);
-        self.connections_total.fetch_add(1, Ordering::Relaxed);
+        self.connections.rise();
+        self.connections_total.inc();
     }
 
     fn connection_closed(&self) {
-        self.connections.fetch_sub(1, Ordering::SeqCst);
+        self.connections.fall();
     }
 
-    /// Connections open right now.
+    /// Connections open right now. The limit check this feeds is
+    /// advisory (relaxed gauge reads settle promptly; a race admits
+    /// at most one extra connection for one accept).
     pub fn connection_count(&self) -> u64 {
-        self.connections.load(Ordering::SeqCst)
+        self.connections.get().max(0) as u64
     }
 
     /// The `stats` verb's answer, assembled from the scheduler, the
@@ -443,11 +473,11 @@ impl ServeCore {
         StatsLine {
             event: "stats".to_string(),
             connections: self.connection_count(),
-            connections_total: self.connections_total.load(Ordering::Relaxed),
-            requests: self.requests.load(Ordering::Relaxed),
-            results: self.results.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
-            overloaded: self.overloaded.load(Ordering::Relaxed),
+            connections_total: self.connections_total.get(),
+            requests: self.requests.get(),
+            results: self.results.get(),
+            errors: self.errors.get(),
+            overloaded: self.overloaded.get(),
             executed: sched.jobs_led,
             coalesced: sched.jobs_coalesced,
             in_flight: self.gate.active() as u64,
@@ -456,12 +486,38 @@ impl ServeCore {
             context_misses: cache.context_misses,
             output_hits: cache.output_hits,
             output_misses: cache.output_misses,
-            panics_caught: sched.panics_caught,
-            deadline_exceeded: sched.deadlines_exceeded,
-            lines_rejected: self.lines_rejected.load(Ordering::Relaxed),
-            idle_reaped: self.idle_reaped.load(Ordering::Relaxed),
+            robustness: RobustnessSnapshot::from_registry(&self.metrics),
             latency: self.latency.summary(),
         }
+    }
+
+    /// The `metrics` verb's answer: the serving stack's registry
+    /// merged with the artifact store's and the process-global one
+    /// (their site-name prefixes are disjoint, so a map-extend merge
+    /// is lossless). The mutex-guarded levels — gate permits, queue
+    /// depth, in-flight jobs — are published into gauges here, at
+    /// snapshot time: the mutexed state stays the source of truth and
+    /// the hot path pays nothing for them.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics
+            .gauge(sites::GATE_ACTIVE)
+            .set(self.gate.active() as i64);
+        self.metrics
+            .gauge(sites::GATE_WAITING)
+            .set(self.gate.waiting() as i64);
+        self.metrics
+            .gauge(sites::SVC_IN_FLIGHT)
+            .set(self.scheduler.stats().in_flight as i64);
+        let mut snap = self.metrics.snapshot();
+        for other in [
+            self.scheduler.pool().store().metrics().snapshot(),
+            Registry::global().snapshot(),
+        ] {
+            snap.counters.extend(other.counters);
+            snap.gauges.extend(other.gauges);
+            snap.latency.extend(other.latency);
+        }
+        snap
     }
 }
 
@@ -647,6 +703,9 @@ impl NetServer {
 /// The `net.conn` fault site injects disconnects and delays here, one
 /// op per served line.
 fn serve_connection(core: &ServeCore, stream: TcpStream, stop: &AtomicBool, local: SocketAddr) {
+    // One span covering the whole connection lifetime; every
+    // per-line span below nests under it on this thread's lane.
+    let _conn_span = qods_obs::span!(sites::NET_ACCEPT);
     core.connection_opened();
     let idle_timeout = match core.options().idle_timeout_secs {
         0 => None,
@@ -673,7 +732,16 @@ fn serve_connection(core: &ServeCore, stream: TcpStream, stop: &AtomicBool, loca
     // results are produced upstream of this clock
     let mut last_line_done = Instant::now();
     loop {
-        match reader.next_line() {
+        // Speculative: a read that ends in an idle tick cancels its
+        // span (recording every 1s poll would drown the trace).
+        let read_span = qods_obs::span!(sites::NET_READ);
+        let next = reader.next_line();
+        if matches!(next, ReadLine::Idle) {
+            read_span.cancel();
+        } else {
+            drop(read_span);
+        }
+        match next {
             ReadLine::Line(line) => {
                 if let Some(qods_fault::FaultAction::Disconnect) =
                     qods_fault::check_sleeping(qods_fault::site::NET_CONN)
@@ -702,7 +770,7 @@ fn serve_connection(core: &ServeCore, stream: TcpStream, stop: &AtomicBool, loca
             ReadLine::Idle => {
                 if let Some(timeout) = idle_timeout {
                     if last_line_done.elapsed() >= timeout {
-                        core.idle_reaped.fetch_add(1, Ordering::Relaxed);
+                        core.idle_reaped.inc();
                         core.emit_error(
                             &sink,
                             ErrorKind::IdleTimeout,

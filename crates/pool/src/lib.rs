@@ -50,6 +50,7 @@
 // outside tests (lint rule R1 and the chaos-job clippy gate agree).
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
+use qods_obs::sites;
 use std::cell::Cell;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -308,7 +309,11 @@ where
     F: Fn(usize) -> R + Sync,
 {
     let deadline = current_deadline();
+    // Captured on the caller's thread: worker spans on spawned threads
+    // link back to the span that scheduled them (cross-thread parent).
+    let parent_span = qods_obs::trace::current_span();
     let guarded = |w: usize| -> Result<R, PoolError> {
+        let _span = qods_obs::span!(sites::POOL_WORKER).child_of(parent_span);
         std::panic::catch_unwind(AssertUnwindSafe(|| {
             with_deadline(deadline, || {
                 if let Some(action) = qods_fault::check_sleeping(qods_fault::site::POOL_WORKER) {
@@ -324,10 +329,20 @@ where
     if threads <= 1 {
         return fold_outcomes(vec![guarded(0)]);
     }
+    qods_obs::Registry::global()
+        .counter(sites::POOL_WORKERS_SPAWNED)
+        .add(threads as u64);
     let guarded = &guarded;
     let outcomes: Vec<Result<R, PoolError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
-            .map(|w| scope.spawn(move || guarded(w)))
+            .map(|w| {
+                scope.spawn(move || {
+                    // Fresh OS thread, fresh TLS: worker w renders on
+                    // trace lane w + 1 (lane 0 is the caller).
+                    qods_obs::trace::set_lane(w as u32 + 1);
+                    guarded(w)
+                })
+            })
             .collect();
         handles
             .into_iter()

@@ -15,9 +15,9 @@ use crate::request::Overrides;
 use qods_core::compile::ArtifactStore;
 use qods_core::experiment::{ExperimentOutput, StudyContext};
 use qods_core::study::StudyConfig;
+use qods_obs::{sites, Counter, Registry};
 use qods_pool::plock;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Default bound on retained configurations (see
@@ -135,10 +135,15 @@ pub struct ContextPool {
     /// circuits another configuration already compiled.
     store: Arc<ArtifactStore>,
     entries: Mutex<Retained>,
-    context_hits: AtomicU64,
-    context_misses: AtomicU64,
-    output_hits: AtomicU64,
-    output_misses: AtomicU64,
+    /// The serving stack's metrics registry. The pool creates it (it
+    /// is the bottom of the serving-side object graph) and the
+    /// scheduler and server above register their own counters into
+    /// the same instance, so one snapshot covers the whole stack.
+    metrics: Arc<Registry>,
+    context_hits: Arc<Counter>,
+    context_misses: Arc<Counter>,
+    output_hits: Arc<Counter>,
+    output_misses: Arc<Counter>,
 }
 
 impl ContextPool {
@@ -183,17 +188,30 @@ impl ContextPool {
         capacity: usize,
         store: Arc<ArtifactStore>,
     ) -> Self {
+        let metrics = Arc::new(Registry::new());
+        let context_hits = metrics.counter(sites::CACHE_CONTEXT_HITS);
+        let context_misses = metrics.counter(sites::CACHE_CONTEXT_MISSES);
+        let output_hits = metrics.counter(sites::CACHE_OUTPUT_HITS);
+        let output_misses = metrics.counter(sites::CACHE_OUTPUT_MISSES);
         ContextPool {
             base,
             caching,
             capacity: capacity.max(1),
             store,
             entries: Mutex::new(Retained::default()),
-            context_hits: AtomicU64::new(0),
-            context_misses: AtomicU64::new(0),
-            output_hits: AtomicU64::new(0),
-            output_misses: AtomicU64::new(0),
+            metrics,
+            context_hits,
+            context_misses,
+            output_hits,
+            output_misses,
         }
+    }
+
+    /// The metrics registry for this serving stack. Everything above
+    /// the pool (scheduler, server) registers into it so one snapshot
+    /// covers cache, coalescing, and connection counters together.
+    pub fn metrics(&self) -> &Arc<Registry> {
+        &self.metrics
     }
 
     /// The artifact store retained contexts compile into.
@@ -214,10 +232,13 @@ impl ContextPool {
     /// Checks out the entry for `overrides` (building it on first
     /// sight) and reports whether it was a cache hit.
     pub fn checkout(&self, overrides: &Overrides) -> (Arc<PoolEntry>, bool) {
+        let mut span = qods_obs::span!(sites::SVC_CONTEXT);
         let config = overrides.resolve(&self.base);
         let hash = crate::request::config_hash(&config);
+        span.note_config_hash(hash);
         if !self.caching {
-            self.context_misses.fetch_add(1, Ordering::Relaxed);
+            self.context_misses.inc();
+            span.note_cache("miss");
             // Fresh throwaway store per checkout: the cold baseline
             // recompiles everything, every time, by construction.
             let store = Arc::new(ArtifactStore::in_memory());
@@ -230,10 +251,12 @@ impl ContextPool {
         if let Some(entry) = retained.map.get(&hash) {
             let entry = Arc::clone(entry);
             retained.touch(hash);
-            self.context_hits.fetch_add(1, Ordering::Relaxed);
+            self.context_hits.inc();
+            span.note_cache("hit");
             return (entry, true);
         }
-        self.context_misses.fetch_add(1, Ordering::Relaxed);
+        self.context_misses.inc();
+        span.note_cache("miss");
         while retained.map.len() >= self.capacity {
             match retained.order.pop_front() {
                 Some(lru) => {
@@ -254,17 +277,17 @@ impl ContextPool {
     /// Records the outcome of output lookups (called by the
     /// scheduler so the counters cover every job path).
     pub fn record_output_lookups(&self, hits: u64, misses: u64) {
-        self.output_hits.fetch_add(hits, Ordering::Relaxed);
-        self.output_misses.fetch_add(misses, Ordering::Relaxed);
+        self.output_hits.add(hits);
+        self.output_misses.add(misses);
     }
 
     /// Cache traffic so far.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            context_hits: self.context_hits.load(Ordering::Relaxed),
-            context_misses: self.context_misses.load(Ordering::Relaxed),
-            output_hits: self.output_hits.load(Ordering::Relaxed),
-            output_misses: self.output_misses.load(Ordering::Relaxed),
+            context_hits: self.context_hits.get(),
+            context_misses: self.context_misses.get(),
+            output_hits: self.output_hits.get(),
+            output_misses: self.output_misses.get(),
         }
     }
 

@@ -9,6 +9,7 @@ use qods_core::experiment::{Experiment, ExperimentRecord};
 use qods_core::kernels::KernelError;
 use qods_core::registry::{Registry, RegistryError};
 use qods_core::study::StudyConfig;
+use qods_obs::{sites, Counter};
 use qods_pool::plock;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -132,11 +133,14 @@ pub struct Scheduler {
     /// In-flight jobs, keyed by [`Scheduler::job_key`]; concurrent
     /// submissions of the same key share one execution.
     inflight: InflightTable<Result<Arc<JobResult>, ServiceError>>,
-    jobs_led: AtomicU64,
-    jobs_coalesced: AtomicU64,
-    panics_caught: AtomicU64,
-    deadlines_exceeded: AtomicU64,
+    /// Traffic counters, registered in the [`ContextPool`]'s metrics
+    /// registry so one snapshot covers the cache and the scheduler.
+    jobs_led: Arc<Counter>,
+    jobs_coalesced: Arc<Counter>,
+    panics_caught: Arc<Counter>,
+    deadlines_exceeded: Arc<Counter>,
     /// Deadline applied to requests that carry none (0 = no default).
+    /// Stays a bare atomic: it is a mutable setting, not a metric.
     default_deadline_ms: AtomicU64,
 }
 
@@ -173,15 +177,17 @@ impl Scheduler {
     pub fn with_options(mut base: StudyConfig, threads: usize, caching: bool) -> Self {
         let threads = threads.max(1);
         base.threads = threads;
+        let pool = ContextPool::with_caching(base, caching);
+        let metrics = Arc::clone(pool.metrics());
         Scheduler {
             registry: Registry::paper(),
-            pool: ContextPool::with_caching(base, caching),
+            pool,
             threads,
             inflight: InflightTable::new(),
-            jobs_led: AtomicU64::new(0),
-            jobs_coalesced: AtomicU64::new(0),
-            panics_caught: AtomicU64::new(0),
-            deadlines_exceeded: AtomicU64::new(0),
+            jobs_led: metrics.counter(sites::SVC_EXECUTED),
+            jobs_coalesced: metrics.counter(sites::SVC_COALESCED),
+            panics_caught: metrics.counter(sites::SVC_PANICS_CAUGHT),
+            deadlines_exceeded: metrics.counter(sites::SVC_DEADLINE_EXCEEDED),
             default_deadline_ms: AtomicU64::new(0),
         }
     }
@@ -220,11 +226,11 @@ impl Scheduler {
     /// in-flight gauge).
     pub fn stats(&self) -> SchedulerStats {
         SchedulerStats {
-            jobs_led: self.jobs_led.load(Ordering::Relaxed),
-            jobs_coalesced: self.jobs_coalesced.load(Ordering::Relaxed),
+            jobs_led: self.jobs_led.get(),
+            jobs_coalesced: self.jobs_coalesced.get(),
             in_flight: self.inflight.len(),
-            panics_caught: self.panics_caught.load(Ordering::Relaxed),
-            deadlines_exceeded: self.deadlines_exceeded.load(Ordering::Relaxed),
+            panics_caught: self.panics_caught.get(),
+            deadlines_exceeded: self.deadlines_exceeded.get(),
         }
     }
 
@@ -296,20 +302,30 @@ impl Scheduler {
         loop {
             match self.inflight.begin(key) {
                 Begin::Leader(leader) => {
-                    self.jobs_led.fetch_add(1, Ordering::Relaxed);
+                    let _span = qods_obs::span!(sites::SVC_COALESCE, {
+                        role: "leader",
+                        config_hash: key
+                    });
+                    self.jobs_led.inc();
                     let outcome = self.run_with_events(request, emit).map(Arc::new);
                     leader.complete(outcome.clone());
                     return outcome.map(|r| (r, false));
                 }
-                Begin::Follower(follower) => match follower.wait() {
-                    Some(outcome) => {
-                        self.jobs_coalesced.fetch_add(1, Ordering::Relaxed);
-                        return outcome.map(|r| (r, true));
+                Begin::Follower(follower) => {
+                    let _span = qods_obs::span!(sites::SVC_COALESCE, {
+                        role: "follower",
+                        config_hash: key
+                    });
+                    match follower.wait() {
+                        Some(outcome) => {
+                            self.jobs_coalesced.inc();
+                            return outcome.map(|r| (r, true));
+                        }
+                        // Leader unwound without publishing: retry
+                        // (this caller may lead now).
+                        None => continue,
                     }
-                    // Leader unwound without publishing: retry (this
-                    // caller may lead now).
-                    None => continue,
-                },
+                }
             }
         }
     }
@@ -358,10 +374,10 @@ impl Scheduler {
             Ok(result) => result,
             Err(payload) => {
                 if payload.downcast_ref::<qods_pool::DeadlineHit>().is_some() {
-                    self.deadlines_exceeded.fetch_add(1, Ordering::Relaxed);
+                    self.deadlines_exceeded.inc();
                     Err(ServiceError::DeadlineExceeded)
                 } else {
-                    self.panics_caught.fetch_add(1, Ordering::Relaxed);
+                    self.panics_caught.inc();
                     let message = payload
                         .downcast_ref::<&str>()
                         .map(|s| (*s).to_string())
@@ -401,6 +417,10 @@ impl Scheduler {
         // events/stats, excluded from hashed result lines
         let t0 = Instant::now();
         let (entry, context_hit) = self.pool.checkout(&request.overrides);
+        let _span = qods_obs::span!(sites::SVC_SCHEDULE, {
+            config_hash: entry.hash(),
+            cache: if context_hit { "hit" } else { "miss" }
+        });
         emit(JobEvent::Started {
             request_id: request.id.clone(),
             config_hash: entry.hash(),
@@ -476,6 +496,9 @@ impl Scheduler {
             // engines with no inner chunk loop.
             qods_pool::check_deadline();
             let (i, exp) = misses[k];
+            // Parents to the pool.worker span the pool opened on this
+            // thread (or the caller's span on the inline path).
+            let _span = qods_obs::span!(sites::JOB_EXPERIMENT, { detail: exp.id() });
             // qods-lint: allow(D1) -- per-experiment wall-time telemetry
             let t = Instant::now();
             let output = exp.run(entry.context());

@@ -296,6 +296,29 @@ impl<T: Deserialize> Deserialize for Option<T> {
     }
 }
 
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        // BTreeMap iterates in key order, so the serialized object is
+        // deterministic (the property lint rule D2 wants from maps
+        // feeding serialization).
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::custom("expected object"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
 impl<T: Serialize> Serialize for &T {
     fn to_value(&self) -> Value {
         (*self).to_value()
